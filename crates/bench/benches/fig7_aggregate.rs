@@ -1,0 +1,24 @@
+//! Fig. 7 — spatial aggregate queries, Algorithm 1 vs baseline.
+//!
+//! Regenerates the figure's full (algorithm × x-axis) sweep at bench
+//! scale and measures the wall time of one sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ps_bench::{checksum, run_experiment};
+use ps_sim::experiments::ExperimentId;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_aggregate");
+    group.sample_size(10);
+    group.bench_function("sweep", |b| {
+        b.iter(|| {
+            let tables = run_experiment(ExperimentId::Fig7);
+            black_box(checksum(&tables))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

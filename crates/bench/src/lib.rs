@@ -1,0 +1,30 @@
+//! Shared helpers for the figure-regeneration benches.
+//!
+//! Each bench target regenerates one paper figure at
+//! [`ps_sim::config::Scale::bench`] scale and reports the wall time of a
+//! full (algorithms × x-axis) sweep. Run `cargo run --release -p ps-sim
+//! --bin repro` for the full-size numbers.
+
+use ps_sim::config::Scale;
+use ps_sim::experiments::ExperimentId;
+use ps_sim::metrics::FigureTable;
+
+/// The scale benches run at.
+pub fn bench_scale() -> Scale {
+    Scale::bench()
+}
+
+/// Runs one experiment and returns its tables (so the optimizer cannot
+/// elide the work).
+pub fn run_experiment(id: ExperimentId) -> Vec<FigureTable> {
+    id.run(&bench_scale())
+}
+
+/// Checksum over all series values — a cheap black-box sink for Criterion.
+pub fn checksum(tables: &[FigureTable]) -> f64 {
+    tables
+        .iter()
+        .flat_map(|t| t.series.iter())
+        .flat_map(|s| s.values.iter())
+        .sum()
+}

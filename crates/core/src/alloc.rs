@@ -1,0 +1,321 @@
+//! Sensor-allocation engines for one time slot.
+//!
+//! * [`optimal`] — the exact BILP schedule of Eq. 9 (facility-location
+//!   branch-and-bound).
+//! * [`local_search`] — the Feige-et-al. Local Search heuristic (§3.1.2).
+//! * [`baseline`] — the paper's baseline: sequential per-query execution
+//!   with data buffering (§4.3, §4.4).
+//! * [`greedy`] — Algorithm 1, greedy multi-query sensor selection over
+//!   black-box set valuations.
+//!
+//! The point schedulers share the [`PointAllocation`] result type and the
+//! facility-location construction in this module: queries are grouped by
+//! queried location (`Q_l`), locations become clients, sensors become
+//! facilities, and `v_l(s) = Σ_{q∈Q_l} v_q(s)` (Eq. 10's `v'` with
+//! non-positive values dropped).
+
+pub mod baseline;
+pub mod egalitarian;
+pub mod greedy;
+pub mod local_search;
+pub mod optimal;
+
+use crate::model::SensorSnapshot;
+use crate::query::PointQuery;
+use crate::valuation::quality::QualityModel;
+use ps_solver::ufl::{WelfareProblem, WelfareSolution};
+use std::collections::BTreeMap;
+
+/// One query's share of the schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointAssignment {
+    /// Index of the serving sensor in the slot's snapshot slice.
+    pub sensor: usize,
+    /// Reading quality θ for this query's location.
+    pub quality: f64,
+    /// The query's value `v_q(s)` for that reading.
+    pub value: f64,
+    /// The query's payment π (Eq. 11).
+    pub payment: f64,
+}
+
+/// The outcome of scheduling one slot's point queries.
+#[derive(Debug, Clone)]
+pub struct PointAllocation {
+    /// Per query (parallel to the input slice): its assignment, or `None`
+    /// when unanswered.
+    pub assignments: Vec<Option<PointAssignment>>,
+    /// Total utility: answered value minus the cost of used sensors.
+    pub welfare: f64,
+    /// Snapshot indices of the sensors that provide measurements.
+    pub sensors_used: Vec<usize>,
+    /// Total cost paid out to sensors.
+    pub total_sensor_cost: f64,
+}
+
+impl PointAllocation {
+    /// An empty allocation for `n` queries.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            assignments: vec![None; n],
+            welfare: 0.0,
+            sensors_used: Vec::new(),
+            total_sensor_cost: 0.0,
+        }
+    }
+
+    /// Number of queries answered with positive value.
+    pub fn satisfied_count(&self) -> usize {
+        self.assignments
+            .iter()
+            .flatten()
+            .filter(|a| a.value > 0.0)
+            .count()
+    }
+}
+
+/// A scheduler of single-sensor point queries for one slot.
+pub trait PointScheduler {
+    /// Chooses sensors for `queries` among `sensors`, computing values,
+    /// payments, and welfare.
+    fn schedule(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+    ) -> PointAllocation;
+}
+
+/// Queries grouped by queried location: the clients of the
+/// facility-location formulation.
+pub(crate) struct LocationGroups {
+    /// For each distinct location: the indices of the queries at it.
+    pub groups: Vec<Vec<usize>>,
+}
+
+/// Exact-coordinate key; queried locations in the experiments are drawn
+/// from a discrete grid, so sharing only happens on exact collisions —
+/// the paper's `Q_l` semantics.
+fn location_key(p: ps_geo::Point) -> (u64, u64) {
+    (p.x.to_bits(), p.y.to_bits())
+}
+
+pub(crate) fn group_by_location(queries: &[PointQuery]) -> LocationGroups {
+    let mut map: BTreeMap<(u64, u64), Vec<usize>> = BTreeMap::new();
+    for (i, q) in queries.iter().enumerate() {
+        map.entry(location_key(q.loc)).or_default().push(i);
+    }
+    LocationGroups {
+        groups: map.into_values().collect(),
+    }
+}
+
+/// Builds the Eq. 9 welfare problem: clients are locations, facilities are
+/// sensors, `v_l(s) = Σ_{q∈Q_l} v_q(θ(s, l))`.
+pub(crate) fn build_welfare_problem(
+    queries: &[PointQuery],
+    groups: &LocationGroups,
+    sensors: &[SensorSnapshot],
+    quality: &QualityModel,
+) -> WelfareProblem {
+    let costs: Vec<f64> = sensors.iter().map(|s| s.cost).collect();
+    let client_values: Vec<Vec<(usize, f64)>> = groups
+        .groups
+        .iter()
+        .map(|qs| {
+            let loc = queries[qs[0]].loc;
+            sensors
+                .iter()
+                .enumerate()
+                .filter_map(|(si, s)| {
+                    if !quality.in_range(s, loc) {
+                        return None;
+                    }
+                    let theta = quality.quality(s, loc);
+                    let v: f64 = qs
+                        .iter()
+                        .map(|&qi| queries[qi].value_of_quality(theta))
+                        .sum();
+                    (v > 0.0).then_some((si, v))
+                })
+                .collect()
+        })
+        .collect();
+    WelfareProblem::new(costs, client_values)
+}
+
+/// Converts a facility-location solution into a [`PointAllocation`],
+/// computing Eq. 11 payments and enforcing cost recovery.
+///
+/// Cost recovery: a used sensor whose total served value does not exceed
+/// its cost would force some query to pay more than its value. The exact
+/// solver never produces such a sensor, but Local Search can (via the
+/// complement set); those sensors are dropped and their locations
+/// reassigned until stable, which only increases welfare.
+pub(crate) fn allocation_from_solution(
+    queries: &[PointQuery],
+    groups: &LocationGroups,
+    sensors: &[SensorSnapshot],
+    quality: &QualityModel,
+    problem: &WelfareProblem,
+    solution: &WelfareSolution,
+) -> PointAllocation {
+    let mut open = solution.open.clone();
+    // Iteratively drop cost-unrecoverable sensors.
+    let final_solution = loop {
+        let sol = problem.solution_from_open(&open);
+        let mut served_value = vec![0.0f64; sensors.len()];
+        for (client, assigned) in sol.assignment.iter().enumerate() {
+            if let Some(f) = assigned {
+                let loc = queries[groups.groups[client][0]].loc;
+                let theta = quality.quality(&sensors[*f], loc);
+                let v: f64 = groups.groups[client]
+                    .iter()
+                    .map(|&qi| queries[qi].value_of_quality(theta))
+                    .sum();
+                served_value[*f] += v;
+            }
+        }
+        let mut dropped = false;
+        for (f, is_open) in open.iter_mut().enumerate() {
+            if *is_open && sol.open[f] && served_value[f] <= sensors[f].cost + 1e-12 {
+                *is_open = false;
+                dropped = true;
+            }
+            // Also sync pruned-dead facilities.
+            if *is_open && !sol.open[f] {
+                *is_open = false;
+            }
+        }
+        if !dropped {
+            break sol;
+        }
+    };
+
+    // Per-sensor served value for Eq. 11 denominators.
+    let mut served_value = vec![0.0f64; sensors.len()];
+    for (client, assigned) in final_solution.assignment.iter().enumerate() {
+        if let Some(f) = assigned {
+            let loc = queries[groups.groups[client][0]].loc;
+            let theta = quality.quality(&sensors[*f], loc);
+            let v: f64 = groups.groups[client]
+                .iter()
+                .map(|&qi| queries[qi].value_of_quality(theta))
+                .sum();
+            served_value[*f] += v;
+        }
+    }
+
+    let mut assignments: Vec<Option<PointAssignment>> = vec![None; queries.len()];
+    let mut total_value = 0.0;
+    for (client, assigned) in final_solution.assignment.iter().enumerate() {
+        let Some(f) = assigned else { continue };
+        let loc = queries[groups.groups[client][0]].loc;
+        let theta = quality.quality(&sensors[*f], loc);
+        for &qi in &groups.groups[client] {
+            let value = queries[qi].value_of_quality(theta);
+            // Eq. 11: proportionate cost allocation.
+            let payment = if value > 0.0 && served_value[*f] > 0.0 {
+                value * sensors[*f].cost / served_value[*f]
+            } else {
+                0.0
+            };
+            total_value += value;
+            assignments[qi] = Some(PointAssignment {
+                sensor: *f,
+                quality: theta,
+                value,
+                payment,
+            });
+        }
+    }
+
+    let sensors_used: Vec<usize> = final_solution
+        .open
+        .iter()
+        .enumerate()
+        .filter_map(|(f, &o)| o.then_some(f))
+        .collect();
+    let total_sensor_cost: f64 = sensors_used.iter().map(|&f| sensors[f].cost).sum();
+
+    PointAllocation {
+        assignments,
+        welfare: total_value - total_sensor_cost,
+        sensors_used,
+        total_sensor_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QueryId;
+    use crate::query::QueryOrigin;
+    use ps_geo::Point;
+
+    fn pq(id: u64, x: f64, y: f64, budget: f64) -> PointQuery {
+        PointQuery {
+            id: QueryId(id),
+            loc: Point::new(x, y),
+            budget,
+            offset: 0.0,
+            theta_min: 0.2,
+            origin: QueryOrigin::EndUser,
+        }
+    }
+
+    #[test]
+    fn grouping_collects_same_location_queries() {
+        let queries = vec![
+            pq(0, 1.0, 1.0, 10.0),
+            pq(1, 2.0, 2.0, 10.0),
+            pq(2, 1.0, 1.0, 20.0),
+        ];
+        let groups = group_by_location(&queries);
+        assert_eq!(groups.groups.len(), 2);
+        let sizes: Vec<usize> = groups.groups.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&2) && sizes.contains(&1));
+    }
+
+    #[test]
+    fn welfare_problem_sums_query_values_per_location() {
+        let queries = vec![pq(0, 0.0, 0.0, 10.0), pq(1, 0.0, 0.0, 30.0)];
+        let sensors = vec![SensorSnapshot {
+            id: 0,
+            loc: Point::new(2.5, 0.0),
+            cost: 10.0,
+            trust: 1.0,
+            inaccuracy: 0.0,
+        }];
+        let quality = QualityModel::new(5.0);
+        let groups = group_by_location(&queries);
+        let p = build_welfare_problem(&queries, &groups, &sensors, &quality);
+        assert_eq!(p.num_clients(), 1);
+        // θ = 0.5 → v = 0.5·10 + 0.5·30 = 20.
+        assert_eq!(p.client_values[0], vec![(0, 20.0)]);
+    }
+
+    #[test]
+    fn out_of_range_sensors_are_excluded() {
+        let queries = vec![pq(0, 0.0, 0.0, 10.0)];
+        let sensors = vec![SensorSnapshot {
+            id: 0,
+            loc: Point::new(9.0, 0.0),
+            cost: 10.0,
+            trust: 1.0,
+            inaccuracy: 0.0,
+        }];
+        let quality = QualityModel::new(5.0);
+        let groups = group_by_location(&queries);
+        let p = build_welfare_problem(&queries, &groups, &sensors, &quality);
+        assert!(p.client_values[0].is_empty());
+    }
+
+    #[test]
+    fn empty_allocation_shape() {
+        let a = PointAllocation::empty(3);
+        assert_eq!(a.assignments.len(), 3);
+        assert_eq!(a.satisfied_count(), 0);
+        assert_eq!(a.welfare, 0.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! The paper's baseline algorithms: sequential per-query execution with
+//! data buffering for the duration of a time slot.
+//!
+//! §4.3 (point queries): "in each time slot [the baseline] takes queries
+//! one by one and for each query selects the sensor with maximum utility.
+//! A sensor that is selected to answer a query at a certain location is
+//! also assigned to all other queries at that location. The cost of the
+//! selected sensors is set to zero for the remaining queries."
+//!
+//! §4.4 (aggregates): "It takes the queries one by one and for each query
+//! selects the sensors that result in best utility. The cost of the
+//! selected sensors is set to zero for the subsequent queries in the time
+//! slot."
+
+use crate::alloc::{PointAllocation, PointAssignment, PointScheduler};
+use crate::model::SensorSnapshot;
+use crate::query::PointQuery;
+use crate::valuation::quality::QualityModel;
+use crate::valuation::SetValuation;
+use std::collections::BTreeMap;
+
+/// Baseline point scheduler (§4.3): execution on query arrival with data
+/// buffering within the slot.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselinePointScheduler;
+
+impl BaselinePointScheduler {
+    /// Creates the baseline scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BaselinePointScheduler {
+    /// Like [`PointScheduler::schedule`], but sensors already marked in
+    /// `selected` are free (bought earlier this slot, e.g. by the baseline
+    /// aggregate stage of the mix, §4.7). Newly bought sensors are marked
+    /// in `selected` on return.
+    pub fn schedule_with_preselected(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        selected: &mut [bool],
+    ) -> PointAllocation {
+        assert_eq!(selected.len(), sensors.len());
+        // location key → sensor already serving that location
+        let mut location_sensor: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+        let mut assignments: Vec<Option<PointAssignment>> = vec![None; queries.len()];
+        let mut newly_selected: Vec<usize> = Vec::new();
+        let mut total_value = 0.0;
+        let mut total_cost = 0.0;
+
+        for (qi, q) in queries.iter().enumerate() {
+            let key = (q.loc.x.to_bits(), q.loc.y.to_bits());
+            // Buffered data at this location?
+            if let Some(&si) = location_sensor.get(&key) {
+                let theta = quality.quality(&sensors[si], q.loc);
+                let value = q.value_of_quality(theta);
+                if value > 0.0 {
+                    total_value += value;
+                    assignments[qi] = Some(PointAssignment {
+                        sensor: si,
+                        quality: theta,
+                        value,
+                        payment: 0.0, // cost already borne by the trigger query
+                    });
+                    continue;
+                }
+            }
+            // Pick the sensor with maximum utility for this query alone;
+            // already-selected sensors cost nothing extra.
+            let mut best: Option<(usize, f64, f64, f64)> = None; // (si, utility, value, theta)
+            for (si, s) in sensors.iter().enumerate() {
+                if !quality.in_range(s, q.loc) {
+                    continue;
+                }
+                let theta = quality.quality(s, q.loc);
+                let value = q.value_of_quality(theta);
+                if value <= 0.0 {
+                    continue;
+                }
+                let cost = if selected[si] { 0.0 } else { s.cost };
+                let utility = value - cost;
+                if utility > 0.0 {
+                    match best {
+                        Some((_, bu, _, _)) if bu >= utility => {}
+                        _ => best = Some((si, utility, value, theta)),
+                    }
+                }
+            }
+            if let Some((si, _u, value, theta)) = best {
+                let payment = if selected[si] { 0.0 } else { sensors[si].cost };
+                if !selected[si] {
+                    selected[si] = true;
+                    newly_selected.push(si);
+                    total_cost += sensors[si].cost;
+                }
+                location_sensor.insert(key, si);
+                total_value += value;
+                assignments[qi] = Some(PointAssignment {
+                    sensor: si,
+                    quality: theta,
+                    value,
+                    payment,
+                });
+            }
+        }
+
+        PointAllocation {
+            assignments,
+            welfare: total_value - total_cost,
+            sensors_used: newly_selected,
+            total_sensor_cost: total_cost,
+        }
+    }
+}
+
+impl PointScheduler for BaselinePointScheduler {
+    fn schedule(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+    ) -> PointAllocation {
+        let mut selected = vec![false; sensors.len()];
+        self.schedule_with_preselected(queries, sensors, quality, &mut selected)
+    }
+}
+
+/// Outcome of the baseline multi-sensor execution for one query.
+#[derive(Debug, Clone)]
+pub struct BaselineSetOutcome {
+    /// Snapshot indices newly selected (and paid) for this query.
+    pub newly_selected: Vec<usize>,
+    /// Value achieved for the query.
+    pub value: f64,
+    /// Cost this query paid (only newly selected sensors).
+    pub cost: f64,
+}
+
+/// Baseline multi-sensor execution (§4.4): greedily grow this query's own
+/// sensor set while utility improves, treating sensors in
+/// `already_selected` as free, then mark the new picks as selected.
+pub fn baseline_select_for_query(
+    valuation: &mut dyn SetValuation,
+    sensors: &[SensorSnapshot],
+    already_selected: &mut [bool],
+) -> BaselineSetOutcome {
+    assert_eq!(sensors.len(), already_selected.len());
+    let mut newly_selected = Vec::new();
+    let mut cost = 0.0;
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for (si, s) in sensors.iter().enumerate() {
+            if !valuation.is_relevant(s) {
+                continue;
+            }
+            if newly_selected.contains(&si) {
+                continue;
+            }
+            let marginal = valuation.marginal(s);
+            let c = if already_selected[si] { 0.0 } else { s.cost };
+            let gain = marginal - c;
+            if gain > 1e-12 {
+                match best {
+                    Some((_, g)) if g >= gain => {}
+                    _ => best = Some((si, gain)),
+                }
+            }
+        }
+        match best {
+            Some((si, _)) => {
+                valuation.commit(&sensors[si]);
+                if !already_selected[si] {
+                    cost += sensors[si].cost;
+                    already_selected[si] = true;
+                }
+                newly_selected.push(si);
+            }
+            None => break,
+        }
+    }
+    BaselineSetOutcome {
+        value: valuation.current_value(),
+        newly_selected,
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QueryId;
+    use crate::query::{AggregateKind, AggregateQuery, QueryOrigin};
+    use crate::valuation::aggregate::AggregateValuation;
+    use ps_geo::{Point, Rect};
+
+    fn pq(id: u64, x: f64, budget: f64) -> PointQuery {
+        PointQuery {
+            id: QueryId(id),
+            loc: Point::new(x, 0.0),
+            budget,
+            offset: 0.0,
+            theta_min: 0.2,
+            origin: QueryOrigin::EndUser,
+        }
+    }
+
+    fn sensor(id: usize, x: f64, cost: f64) -> SensorSnapshot {
+        SensorSnapshot {
+            id,
+            loc: Point::new(x, 0.0),
+            cost,
+            trust: 1.0,
+            inaccuracy: 0.0,
+        }
+    }
+
+    #[test]
+    fn baseline_cannot_afford_small_budgets() {
+        // The paper's headline observation: with budget < C_s the baseline
+        // answers nothing, because it never shares costs across queries.
+        let queries = vec![pq(0, 0.0, 7.0), pq(1, 0.0, 7.0)];
+        let sensors = vec![sensor(0, 0.0, 10.0)];
+        let alloc =
+            BaselinePointScheduler::new().schedule(&queries, &sensors, &QualityModel::new(5.0));
+        assert_eq!(alloc.satisfied_count(), 0);
+        assert_eq!(alloc.welfare, 0.0);
+    }
+
+    #[test]
+    fn buffered_data_is_reused_at_same_location() {
+        let queries = vec![pq(0, 0.0, 30.0), pq(1, 0.0, 7.0)];
+        let sensors = vec![sensor(0, 1.0, 10.0)];
+        let alloc =
+            BaselinePointScheduler::new().schedule(&queries, &sensors, &QualityModel::new(5.0));
+        // First query affords the sensor; second rides along free.
+        assert_eq!(alloc.satisfied_count(), 2);
+        assert!((alloc.assignments[0].unwrap().payment - 10.0).abs() < 1e-12);
+        assert_eq!(alloc.assignments[1].unwrap().payment, 0.0);
+        // Welfare: 0.8·30 + 0.8·7 − 10.
+        assert!((alloc.welfare - (24.0 + 5.6 - 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selected_sensor_is_free_for_other_locations() {
+        let queries = vec![pq(0, 0.0, 30.0), pq(1, 2.0, 7.0)];
+        let sensors = vec![sensor(0, 1.0, 10.0)];
+        let alloc =
+            BaselinePointScheduler::new().schedule(&queries, &sensors, &QualityModel::new(5.0));
+        // Query 1 is at a different location but the sensor is already
+        // paid for, so its 7-budget query can use it at zero cost.
+        assert_eq!(alloc.satisfied_count(), 2);
+        assert_eq!(alloc.assignments[1].unwrap().payment, 0.0);
+    }
+
+    #[test]
+    fn order_dependence_is_the_baselines_weakness() {
+        // Reversed order: the poor query comes first and cannot afford the
+        // sensor, the rich one then pays — both still answered, but in the
+        // all-poor case nothing ever gets bootstrapped.
+        let queries = vec![pq(1, 2.0, 7.0), pq(0, 0.0, 30.0)];
+        let sensors = vec![sensor(0, 1.0, 10.0)];
+        let alloc =
+            BaselinePointScheduler::new().schedule(&queries, &sensors, &QualityModel::new(5.0));
+        assert!(alloc.assignments[0].is_none() || alloc.assignments[0].unwrap().payment == 0.0);
+        assert_eq!(alloc.satisfied_count(), 1 + usize::from(alloc.assignments[0].is_some()));
+    }
+
+    #[test]
+    fn baseline_aggregate_greedily_grows_one_query() {
+        let q = AggregateQuery {
+            id: QueryId(5),
+            region: Rect::new(0.0, 0.0, 10.0, 10.0),
+            budget: 60.0,
+            kind: AggregateKind::Average,
+        };
+        let mut v = AggregateValuation::new(&q, 6.0);
+        let sensors = vec![
+            SensorSnapshot {
+                id: 0,
+                loc: Point::new(2.0, 2.0),
+                cost: 10.0,
+                trust: 1.0,
+                inaccuracy: 0.0,
+            },
+            SensorSnapshot {
+                id: 1,
+                loc: Point::new(8.0, 8.0),
+                cost: 10.0,
+                trust: 1.0,
+                inaccuracy: 0.0,
+            },
+        ];
+        let mut already = vec![false; 2];
+        let out = baseline_select_for_query(&mut v, &sensors, &mut already);
+        assert_eq!(out.newly_selected.len(), 2);
+        assert!((out.cost - 20.0).abs() < 1e-12);
+        assert!(out.value > out.cost);
+        assert!(already.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn baseline_aggregate_reuses_free_sensors() {
+        let q = AggregateQuery {
+            id: QueryId(6),
+            region: Rect::new(0.0, 0.0, 10.0, 10.0),
+            budget: 20.0,
+            kind: AggregateKind::Average,
+        };
+        let mut v = AggregateValuation::new(&q, 6.0);
+        let sensors = vec![SensorSnapshot {
+            id: 0,
+            loc: Point::new(5.0, 5.0),
+            cost: 1000.0, // unaffordable fresh…
+            trust: 1.0,
+            inaccuracy: 0.0,
+        }];
+        let mut already = vec![true; 1]; // …but already bought by another query
+        let out = baseline_select_for_query(&mut v, &sensors, &mut already);
+        assert_eq!(out.newly_selected, vec![0]);
+        assert_eq!(out.cost, 0.0);
+        assert!(out.value > 0.0);
+    }
+}

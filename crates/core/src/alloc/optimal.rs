@@ -1,0 +1,157 @@
+//! The exact point-query schedule of Eq. 9 (§3.1.1).
+//!
+//! Builds the facility-location welfare problem (sensors = facilities,
+//! queried locations = clients) and solves it exactly with
+//! `ps_solver::ufl` — branch-and-bound with dual-ascent bounds over
+//! connected components. Payments follow the proportionate cost
+//! allocation of Eq. 11.
+
+use crate::alloc::{
+    allocation_from_solution, build_welfare_problem, group_by_location, PointAllocation,
+    PointScheduler,
+};
+use crate::model::SensorSnapshot;
+use crate::query::PointQuery;
+use crate::valuation::quality::QualityModel;
+use ps_solver::ufl::{self, SolveLimits};
+
+/// The Optimal scheduler of §3.1.1.
+#[derive(Debug, Clone, Default)]
+pub struct OptimalScheduler {
+    /// Branch-and-bound resource limits.
+    pub limits: SolveLimits,
+}
+
+impl OptimalScheduler {
+    /// Creates the scheduler with default solve limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl PointScheduler for OptimalScheduler {
+    fn schedule(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+    ) -> PointAllocation {
+        if queries.is_empty() || sensors.is_empty() {
+            return PointAllocation::empty(queries.len());
+        }
+        let groups = group_by_location(queries);
+        let problem = build_welfare_problem(queries, &groups, sensors, quality);
+        let solution = ufl::solve_exact(&problem, &self.limits);
+        allocation_from_solution(queries, &groups, sensors, quality, &problem, &solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QueryId;
+    use crate::query::QueryOrigin;
+    use ps_geo::Point;
+
+    fn pq(id: u64, x: f64, budget: f64) -> PointQuery {
+        PointQuery {
+            id: QueryId(id),
+            loc: Point::new(x, 0.0),
+            budget,
+            offset: 0.0,
+            theta_min: 0.2,
+            origin: QueryOrigin::EndUser,
+        }
+    }
+
+    fn sensor(id: usize, x: f64, cost: f64) -> SensorSnapshot {
+        SensorSnapshot {
+            id,
+            loc: Point::new(x, 0.0),
+            cost,
+            trust: 1.0,
+            inaccuracy: 0.0,
+        }
+    }
+
+    #[test]
+    fn single_affordable_query_is_answered() {
+        let queries = vec![pq(0, 0.0, 30.0)];
+        let sensors = vec![sensor(0, 1.0, 10.0)]; // θ = 0.8, value 24 > 10
+        let alloc = OptimalScheduler::new().schedule(&queries, &sensors, &QualityModel::new(5.0));
+        let a = alloc.assignments[0].expect("answered");
+        assert_eq!(a.sensor, 0);
+        assert!((a.value - 24.0).abs() < 1e-9);
+        assert!((a.payment - 10.0).abs() < 1e-9); // sole beneficiary pays all
+        assert!((alloc.welfare - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unaffordable_query_is_refused() {
+        // Budget 7 < cost 10: the paper's small-budget regime.
+        let queries = vec![pq(0, 0.0, 7.0)];
+        let sensors = vec![sensor(0, 0.0, 10.0)];
+        let alloc = OptimalScheduler::new().schedule(&queries, &sensors, &QualityModel::new(5.0));
+        assert!(alloc.assignments[0].is_none());
+        assert_eq!(alloc.welfare, 0.0);
+    }
+
+    #[test]
+    fn sharing_across_same_location_queries_unlocks_answering() {
+        // Two budget-7 queries at the same spot: 7 < 10 alone, 14 > 10 shared.
+        let queries = vec![pq(0, 0.0, 7.0), pq(1, 0.0, 7.0)];
+        let sensors = vec![sensor(0, 0.0, 10.0)];
+        let alloc = OptimalScheduler::new().schedule(&queries, &sensors, &QualityModel::new(5.0));
+        assert_eq!(alloc.satisfied_count(), 2);
+        let a0 = alloc.assignments[0].unwrap();
+        let a1 = alloc.assignments[1].unwrap();
+        // Equal values → equal shares of the cost (Eq. 11).
+        assert!((a0.payment - 5.0).abs() < 1e-9);
+        assert!((a1.payment - 5.0).abs() < 1e-9);
+        // Individual rationality.
+        assert!(a0.payment < a0.value);
+        assert!((alloc.welfare - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_the_better_of_two_sensors() {
+        let queries = vec![pq(0, 0.0, 30.0)];
+        let sensors = vec![sensor(0, 3.0, 10.0), sensor(1, 1.0, 10.0)];
+        let alloc = OptimalScheduler::new().schedule(&queries, &sensors, &QualityModel::new(5.0));
+        assert_eq!(alloc.assignments[0].unwrap().sensor, 1);
+        assert_eq!(alloc.sensors_used, vec![1]);
+    }
+
+    #[test]
+    fn payments_cover_sensor_costs_exactly() {
+        let queries = vec![pq(0, 0.0, 20.0), pq(1, 0.0, 30.0), pq(2, 4.0, 25.0)];
+        let sensors = vec![sensor(0, 1.0, 10.0), sensor(1, 4.5, 10.0)];
+        let alloc = OptimalScheduler::new().schedule(&queries, &sensors, &QualityModel::new(5.0));
+        // Sum of payments to each used sensor equals its cost.
+        let mut receipts = vec![0.0; sensors.len()];
+        for a in alloc.assignments.iter().flatten() {
+            receipts[a.sensor] += a.payment;
+        }
+        for &f in &alloc.sensors_used {
+            assert!(
+                (receipts[f] - sensors[f].cost).abs() < 1e-9,
+                "sensor {f} receives {} for cost {}",
+                receipts[f],
+                sensors[f].cost
+            );
+        }
+        // Every answered query keeps positive net benefit.
+        for a in alloc.assignments.iter().flatten() {
+            assert!(a.payment < a.value + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let alloc =
+            OptimalScheduler::new().schedule(&[], &[sensor(0, 0.0, 10.0)], &QualityModel::new(5.0));
+        assert!(alloc.assignments.is_empty());
+        let alloc2 = OptimalScheduler::new().schedule(&[pq(0, 0.0, 10.0)], &[], &QualityModel::new(5.0));
+        assert!(alloc2.assignments[0].is_none());
+    }
+}

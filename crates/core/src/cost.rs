@@ -1,0 +1,384 @@
+//! Sensor-side economics: energy and privacy cost models (Eqs. 8, 14, 15).
+//!
+//! Each sensor's announced price has two components (Eq. 8):
+//!
+//! ```text
+//! c_s(E_s, H_s, l_s) = c_s^e(E_s) + c_s^p(p_s(H_s, l_s))
+//! ```
+//!
+//! an energy cost depending on remaining energy, and a privacy cost
+//! depending on the history of revealed locations. The paper's simulation
+//! models (§4.1) are reproduced exactly: a fixed and a linear energy cost,
+//! a sliding-window privacy loss that penalizes *recent* reporting
+//! (Eq. 14), and five discrete privacy-sensitivity levels (Eq. 15).
+
+use crate::model::Slot;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Energy cost model `c_s^e(E_s)` (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EnergyModel {
+    /// Fixed cost: `c^e = C_s` regardless of remaining energy.
+    Fixed,
+    /// Linear cost: `c^e = C_s (1 + β (1 − E_s))` — a drained battery
+    /// demands a higher price.
+    Linear {
+        /// Cost increment factor β (the paper draws β ~ U[0, 4] in §4.3).
+        beta: f64,
+    },
+}
+
+impl EnergyModel {
+    /// Energy cost for base price `base` and remaining energy fraction
+    /// `remaining ∈ [0, 1]`.
+    pub fn cost(&self, base: f64, remaining: f64) -> f64 {
+        match self {
+            EnergyModel::Fixed => base,
+            EnergyModel::Linear { beta } => base * (1.0 + beta * (1.0 - remaining.clamp(0.0, 1.0))),
+        }
+    }
+}
+
+/// Privacy sensitivity level of a participant (§4.1): "Zero, Low,
+/// Moderate, High, and Very High … mapped to values 0, 0.25, 0.5, 0.75, 1".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrivacySensitivity {
+    /// No privacy concern (factor 0) — the default in most experiments.
+    Zero,
+    /// Factor 0.25.
+    Low,
+    /// Factor 0.5.
+    Moderate,
+    /// Factor 0.75.
+    High,
+    /// Factor 1.0.
+    VeryHigh,
+}
+
+impl PrivacySensitivity {
+    /// The numeric PSL factor of Eq. 15.
+    pub fn factor(&self) -> f64 {
+        match self {
+            PrivacySensitivity::Zero => 0.0,
+            PrivacySensitivity::Low => 0.25,
+            PrivacySensitivity::Moderate => 0.5,
+            PrivacySensitivity::High => 0.75,
+            PrivacySensitivity::VeryHigh => 1.0,
+        }
+    }
+
+    /// All five levels, for uniform random assignment in experiments.
+    pub const ALL: [PrivacySensitivity; 5] = [
+        PrivacySensitivity::Zero,
+        PrivacySensitivity::Low,
+        PrivacySensitivity::Moderate,
+        PrivacySensitivity::High,
+        PrivacySensitivity::VeryHigh,
+    ];
+}
+
+/// Sliding-window history of measurement-report times (the `H_s` of
+/// Eq. 14), retaining only reports newer than the privacy window `w`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportHistory {
+    window: usize,
+    reports: VecDeque<Slot>,
+}
+
+impl ReportHistory {
+    /// Creates an empty history with privacy window `w ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics when `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "privacy window must be at least 1");
+        Self {
+            window,
+            reports: VecDeque::new(),
+        }
+    }
+
+    /// The privacy window `w`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Records a report at slot `now`.
+    pub fn record(&mut self, now: Slot) {
+        self.reports.push_back(now);
+        self.evict(now);
+    }
+
+    fn evict(&mut self, now: Slot) {
+        while let Some(&front) = self.reports.front() {
+            if now.saturating_sub(front) >= self.window {
+                self.reports.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Privacy loss at slot `now` (Eq. 14):
+    ///
+    /// ```text
+    /// p_s = ( w + Σ_{t'∈H_s} (w − (t − t')) ) / ( w(w+1)/2 )
+    /// ```
+    ///
+    /// Recent reports weigh more; the loss is `2/(w+1)` with an empty
+    /// history and grows toward (and can reach) values ≥ 1 under
+    /// consecutive reporting.
+    pub fn privacy_loss(&self, now: Slot) -> f64 {
+        let w = self.window as f64;
+        let sum: f64 = self
+            .reports
+            .iter()
+            .map(|&t_prime| {
+                let age = now.saturating_sub(t_prime) as f64;
+                (w - age).max(0.0)
+            })
+            .sum();
+        (w + sum) / (w * (w + 1.0) / 2.0)
+    }
+
+    /// Number of reports currently inside the window (relative to the
+    /// last recorded report).
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True when no reports are in the window.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
+/// Full per-sensor economic state: base price, energy model, privacy
+/// sensitivity, lifetime budget, and reporting history.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensorEconomics {
+    /// Base price `C_s` (10 in all paper experiments).
+    pub base_price: f64,
+    /// Energy cost model.
+    pub energy: EnergyModel,
+    /// Privacy sensitivity level.
+    pub psl: PrivacySensitivity,
+    /// Maximum number of readings the sensor can ever provide ("lifetime",
+    /// §4.1).
+    pub lifetime: usize,
+    readings_taken: usize,
+    history: ReportHistory,
+}
+
+impl SensorEconomics {
+    /// Creates the economics state; `privacy_window` is the `w` of Eq. 14.
+    pub fn new(
+        base_price: f64,
+        energy: EnergyModel,
+        psl: PrivacySensitivity,
+        lifetime: usize,
+        privacy_window: usize,
+    ) -> Self {
+        Self {
+            base_price,
+            energy,
+            psl,
+            lifetime,
+            readings_taken: 0,
+            history: ReportHistory::new(privacy_window),
+        }
+    }
+
+    /// Remaining energy fraction `E_s ∈ [0, 1]`: 1 minus the fraction of
+    /// lifetime readings already spent.
+    pub fn remaining_energy(&self) -> f64 {
+        if self.lifetime == 0 {
+            return 0.0;
+        }
+        1.0 - (self.readings_taken as f64 / self.lifetime as f64).min(1.0)
+    }
+
+    /// True when the sensor has exhausted its lifetime and "cannot be used
+    /// anymore in the subsequent time slots" (§4.1).
+    pub fn is_exhausted(&self) -> bool {
+        self.readings_taken >= self.lifetime
+    }
+
+    /// Number of readings provided so far.
+    pub fn readings_taken(&self) -> usize {
+        self.readings_taken
+    }
+
+    /// The announced price `c_s` at slot `now` (Eq. 8): energy cost plus
+    /// privacy cost (Eq. 15: `PSL · p_s · C_s`).
+    pub fn price(&self, now: Slot) -> f64 {
+        let energy_cost = self.energy.cost(self.base_price, self.remaining_energy());
+        let privacy_cost =
+            self.psl.factor() * self.history.privacy_loss(now) * self.base_price;
+        energy_cost + privacy_cost
+    }
+
+    /// Records that the sensor provided a measurement at slot `now`:
+    /// consumes lifetime and extends the revealed-location history.
+    pub fn record_measurement(&mut self, now: Slot) {
+        self.readings_taken += 1;
+        self.history.record(now);
+    }
+
+    /// Read access to the reporting history.
+    pub fn history(&self) -> &ReportHistory {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_energy_cost_ignores_level() {
+        let m = EnergyModel::Fixed;
+        assert_eq!(m.cost(10.0, 1.0), 10.0);
+        assert_eq!(m.cost(10.0, 0.0), 10.0);
+    }
+
+    #[test]
+    fn linear_energy_cost_grows_as_battery_drains() {
+        let m = EnergyModel::Linear { beta: 2.0 };
+        assert_eq!(m.cost(10.0, 1.0), 10.0);
+        assert_eq!(m.cost(10.0, 0.5), 20.0);
+        assert_eq!(m.cost(10.0, 0.0), 30.0);
+    }
+
+    #[test]
+    fn psl_factors_match_paper_mapping() {
+        let factors: Vec<f64> = PrivacySensitivity::ALL.iter().map(|p| p.factor()).collect();
+        assert_eq!(factors, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn privacy_loss_of_empty_history() {
+        let h = ReportHistory::new(5);
+        // (w + 0) / (w(w+1)/2) = 5/15 = 1/3.
+        assert!((h.privacy_loss(10) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn privacy_loss_matches_eq_14_by_hand() {
+        let mut h = ReportHistory::new(5);
+        h.record(8);
+        h.record(9);
+        // At t=10: ages 2 and 1 → (5−2)+(5−1)=7; (5+7)/15 = 0.8.
+        assert!((h.privacy_loss(10) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consecutive_reporting_is_more_costly_than_spread() {
+        let mut burst = ReportHistory::new(6);
+        burst.record(9);
+        burst.record(10);
+        let mut spread = ReportHistory::new(6);
+        spread.record(5);
+        spread.record(10);
+        assert!(burst.privacy_loss(11) > spread.privacy_loss(11));
+    }
+
+    #[test]
+    fn old_reports_age_out_of_the_window() {
+        let mut h = ReportHistory::new(3);
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.len(), 2);
+        h.record(10); // far in the future: evicts both
+        assert_eq!(h.len(), 1);
+        // Loss at t = 20: even the last report aged out of weighting.
+        let base = ReportHistory::new(3).privacy_loss(20);
+        assert!((h.privacy_loss(20) - base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lifetime_exhaustion() {
+        let mut e = SensorEconomics::new(10.0, EnergyModel::Fixed, PrivacySensitivity::Zero, 2, 5);
+        assert!(!e.is_exhausted());
+        assert_eq!(e.remaining_energy(), 1.0);
+        e.record_measurement(0);
+        assert_eq!(e.remaining_energy(), 0.5);
+        e.record_measurement(1);
+        assert!(e.is_exhausted());
+        assert_eq!(e.remaining_energy(), 0.0);
+    }
+
+    #[test]
+    fn price_with_zero_psl_is_energy_only() {
+        let mut e = SensorEconomics::new(10.0, EnergyModel::Fixed, PrivacySensitivity::Zero, 50, 5);
+        assert_eq!(e.price(0), 10.0);
+        e.record_measurement(0);
+        e.record_measurement(1);
+        assert_eq!(e.price(2), 10.0); // privacy factor 0 hides the history
+    }
+
+    #[test]
+    fn price_reflects_privacy_pressure() {
+        let mut e =
+            SensorEconomics::new(10.0, EnergyModel::Fixed, PrivacySensitivity::VeryHigh, 50, 5);
+        let fresh = e.price(0);
+        e.record_measurement(0);
+        let after = e.price(1);
+        assert!(after > fresh, "price must rise after revealing location");
+    }
+
+    #[test]
+    fn price_combines_energy_and_privacy() {
+        let mut e = SensorEconomics::new(
+            10.0,
+            EnergyModel::Linear { beta: 4.0 },
+            PrivacySensitivity::Moderate,
+            10,
+            5,
+        );
+        for t in 0..5 {
+            e.record_measurement(t);
+        }
+        // Energy: 10(1 + 4·0.5) = 30. Privacy: 0.5 · p · 10 > 0.
+        let p = e.price(5);
+        assert!(p > 30.0);
+    }
+
+    proptest! {
+        #[test]
+        fn privacy_loss_is_nonnegative_and_bounded(
+            window in 1usize..12,
+            reports in proptest::collection::vec(0usize..50, 0..20),
+            now in 50usize..60,
+        ) {
+            let mut h = ReportHistory::new(window);
+            let mut sorted = reports;
+            sorted.sort_unstable();
+            for r in sorted {
+                h.record(r);
+            }
+            let loss = h.privacy_loss(now);
+            prop_assert!(loss >= 0.0);
+            // Worst case: w reports all at the current instant:
+            // (w + w·w) / (w(w+1)/2) = 2.
+            prop_assert!(loss <= 2.0 + 1e-9);
+        }
+
+        #[test]
+        fn remaining_energy_monotone(lifetime in 1usize..30, uses in 0usize..40) {
+            let mut e = SensorEconomics::new(
+                10.0, EnergyModel::Fixed, PrivacySensitivity::Zero, lifetime, 5,
+            );
+            let mut last = e.remaining_energy();
+            for t in 0..uses {
+                e.record_measurement(t);
+                let now = e.remaining_energy();
+                prop_assert!(now <= last + 1e-12);
+                prop_assert!(now >= 0.0);
+                last = now;
+            }
+        }
+    }
+}

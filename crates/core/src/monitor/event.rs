@@ -1,0 +1,272 @@
+//! Event-detection queries (§2.3) — the extension the paper defers.
+//!
+//! "We don't specifically deal with event detection queries. However, we
+//! believe that data acquisition for this type of continuous queries is
+//! very similar to data acquisition for monitoring queries. The main
+//! difference is that redundant sampling might be needed to ensure the
+//! confidence requested by the queries."
+//!
+//! [`EventMonitor`] implements exactly that design: a continuous query
+//! `Q3: notify me when X > threshold with confidence > α at location l in
+//! [t1, t2]` that each slot issues a *multiple-sensor* point query whose
+//! redundancy valuation (`1 − Π(1−θ)`, see
+//! [`crate::valuation::multi_point`]) pays for enough independent readings
+//! to reach the requested confidence. The detector itself combines the
+//! collected readings by quality-weighted voting.
+
+use crate::model::{QueryId, Slot};
+use crate::query::{PointQuery, QueryOrigin};
+use ps_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one event-detection query.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EventQuerySpec {
+    /// Query identifier.
+    pub id: QueryId,
+    /// Monitored location.
+    pub loc: Point,
+    /// First active slot.
+    pub t1: Slot,
+    /// Last active slot (inclusive).
+    pub t2: Slot,
+    /// Event predicate threshold: fires when the estimated value exceeds
+    /// this.
+    pub threshold: f64,
+    /// Requested detection confidence in `(0, 1)`.
+    pub confidence: f64,
+    /// Budget per slot for redundant sampling.
+    pub budget_per_slot: f64,
+    /// Minimum acceptable reading quality.
+    pub theta_min: f64,
+}
+
+/// A fired event notification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventDetection {
+    /// Slot at which the event was detected.
+    pub slot: Slot,
+    /// Quality-weighted estimate of the phenomenon value.
+    pub estimate: f64,
+    /// Confidence achieved by the contributing readings.
+    pub confidence: f64,
+}
+
+/// State of one event-detection query.
+#[derive(Debug, Clone)]
+pub struct EventMonitor {
+    spec: EventQuerySpec,
+    spent: f64,
+    detections: Vec<EventDetection>,
+    slots_sampled: usize,
+}
+
+impl EventMonitor {
+    /// Creates the monitor.
+    ///
+    /// # Panics
+    /// Panics on an empty window or a confidence outside `(0, 1)`.
+    pub fn new(spec: EventQuerySpec) -> Self {
+        assert!(spec.t1 <= spec.t2, "empty monitoring window");
+        assert!(
+            spec.confidence > 0.0 && spec.confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
+        Self {
+            spec,
+            spent: 0.0,
+            detections: Vec::new(),
+            slots_sampled: 0,
+        }
+    }
+
+    /// The query's configuration.
+    pub fn spec(&self) -> &EventQuerySpec {
+        &self.spec
+    }
+
+    /// True while the query is running at slot `t`.
+    pub fn is_active(&self, t: Slot) -> bool {
+        t >= self.spec.t1 && t <= self.spec.t2
+    }
+
+    /// Total payments so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Events detected so far.
+    pub fn detections(&self) -> &[EventDetection] {
+        &self.detections
+    }
+
+    /// Number of slots in which at least one reading arrived.
+    pub fn slots_sampled(&self) -> usize {
+        self.slots_sampled
+    }
+
+    /// Number of independent readings of quality `theta` needed so that
+    /// `1 − (1−θ)^k ≥ confidence` — the redundancy requirement of §2.3.
+    pub fn required_redundancy(confidence: f64, theta: f64) -> usize {
+        assert!((0.0..1.0).contains(&confidence), "confidence in [0,1)");
+        if theta <= 0.0 {
+            return usize::MAX;
+        }
+        if theta >= 1.0 {
+            return 1;
+        }
+        let k = (1.0 - confidence).ln() / (1.0 - theta).ln();
+        (k.ceil() as usize).max(1)
+    }
+
+    /// The multiple-sensor point query to issue at slot `t`: budget
+    /// `budget_per_slot`, to be scheduled with
+    /// [`crate::valuation::multi_point::MultiPointValuation`] so that the
+    /// redundancy valuation buys readings until the requested confidence
+    /// is covered.
+    pub fn create_point_query(&self, t: Slot, id: QueryId, monitor_index: usize) -> Option<PointQuery> {
+        if !self.is_active(t) {
+            return None;
+        }
+        Some(PointQuery {
+            id,
+            loc: self.spec.loc,
+            budget: self.spec.budget_per_slot,
+            offset: 0.0,
+            theta_min: self.spec.theta_min,
+            origin: QueryOrigin::LocationMonitor {
+                monitor: monitor_index,
+            },
+        })
+    }
+
+    /// Applies one slot's readings: `(value, quality)` pairs plus the
+    /// total payment. Returns `Some(detection)` when the quality-weighted
+    /// estimate crosses the threshold at sufficient confidence.
+    pub fn apply_readings(
+        &mut self,
+        t: Slot,
+        readings: &[(f64, f64)],
+        payment: f64,
+    ) -> Option<EventDetection> {
+        self.spent += payment;
+        if readings.is_empty() {
+            return None;
+        }
+        self.slots_sampled += 1;
+        let weight: f64 = readings.iter().map(|&(_, q)| q).sum();
+        if weight <= 0.0 {
+            return None;
+        }
+        let estimate = readings.iter().map(|&(v, q)| v * q).sum::<f64>() / weight;
+        let confidence = 1.0
+            - readings
+                .iter()
+                .map(|&(_, q)| 1.0 - q.clamp(0.0, 1.0))
+                .product::<f64>();
+        if estimate > self.spec.threshold && confidence >= self.spec.confidence {
+            let detection = EventDetection {
+                slot: t,
+                estimate,
+                confidence,
+            };
+            self.detections.push(detection);
+            return Some(detection);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(threshold: f64, confidence: f64) -> EventQuerySpec {
+        EventQuerySpec {
+            id: QueryId(5),
+            loc: Point::new(3.0, 3.0),
+            t1: 0,
+            t2: 10,
+            threshold,
+            confidence,
+            budget_per_slot: 40.0,
+            theta_min: 0.2,
+        }
+    }
+
+    #[test]
+    fn required_redundancy_math() {
+        // One perfect reading suffices.
+        assert_eq!(EventMonitor::required_redundancy(0.9, 1.0), 1);
+        // θ = 0.5, confidence 0.9: 1 − 0.5^k ≥ 0.9 → k = 4.
+        assert_eq!(EventMonitor::required_redundancy(0.9, 0.5), 4);
+        // θ = 0.5, confidence 0.5: k = 1.
+        assert_eq!(EventMonitor::required_redundancy(0.5, 0.5), 1);
+        // Worthless readings can never reach confidence.
+        assert_eq!(EventMonitor::required_redundancy(0.9, 0.0), usize::MAX);
+    }
+
+    #[test]
+    fn detection_fires_on_confident_exceedance() {
+        let mut m = EventMonitor::new(spec(50.0, 0.85));
+        // Two readings above threshold at quality 0.7: confidence
+        // 1 − 0.3² = 0.91 ≥ 0.85 → fire.
+        let d = m
+            .apply_readings(3, &[(60.0, 0.7), (58.0, 0.7)], 12.0)
+            .expect("event detected");
+        assert_eq!(d.slot, 3);
+        assert!(d.estimate > 50.0);
+        assert!(d.confidence >= 0.85);
+        assert_eq!(m.detections().len(), 1);
+        assert_eq!(m.spent(), 12.0);
+    }
+
+    #[test]
+    fn no_detection_below_threshold() {
+        let mut m = EventMonitor::new(spec(50.0, 0.5));
+        assert!(m.apply_readings(1, &[(40.0, 0.9)], 8.0).is_none());
+        assert!(m.detections().is_empty());
+    }
+
+    #[test]
+    fn no_detection_without_confidence() {
+        let mut m = EventMonitor::new(spec(50.0, 0.95));
+        // One 0.6-quality reading: confidence 0.6 < 0.95 even though the
+        // value is high — redundancy is required.
+        assert!(m.apply_readings(1, &[(80.0, 0.6)], 8.0).is_none());
+        // A second independent reading lifts confidence to 1 − 0.4² = 0.84
+        // — still short.
+        assert!(m.apply_readings(2, &[(80.0, 0.6), (75.0, 0.6)], 8.0).is_none());
+        // Three readings: 1 − 0.4³ = 0.936 — still short of 0.95.
+        assert!(m
+            .apply_readings(3, &[(80.0, 0.6), (75.0, 0.6), (82.0, 0.6)], 8.0)
+            .is_none());
+        // Four: 1 − 0.4⁴ = 0.974 ≥ 0.95 → fire.
+        assert!(m
+            .apply_readings(4, &[(80.0, 0.6), (75.0, 0.6), (82.0, 0.6), (79.0, 0.6)], 8.0)
+            .is_some());
+    }
+
+    #[test]
+    fn estimate_is_quality_weighted() {
+        let mut m = EventMonitor::new(spec(0.0, 0.5));
+        let d = m
+            .apply_readings(0, &[(100.0, 0.9), (0.0, 0.1)], 5.0)
+            .expect("fires above 0");
+        // (100·0.9 + 0·0.1) / 1.0 = 90.
+        assert!((d.estimate - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_query_creation_respects_window() {
+        let m = EventMonitor::new(spec(50.0, 0.9));
+        assert!(m.create_point_query(5, QueryId(9), 0).is_some());
+        assert!(m.create_point_query(11, QueryId(9), 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0, 1)")]
+    fn invalid_confidence_rejected() {
+        let _ = EventMonitor::new(spec(50.0, 1.0));
+    }
+}

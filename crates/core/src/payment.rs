@@ -1,0 +1,136 @@
+//! Payment bookkeeping: who pays whom, with the paper's invariants.
+//!
+//! The aggregator must ensure (§2.1) that "for each selected sensor s, the
+//! total payment from the queries using that sensor is equal to c_s" and
+//! that every answered query keeps positive utility. [`Ledger`] records
+//! per-slot money flows and checks both invariants.
+
+use crate::model::QueryId;
+use std::collections::BTreeMap;
+
+/// A per-slot record of query → sensor payments.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    /// sensor id → total received this slot
+    receipts: BTreeMap<usize, f64>,
+    /// query id → total paid this slot
+    payments: BTreeMap<QueryId, f64>,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `query` pays `amount` for data from `sensor`.
+    ///
+    /// # Panics
+    /// Panics on negative amounts.
+    pub fn record(&mut self, query: QueryId, sensor: usize, amount: f64) {
+        assert!(amount >= 0.0, "negative payment {amount}");
+        *self.receipts.entry(sensor).or_insert(0.0) += amount;
+        *self.payments.entry(query).or_insert(0.0) += amount;
+    }
+
+    /// Records an adjustment (refund) to a query's total, e.g. when a
+    /// region monitor's cost contribution lowers what point queries owe
+    /// (Algorithm 5, step 5). The sensor's receipt is unchanged: the
+    /// contributor covers the difference.
+    pub fn refund(&mut self, query: QueryId, amount: f64) {
+        assert!(amount >= 0.0, "negative refund {amount}");
+        *self.payments.entry(query).or_insert(0.0) -= amount;
+    }
+
+    /// Total received by `sensor`.
+    pub fn sensor_receipt(&self, sensor: usize) -> f64 {
+        self.receipts.get(&sensor).copied().unwrap_or(0.0)
+    }
+
+    /// Total paid by `query`.
+    pub fn query_payment(&self, query: QueryId) -> f64 {
+        self.payments.get(&query).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of all receipts.
+    pub fn total_receipts(&self) -> f64 {
+        self.receipts.values().sum()
+    }
+
+    /// Sum of all payments.
+    pub fn total_payments(&self) -> f64 {
+        self.payments.values().sum()
+    }
+
+    /// Sensors with any receipts, in id order.
+    pub fn paid_sensors(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.receipts.iter().map(|(&s, &a)| (s, a))
+    }
+
+    /// Checks the cost-recovery invariant: each paid sensor's receipts
+    /// match its announced cost within `tol`. `costs[sensor_id]` gives the
+    /// announced cost.
+    pub fn verify_cost_recovery(
+        &self,
+        costs: impl Fn(usize) -> f64,
+        tol: f64,
+    ) -> Result<(), String> {
+        for (&sensor, &got) in &self.receipts {
+            let want = costs(sensor);
+            if (got - want).abs() > tol {
+                return Err(format!(
+                    "sensor {sensor} received {got}, announced cost {want}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut l = Ledger::new();
+        l.record(QueryId(1), 7, 4.0);
+        l.record(QueryId(2), 7, 6.0);
+        l.record(QueryId(1), 8, 1.5);
+        assert_eq!(l.sensor_receipt(7), 10.0);
+        assert_eq!(l.query_payment(QueryId(1)), 5.5);
+        assert_eq!(l.total_receipts(), 11.5);
+        assert_eq!(l.total_payments(), 11.5);
+    }
+
+    #[test]
+    fn refunds_lower_query_totals_only() {
+        let mut l = Ledger::new();
+        l.record(QueryId(1), 7, 10.0);
+        l.refund(QueryId(1), 3.0);
+        assert_eq!(l.query_payment(QueryId(1)), 7.0);
+        assert_eq!(l.sensor_receipt(7), 10.0);
+    }
+
+    #[test]
+    fn cost_recovery_check() {
+        let mut l = Ledger::new();
+        l.record(QueryId(1), 0, 4.0);
+        l.record(QueryId(2), 0, 6.0);
+        assert!(l.verify_cost_recovery(|_| 10.0, 1e-9).is_ok());
+        assert!(l.verify_cost_recovery(|_| 11.0, 1e-9).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative payment")]
+    fn negative_payment_rejected() {
+        Ledger::new().record(QueryId(1), 0, -1.0);
+    }
+
+    #[test]
+    fn unknown_ids_read_as_zero() {
+        let l = Ledger::new();
+        assert_eq!(l.sensor_receipt(42), 0.0);
+        assert_eq!(l.query_payment(QueryId(42)), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Valuation functions: how queries price sensor readings.
+//!
+//! Applications attach a valuation function to every query (§2); the
+//! aggregator treats them as black boxes. This module implements every
+//! example valuation the paper evaluates with, behind the incremental
+//! [`SetValuation`] interface Algorithm 1 consumes.
+
+pub mod aggregate;
+pub mod monitoring;
+pub mod multi_point;
+pub mod point;
+pub mod quality;
+pub mod region;
+
+use crate::model::SensorSnapshot;
+
+/// A query's valuation over *sets* of sensors, consumed incrementally by
+/// the greedy selection of Algorithm 1.
+///
+/// The contract mirrors the paper's black-box `v_q(·)`:
+/// `marginal(s)` must equal `v(S ∪ {s}) − v(S)` for the committed set `S`,
+/// and `commit(s)` moves `S ← S ∪ {s}`. Implementations keep whatever
+/// incremental state makes `marginal` cheap (coverage bitmaps, GP
+/// posteriors); [`FnValuation`] adapts an arbitrary closure for
+/// applications with custom valuations.
+pub trait SetValuation {
+    /// `v_q(S)` for the currently committed set.
+    fn current_value(&self) -> f64;
+
+    /// `v_q(S ∪ {s}) − v_q(S)` without committing.
+    fn marginal(&self, sensor: &SensorSnapshot) -> f64;
+
+    /// Commits `s` into the query's selected set.
+    fn commit(&mut self, sensor: &SensorSnapshot);
+
+    /// Fast pre-filter (the `Q_{l_s}` of Algorithm 1, line 5): sensors for
+    /// which this returns `false` can never have a positive marginal.
+    fn is_relevant(&self, sensor: &SensorSnapshot) -> bool;
+
+    /// Upper bound of the valuation, used for the "average quality of
+    /// results" metric (`v_q(S_q)` divided by this).
+    fn max_value(&self) -> f64;
+}
+
+/// Adapter exposing an arbitrary closure `v(S)` as a [`SetValuation`], for
+/// applications whose valuation has no incremental structure. Keeps the
+/// committed snapshots and recomputes from scratch on every call.
+pub struct FnValuation<F: Fn(&[SensorSnapshot]) -> f64> {
+    f: F,
+    committed: Vec<SensorSnapshot>,
+    max_value: f64,
+}
+
+impl<F: Fn(&[SensorSnapshot]) -> f64> FnValuation<F> {
+    /// Wraps `f`; `max_value` is the application-declared valuation cap.
+    pub fn new(f: F, max_value: f64) -> Self {
+        Self {
+            f,
+            committed: Vec::new(),
+            max_value,
+        }
+    }
+
+    /// The committed sensor set.
+    pub fn committed(&self) -> &[SensorSnapshot] {
+        &self.committed
+    }
+}
+
+impl<F: Fn(&[SensorSnapshot]) -> f64> SetValuation for FnValuation<F> {
+    fn current_value(&self) -> f64 {
+        (self.f)(&self.committed)
+    }
+
+    fn marginal(&self, sensor: &SensorSnapshot) -> f64 {
+        let mut with = self.committed.clone();
+        with.push(*sensor);
+        (self.f)(&with) - (self.f)(&self.committed)
+    }
+
+    fn commit(&mut self, sensor: &SensorSnapshot) {
+        self.committed.push(*sensor);
+    }
+
+    fn is_relevant(&self, _sensor: &SensorSnapshot) -> bool {
+        true
+    }
+
+    fn max_value(&self) -> f64 {
+        self.max_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_geo::Point;
+
+    fn snap(id: usize, x: f64) -> SensorSnapshot {
+        SensorSnapshot {
+            id,
+            loc: Point::new(x, 0.0),
+            cost: 10.0,
+            trust: 1.0,
+            inaccuracy: 0.0,
+        }
+    }
+
+    #[test]
+    fn fn_valuation_marginals_are_consistent() {
+        // v(S) = count of distinct x coordinates, capped at 2.
+        let v = |s: &[SensorSnapshot]| -> f64 {
+            let mut xs: Vec<i64> = s.iter().map(|s| s.loc.x as i64).collect();
+            xs.sort_unstable();
+            xs.dedup();
+            (xs.len() as f64).min(2.0)
+        };
+        let mut val = FnValuation::new(v, 2.0);
+        assert_eq!(val.current_value(), 0.0);
+        assert_eq!(val.marginal(&snap(0, 1.0)), 1.0);
+        val.commit(&snap(0, 1.0));
+        assert_eq!(val.marginal(&snap(1, 1.0)), 0.0); // duplicate x
+        assert_eq!(val.marginal(&snap(1, 2.0)), 1.0);
+        val.commit(&snap(1, 2.0));
+        assert_eq!(val.marginal(&snap(2, 3.0)), 0.0); // cap reached
+        assert_eq!(val.current_value(), 2.0);
+        assert_eq!(val.max_value(), 2.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Point queries as set valuations.
+//!
+//! A single-sensor point query values a *set* of sensors by the best
+//! reading in it (extra sensors add nothing): this is the adapter that
+//! lets Algorithm 1 schedule point queries jointly with multi-sensor
+//! queries in the query mix (Algorithm 5, step 3).
+
+use crate::model::SensorSnapshot;
+use crate::query::PointQuery;
+use crate::valuation::quality::QualityModel;
+use crate::valuation::SetValuation;
+
+/// Incremental best-reading valuation for a [`PointQuery`].
+#[derive(Debug, Clone)]
+pub struct PointValuation {
+    query: PointQuery,
+    quality_model: QualityModel,
+    best_quality: f64,
+    best_sensor: Option<usize>,
+}
+
+impl PointValuation {
+    /// Wraps a point query under the given quality model.
+    pub fn new(query: PointQuery, quality_model: QualityModel) -> Self {
+        Self {
+            query,
+            quality_model,
+            best_quality: 0.0,
+            best_sensor: None,
+        }
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &PointQuery {
+        &self.query
+    }
+
+    /// Quality of the best committed sensor (0 when none).
+    pub fn best_quality(&self) -> f64 {
+        self.best_quality
+    }
+
+    /// Snapshot id of the best committed sensor.
+    pub fn best_sensor(&self) -> Option<usize> {
+        self.best_sensor
+    }
+
+    fn value_of(&self, quality: f64) -> f64 {
+        self.query.value_of_quality(quality)
+    }
+}
+
+impl SetValuation for PointValuation {
+    fn current_value(&self) -> f64 {
+        self.value_of(self.best_quality)
+    }
+
+    fn marginal(&self, sensor: &SensorSnapshot) -> f64 {
+        let q = self.quality_model.quality(sensor, self.query.loc);
+        (self.value_of(q) - self.current_value()).max(0.0)
+    }
+
+    fn commit(&mut self, sensor: &SensorSnapshot) {
+        let q = self.quality_model.quality(sensor, self.query.loc);
+        if self.value_of(q) > self.current_value() {
+            self.best_quality = q;
+            self.best_sensor = Some(sensor.id);
+        }
+    }
+
+    fn is_relevant(&self, sensor: &SensorSnapshot) -> bool {
+        self.quality_model.in_range(sensor, self.query.loc)
+    }
+
+    fn max_value(&self) -> f64 {
+        self.query.max_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::QueryId;
+    use crate::query::QueryOrigin;
+    use ps_geo::Point;
+
+    fn sensor(id: usize, x: f64, trust: f64) -> SensorSnapshot {
+        SensorSnapshot {
+            id,
+            loc: Point::new(x, 0.0),
+            cost: 10.0,
+            trust,
+            inaccuracy: 0.0,
+        }
+    }
+
+    fn valuation() -> PointValuation {
+        PointValuation::new(
+            PointQuery {
+                id: QueryId(0),
+                loc: Point::ORIGIN,
+                budget: 10.0,
+                offset: 0.0,
+                theta_min: 0.2,
+                origin: QueryOrigin::EndUser,
+            },
+            QualityModel::new(5.0),
+        )
+    }
+
+    #[test]
+    fn empty_set_is_worthless() {
+        assert_eq!(valuation().current_value(), 0.0);
+    }
+
+    #[test]
+    fn better_sensor_improves_value() {
+        let mut v = valuation();
+        let far = sensor(0, 3.0, 1.0); // θ = 0.4 → value 4
+        assert!((v.marginal(&far) - 4.0).abs() < 1e-12);
+        v.commit(&far);
+        assert!((v.current_value() - 4.0).abs() < 1e-12);
+        let near = sensor(1, 1.0, 1.0); // θ = 0.8 → value 8
+        assert!((v.marginal(&near) - 4.0).abs() < 1e-12);
+        v.commit(&near);
+        assert!((v.current_value() - 8.0).abs() < 1e-12);
+        assert_eq!(v.best_sensor(), Some(1));
+    }
+
+    #[test]
+    fn worse_sensor_adds_nothing() {
+        let mut v = valuation();
+        v.commit(&sensor(0, 1.0, 1.0));
+        assert_eq!(v.marginal(&sensor(1, 4.0, 1.0)), 0.0);
+        v.commit(&sensor(1, 4.0, 1.0));
+        assert_eq!(v.best_sensor(), Some(0));
+    }
+
+    #[test]
+    fn below_threshold_sensor_is_irrelevant_value() {
+        let mut v = valuation();
+        let junk = sensor(0, 4.5, 1.0); // θ = 0.1 < θ_min
+        assert_eq!(v.marginal(&junk), 0.0);
+        v.commit(&junk);
+        assert_eq!(v.current_value(), 0.0);
+        assert_eq!(v.best_sensor(), None);
+    }
+
+    #[test]
+    fn relevance_matches_range() {
+        let v = valuation();
+        assert!(v.is_relevant(&sensor(0, 4.9, 1.0)));
+        assert!(!v.is_relevant(&sensor(0, 5.1, 1.0)));
+    }
+}

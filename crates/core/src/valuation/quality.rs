@@ -1,0 +1,135 @@
+//! The sensor-reading quality function θ of Eq. 4.
+//!
+//! ```text
+//! θ_q(s, l_q) = (1 − γ_s)(1 − |l_s − l_q| / d_max) τ_s   if |l_s − l_q| ≤ d_max
+//!             = 0                                         otherwise
+//! ```
+//!
+//! Quality decays linearly with distance from the queried location, is
+//! discounted by the sensor's inherent inaccuracy `γ_s`, and scaled by its
+//! trustworthiness `τ_s`.
+
+use crate::model::SensorSnapshot;
+use ps_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// The distance-based quality model shared by all queries in the paper's
+/// experiments (`d_max = 5` for RWM, `10` for RNC).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityModel {
+    /// Maximum distance at which a sensor can serve a queried location.
+    pub d_max: f64,
+}
+
+impl QualityModel {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics when `d_max` is not positive.
+    pub fn new(d_max: f64) -> Self {
+        assert!(d_max > 0.0, "d_max must be positive");
+        Self { d_max }
+    }
+
+    /// Eq. 4: quality of `sensor`'s reading for queried location `lq`.
+    #[inline]
+    pub fn quality(&self, sensor: &SensorSnapshot, lq: Point) -> f64 {
+        let d = sensor.loc.distance(lq);
+        if d > self.d_max {
+            return 0.0;
+        }
+        (1.0 - sensor.inaccuracy) * (1.0 - d / self.d_max) * sensor.trust
+    }
+
+    /// True when `sensor` is within serving range of `lq` (quality may
+    /// still be 0 through trust/inaccuracy).
+    #[inline]
+    pub fn in_range(&self, sensor: &SensorSnapshot, lq: Point) -> bool {
+        sensor.loc.distance_squared(lq) <= self.d_max * self.d_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sensor_at(x: f64, trust: f64, inaccuracy: f64) -> SensorSnapshot {
+        SensorSnapshot {
+            id: 0,
+            loc: Point::new(x, 0.0),
+            cost: 10.0,
+            trust,
+            inaccuracy,
+        }
+    }
+
+    #[test]
+    fn perfect_colocated_sensor_has_quality_one() {
+        let m = QualityModel::new(5.0);
+        let s = sensor_at(0.0, 1.0, 0.0);
+        assert_eq!(m.quality(&s, Point::ORIGIN), 1.0);
+    }
+
+    #[test]
+    fn quality_decays_linearly_with_distance() {
+        let m = QualityModel::new(5.0);
+        let s = sensor_at(2.5, 1.0, 0.0);
+        assert!((m.quality(&s, Point::ORIGIN) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_is_zero() {
+        let m = QualityModel::new(5.0);
+        let s = sensor_at(5.01, 1.0, 0.0);
+        assert_eq!(m.quality(&s, Point::ORIGIN), 0.0);
+        assert!(!m.in_range(&s, Point::ORIGIN));
+    }
+
+    #[test]
+    fn boundary_distance_is_zero_quality_but_in_range() {
+        let m = QualityModel::new(5.0);
+        let s = sensor_at(5.0, 1.0, 0.0);
+        assert_eq!(m.quality(&s, Point::ORIGIN), 0.0);
+        assert!(m.in_range(&s, Point::ORIGIN));
+    }
+
+    #[test]
+    fn inaccuracy_and_trust_discount_multiplicatively() {
+        let m = QualityModel::new(10.0);
+        let s = sensor_at(0.0, 0.5, 0.2);
+        assert!((m.quality(&s, Point::ORIGIN) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "d_max must be positive")]
+    fn zero_dmax_rejected() {
+        let _ = QualityModel::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn quality_is_in_unit_interval(
+            x in -20.0..20.0f64,
+            trust in 0.0..1.0f64,
+            gamma in 0.0..1.0f64,
+        ) {
+            let m = QualityModel::new(5.0);
+            let s = sensor_at(x, trust, gamma);
+            let q = m.quality(&s, Point::ORIGIN);
+            prop_assert!((0.0..=1.0).contains(&q));
+        }
+
+        #[test]
+        fn closer_sensors_are_never_worse(
+            d1 in 0.0..5.0f64,
+            d2 in 0.0..5.0f64,
+        ) {
+            let m = QualityModel::new(5.0);
+            let (near, far) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            let sn = sensor_at(near, 0.9, 0.1);
+            let sf = sensor_at(far, 0.9, 0.1);
+            prop_assert!(m.quality(&sn, Point::ORIGIN) >= m.quality(&sf, Point::ORIGIN) - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Intel-Lab-style spatio-temporal field over a 20×15 grid.
+//!
+//! §4.2 of the paper: "The simulations are performed over a 20×15 region.
+//! … Since the sensors in the Intel Lab deployment are stationary, we
+//! assign the sensor readings to the grids in which they are located.
+//! Then we use a random waypoint model for generating mobility data for
+//! 30 imaginary sensors. The sensor reading which is assigned to a grid is
+//! reported as the data for the imaginary sensor that is located in that
+//! grid."
+//!
+//! The substitute generates the per-grid readings from a Gaussian process
+//! (RBF kernel) so that the spatial-correlation structure the
+//! region-monitoring valuation exploits is present by construction, and
+//! evolves the field over time with an AR(1) recursion so consecutive
+//! slots are coherent.
+
+use ps_geo::{Cell, Grid, Point};
+use ps_gp::kernel::SquaredExponential;
+use ps_gp::sample::FieldSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic Intel-Lab field.
+#[derive(Debug, Clone)]
+pub struct IntelConfig {
+    /// Grid width (20 in the paper).
+    pub width: usize,
+    /// Grid height (15 in the paper).
+    pub height: usize,
+    /// Field mean (e.g. ~22 °C for the temperature readings).
+    pub mean: f64,
+    /// GP kernel for spatial structure of the field.
+    pub kernel: SquaredExponential,
+    /// AR(1) coefficient for temporal evolution, in `[0, 1)`.
+    pub temporal_ar: f64,
+    /// Number of stationary motes providing training readings.
+    pub num_motes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IntelConfig {
+    fn default() -> Self {
+        Self {
+            width: 20,
+            height: 15,
+            mean: 22.0,
+            kernel: SquaredExponential::new(4.0, 3.0),
+            temporal_ar: 0.9,
+            num_motes: 54,
+            seed: 0,
+        }
+    }
+}
+
+/// The generated dataset: per-slot cell values plus mote placement.
+#[derive(Debug, Clone)]
+pub struct IntelFieldDataset {
+    grid: Grid,
+    /// `fields[slot][cell_index]`
+    fields: Vec<Vec<f64>>,
+    motes: Vec<Point>,
+}
+
+impl IntelFieldDataset {
+    /// Generates `num_slots` slots of field data.
+    ///
+    /// # Panics
+    /// Panics when `temporal_ar` is outside `[0, 1)`.
+    pub fn generate(config: &IntelConfig, num_slots: usize) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.temporal_ar),
+            "AR coefficient must be in [0, 1)"
+        );
+        let grid = Grid::new(config.width, config.height);
+        let centers: Vec<Point> = grid.cell_centers().collect();
+        let sampler = FieldSampler::new(&config.kernel, &centers, 0.0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut fields: Vec<Vec<f64>> = Vec::with_capacity(num_slots);
+        let ar = config.temporal_ar;
+        let innov_scale = (1.0 - ar * ar).sqrt();
+        let mut current: Vec<f64> = sampler
+            .sample(&mut rng)
+            .into_iter()
+            .map(|v| v + config.mean)
+            .collect();
+        for _ in 0..num_slots {
+            fields.push(current.clone());
+            let innovation = sampler.sample(&mut rng);
+            for (c, i) in current.iter_mut().zip(innovation) {
+                *c = config.mean + ar * (*c - config.mean) + innov_scale * i;
+            }
+        }
+
+        // Motes: spread quasi-uniformly over distinct cells.
+        let mut cells: Vec<usize> = (0..grid.len()).collect();
+        // Fisher–Yates with the seeded RNG.
+        for i in (1..cells.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            cells.swap(i, j);
+        }
+        let motes: Vec<Point> = cells
+            .into_iter()
+            .take(config.num_motes.min(grid.len()))
+            .map(|idx| grid.cell_at(idx).center())
+            .collect();
+
+        Self {
+            grid,
+            fields,
+            motes,
+        }
+    }
+
+    /// The dataset grid (20×15 in the paper configuration).
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Number of generated slots.
+    pub fn num_slots(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Stationary mote locations.
+    pub fn motes(&self) -> &[Point] {
+        &self.motes
+    }
+
+    /// Field value of a cell at a slot.
+    pub fn value_at_cell(&self, slot: usize, cell: Cell) -> f64 {
+        self.fields[slot][self.grid.index_of(cell)]
+    }
+
+    /// The reading a sensor located at `p` reports: the value assigned to
+    /// the grid cell containing `p` (the paper's grid-assignment rule).
+    /// `None` when `p` lies outside the grid.
+    pub fn reading_at(&self, slot: usize, p: Point) -> Option<f64> {
+        self.grid
+            .cell_containing(p)
+            .map(|c| self.value_at_cell(slot, c))
+    }
+
+    /// Training pairs `(location, reading)` from the motes at `slot` —
+    /// the "fraction of sensor readings" hyperparameters are learned from.
+    pub fn mote_readings(&self, slot: usize) -> Vec<(Point, f64)> {
+        self.motes
+            .iter()
+            .map(|&m| {
+                let v = self
+                    .reading_at(slot, m)
+                    .expect("motes are placed inside the grid");
+                (m, v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let ds = IntelFieldDataset::generate(&IntelConfig::default(), 10);
+        assert_eq!(ds.num_slots(), 10);
+        assert_eq!(ds.grid().width, 20);
+        assert_eq!(ds.grid().height, 15);
+        assert_eq!(ds.motes().len(), 54);
+    }
+
+    #[test]
+    fn motes_are_distinct_cells() {
+        let ds = IntelFieldDataset::generate(&IntelConfig::default(), 1);
+        let mut cells: Vec<_> = ds
+            .motes()
+            .iter()
+            .map(|&m| ds.grid().cell_containing(m).unwrap())
+            .collect();
+        let before = cells.len();
+        cells.sort_by_key(|c| (c.row, c.col));
+        cells.dedup();
+        assert_eq!(cells.len(), before);
+    }
+
+    #[test]
+    fn values_hover_around_mean() {
+        let ds = IntelFieldDataset::generate(&IntelConfig::default(), 30);
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for slot in 0..ds.num_slots() {
+            for cell in ds.grid().cells() {
+                sum += ds.value_at_cell(slot, cell);
+                count += 1;
+            }
+        }
+        let mean = sum / count as f64;
+        assert!((mean - 22.0).abs() < 2.0, "field mean {mean} far from 22");
+    }
+
+    #[test]
+    fn field_is_spatially_smooth() {
+        // Neighbouring cells should differ far less than distant cells on
+        // average (length scale 3 on a 20×15 grid).
+        let ds = IntelFieldDataset::generate(&IntelConfig::default(), 5);
+        let g = ds.grid();
+        let mut near = 0.0;
+        let mut far = 0.0;
+        let mut n = 0usize;
+        for slot in 0..5 {
+            for row in 0..g.height {
+                for col in 0..g.width.saturating_sub(10) {
+                    let a = ds.value_at_cell(slot, Cell::new(col, row));
+                    let b = ds.value_at_cell(slot, Cell::new(col + 1, row));
+                    let c = ds.value_at_cell(slot, Cell::new(col + 10, row));
+                    near += (a - b).abs();
+                    far += (a - c).abs();
+                    n += 1;
+                }
+            }
+        }
+        assert!(near / n as f64 * 1.5 < far / n as f64, "no spatial smoothness");
+    }
+
+    #[test]
+    fn field_is_temporally_coherent() {
+        let ds = IntelFieldDataset::generate(&IntelConfig::default(), 20);
+        let g = ds.grid();
+        let mut step = 0.0;
+        let mut shuffle = 0.0;
+        let mut n = 0usize;
+        for slot in 1..20 {
+            for cell in g.cells() {
+                let now = ds.value_at_cell(slot, cell);
+                let prev = ds.value_at_cell(slot - 1, cell);
+                let distant = ds.value_at_cell((slot + 9) % 20, cell);
+                step += (now - prev).abs();
+                shuffle += (now - distant).abs();
+                n += 1;
+            }
+        }
+        let mean_step = step / n as f64;
+        let mean_shuffle = shuffle / n as f64;
+        assert!(mean_step < mean_shuffle, "no temporal coherence");
+    }
+
+    #[test]
+    fn reading_at_uses_cell_assignment() {
+        let ds = IntelFieldDataset::generate(&IntelConfig::default(), 2);
+        // Any two points in the same cell read identically.
+        let a = ds.reading_at(0, Point::new(3.2, 7.9)).unwrap();
+        let b = ds.reading_at(0, Point::new(3.7, 7.1)).unwrap();
+        assert_eq!(a, b);
+        assert!(ds.reading_at(0, Point::new(-1.0, 5.0)).is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = IntelFieldDataset::generate(&IntelConfig::default(), 5);
+        let b = IntelFieldDataset::generate(&IntelConfig::default(), 5);
+        for slot in 0..5 {
+            for cell in a.grid().cells() {
+                assert_eq!(a.value_at_cell(slot, cell), b.value_at_cell(slot, cell));
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Discrete grids and cell addressing.
+
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A discrete cell of a unit grid. Cell `(col, row)` is the unit square
+/// `[col, col+1] × [row, row+1]` with centre `(col + 0.5, row + 0.5)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cell {
+    /// Column index (x direction).
+    pub col: usize,
+    /// Row index (y direction).
+    pub row: usize,
+}
+
+impl Cell {
+    /// Creates a cell from its column and row.
+    #[inline]
+    pub const fn new(col: usize, row: usize) -> Self {
+        Self { col, row }
+    }
+
+    /// Centre of the cell in continuous coordinates.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(self.col as f64 + 0.5, self.row as f64 + 0.5)
+    }
+}
+
+/// A `width × height` unit grid, the discretized sensing field.
+///
+/// The Intel-Lab-style region-monitoring experiments assign phenomenon
+/// values to grid cells; the Gaussian-process engine indexes cells through
+/// [`Grid::index_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Number of columns.
+    pub width: usize,
+    /// Number of rows.
+    pub height: usize,
+}
+
+impl Grid {
+    /// Creates a grid of the given dimensions.
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        Self { width, height }
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Grids always have at least one cell; provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The bounding rectangle `[0, width] × [0, height]`.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(0.0, 0.0, self.width as f64, self.height as f64)
+    }
+
+    /// Row-major linear index of a cell.
+    ///
+    /// # Panics
+    /// Panics when the cell lies outside the grid.
+    #[inline]
+    pub fn index_of(&self, cell: Cell) -> usize {
+        assert!(
+            cell.col < self.width && cell.row < self.height,
+            "cell {cell:?} outside {}x{} grid",
+            self.width,
+            self.height
+        );
+        cell.row * self.width + cell.col
+    }
+
+    /// Inverse of [`Grid::index_of`].
+    #[inline]
+    pub fn cell_at(&self, index: usize) -> Cell {
+        debug_assert!(index < self.len());
+        Cell::new(index % self.width, index / self.width)
+    }
+
+    /// The cell containing a continuous point, or `None` when the point is
+    /// outside the grid bounds.
+    pub fn cell_containing(&self, p: Point) -> Option<Cell> {
+        if p.x < 0.0 || p.y < 0.0 {
+            return None;
+        }
+        let col = p.x.floor() as usize;
+        let row = p.y.floor() as usize;
+        // Points exactly on the max boundary belong to the last cell.
+        let col = if p.x == self.width as f64 && col == self.width {
+            self.width - 1
+        } else {
+            col
+        };
+        let row = if p.y == self.height as f64 && row == self.height {
+            self.height - 1
+        } else {
+            row
+        };
+        (col < self.width && row < self.height).then_some(Cell::new(col, row))
+    }
+
+    /// Iterator over every cell in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + '_ {
+        let width = self.width;
+        (0..self.len()).map(move |i| Cell::new(i % width, i / width))
+    }
+
+    /// Iterator over the centres of every cell in row-major order.
+    pub fn cell_centers(&self) -> impl Iterator<Item = Point> + '_ {
+        self.cells().map(|c| c.center())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let g = Grid::new(7, 3);
+        for i in 0..g.len() {
+            assert_eq!(g.index_of(g.cell_at(i)), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn index_of_out_of_bounds_panics() {
+        Grid::new(2, 2).index_of(Cell::new(2, 0));
+    }
+
+    #[test]
+    fn cell_containing_interior_point() {
+        let g = Grid::new(10, 10);
+        assert_eq!(g.cell_containing(Point::new(3.7, 8.2)), Some(Cell::new(3, 8)));
+    }
+
+    #[test]
+    fn cell_containing_boundary() {
+        let g = Grid::new(10, 10);
+        assert_eq!(g.cell_containing(Point::new(10.0, 10.0)), Some(Cell::new(9, 9)));
+        assert_eq!(g.cell_containing(Point::new(-0.1, 5.0)), None);
+        assert_eq!(g.cell_containing(Point::new(10.5, 5.0)), None);
+    }
+
+    #[test]
+    fn cells_covers_grid_exactly_once() {
+        let g = Grid::new(4, 5);
+        let cells: Vec<Cell> = g.cells().collect();
+        assert_eq!(cells.len(), 20);
+        let mut seen = std::collections::HashSet::new();
+        for c in cells {
+            assert!(seen.insert(c));
+        }
+    }
+
+    #[test]
+    fn cell_center_is_inside_cell() {
+        let c = Cell::new(3, 4);
+        let center = c.center();
+        assert_eq!(center, Point::new(3.5, 4.5));
+    }
+
+    #[test]
+    fn bounds_area_matches_len() {
+        let g = Grid::new(8, 6);
+        assert_eq!(g.bounds().area(), g.len() as f64);
+    }
+
+    proptest! {
+        #[test]
+        fn cell_containing_roundtrips_center(w in 1usize..50, h in 1usize..50,
+                                             ci in 0usize..2500) {
+            let g = Grid::new(w, h);
+            let idx = ci % g.len();
+            let cell = g.cell_at(idx);
+            prop_assert_eq!(g.cell_containing(cell.center()), Some(cell));
+        }
+    }
+}

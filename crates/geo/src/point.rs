@@ -1,0 +1,153 @@
+//! Continuous 2-D points in grid units.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in continuous grid coordinates.
+///
+/// All distances in the paper (the quality function of Eq. 4, sensing
+/// ranges, coverage radii) are Euclidean distances between such points.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate, in grid units.
+    pub x: f64,
+    /// Vertical coordinate, in grid units.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the `sqrt` when only
+    /// comparisons against a squared radius are needed).
+    #[inline]
+    pub fn distance_squared(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    #[inline]
+    pub fn manhattan_distance(&self, other: Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Linear interpolation between `self` (at `t = 0`) and `other`
+    /// (at `t = 1`). `t` outside `[0, 1]` extrapolates.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Componentwise addition.
+    #[inline]
+    pub fn offset(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Clamps both coordinates into `[min, max]` boxes given per axis.
+    #[inline]
+    pub fn clamp(&self, min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Point {
+        Point::new(self.x.clamp(min_x, max_x), self.y.clamp(min_y, max_y))
+    }
+
+    /// True when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_zero_to_self() {
+        let p = Point::new(3.5, -2.0);
+        assert_eq!(p.distance(p), 0.0);
+    }
+
+    #[test]
+    fn distance_345_triangle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_squared(b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_distance_is_l1() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, -1.0);
+        assert!((a.manhattan_distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let mid = a.lerp(b, 0.5);
+        assert!((mid.x - 1.0).abs() < 1e-12 && (mid.y - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_restricts_coordinates() {
+        let p = Point::new(-3.0, 99.0);
+        let c = p.clamp(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(c, Point::new(0.0, 10.0));
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+                                 bx in -100.0..100.0f64, by in -100.0..100.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn triangle_inequality(ax in -50.0..50.0f64, ay in -50.0..50.0f64,
+                               bx in -50.0..50.0f64, by in -50.0..50.0f64,
+                               cx in -50.0..50.0f64, cy in -50.0..50.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-9);
+        }
+
+        #[test]
+        fn euclidean_below_manhattan(ax in -50.0..50.0f64, ay in -50.0..50.0f64,
+                                     bx in -50.0..50.0f64, by in -50.0..50.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!(a.distance(b) <= a.manhattan_distance(b) + 1e-9);
+        }
+    }
+}

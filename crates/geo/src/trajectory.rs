@@ -1,0 +1,204 @@
+//! Polyline trajectories for trajectory queries (§2.2.3 of the paper).
+//!
+//! A query over a trajectory asks for the (aggregate) value of a
+//! phenomenon along a path, e.g. "the maximum CO₂ level on my commute".
+//! The paper treats it as a spatial aggregate over the set of locations
+//! near the path; [`Trajectory`] supplies the geometry for that: length,
+//! sampling of waypoints, and distance from a sensor to the path.
+
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// An ordered polyline of waypoints in grid coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Builds a trajectory from waypoints.
+    ///
+    /// # Panics
+    /// Panics when fewer than two waypoints are supplied: a trajectory is a
+    /// path, not a point.
+    pub fn new(points: Vec<Point>) -> Self {
+        assert!(points.len() >= 2, "a trajectory needs at least 2 waypoints");
+        Self { points }
+    }
+
+    /// The waypoints in order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Total polyline length.
+    pub fn length(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum()
+    }
+
+    /// The point at arc-length parameter `t ∈ [0, 1]` along the polyline.
+    pub fn point_at(&self, t: f64) -> Point {
+        let t = t.clamp(0.0, 1.0);
+        let total = self.length();
+        if total == 0.0 {
+            return self.points[0];
+        }
+        let mut remaining = t * total;
+        for w in self.points.windows(2) {
+            let seg = w[0].distance(w[1]);
+            if remaining <= seg || seg == 0.0 {
+                if seg == 0.0 {
+                    continue;
+                }
+                return w[0].lerp(w[1], remaining / seg);
+            }
+            remaining -= seg;
+        }
+        *self.points.last().expect("non-empty by construction")
+    }
+
+    /// `n` points evenly spaced along the trajectory (including both
+    /// endpoints when `n >= 2`). Used to discretize a trajectory query
+    /// into a set of sampling locations.
+    pub fn sample_evenly(&self, n: usize) -> Vec<Point> {
+        match n {
+            0 => Vec::new(),
+            1 => vec![self.point_at(0.5)],
+            _ => (0..n)
+                .map(|i| self.point_at(i as f64 / (n - 1) as f64))
+                .collect(),
+        }
+    }
+
+    /// Minimum Euclidean distance from `p` to the polyline.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| segment_distance(w[0], w[1], p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Axis-aligned bounding box of the trajectory.
+    pub fn bounding_box(&self) -> Rect {
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for p in &self.points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        Rect::new(min_x, min_y, max_x, max_y)
+    }
+
+    /// The corridor rectangle: bounding box inflated by `radius` on every
+    /// side. Sensors inside the corridor are candidates for answering a
+    /// trajectory query with sensing range `radius`.
+    pub fn corridor(&self, radius: f64) -> Rect {
+        let b = self.bounding_box();
+        Rect::new(
+            b.min_x - radius,
+            b.min_y - radius,
+            b.max_x + radius,
+            b.max_y + radius,
+        )
+    }
+}
+
+/// Distance from point `p` to segment `ab`.
+fn segment_distance(a: Point, b: Point, p: Point) -> f64 {
+    let len2 = a.distance_squared(b);
+    if len2 == 0.0 {
+        return a.distance(p);
+    }
+    let t = (((p.x - a.x) * (b.x - a.x)) + ((p.y - a.y) * (b.y - a.y))) / len2;
+    let t = t.clamp(0.0, 1.0);
+    p.distance(a.lerp(b, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn l_shape() -> Trajectory {
+        Trajectory::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 3.0),
+        ])
+    }
+
+    #[test]
+    fn length_of_l_shape() {
+        assert!((l_shape().length() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_point_trajectory_rejected() {
+        let _ = Trajectory::new(vec![Point::ORIGIN]);
+    }
+
+    #[test]
+    fn point_at_traverses_segments() {
+        let t = l_shape();
+        assert_eq!(t.point_at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(t.point_at(1.0), Point::new(4.0, 3.0));
+        // 4/7 of the way is exactly the corner.
+        let corner = t.point_at(4.0 / 7.0);
+        assert!(corner.distance(Point::new(4.0, 0.0)) < 1e-9);
+    }
+
+    #[test]
+    fn sample_evenly_endpoints() {
+        let t = l_shape();
+        let pts = t.sample_evenly(3);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], Point::new(0.0, 0.0));
+        assert_eq!(pts[2], Point::new(4.0, 3.0));
+    }
+
+    #[test]
+    fn sample_zero_and_one() {
+        let t = l_shape();
+        assert!(t.sample_evenly(0).is_empty());
+        assert_eq!(t.sample_evenly(1).len(), 1);
+    }
+
+    #[test]
+    fn distance_to_point_on_path_is_zero() {
+        let t = l_shape();
+        assert!(t.distance_to_point(Point::new(2.0, 0.0)) < 1e-12);
+        assert!((t.distance_to_point(Point::new(2.0, 2.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corridor_inflates_bounding_box() {
+        let t = l_shape();
+        let c = t.corridor(1.0);
+        assert_eq!(c, Rect::new(-1.0, -1.0, 5.0, 4.0));
+    }
+
+    proptest! {
+        #[test]
+        fn sampled_points_lie_near_path(
+            xs in proptest::collection::vec(0.0..20.0f64, 2..6),
+            ys in proptest::collection::vec(0.0..20.0f64, 2..6),
+        ) {
+            let n = xs.len().min(ys.len());
+            let pts: Vec<Point> = (0..n).map(|i| Point::new(xs[i], ys[i])).collect();
+            if pts.len() >= 2 {
+                let t = Trajectory::new(pts);
+                for p in t.sample_evenly(9) {
+                    prop_assert!(t.distance_to_point(p) < 1e-6);
+                }
+            }
+        }
+    }
+}

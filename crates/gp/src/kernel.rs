@@ -1,0 +1,207 @@
+//! Covariance kernels over grid points.
+
+use ps_geo::Point;
+
+/// A stationary covariance kernel `k(a, b)`.
+pub trait Kernel {
+    /// Covariance between the phenomenon at `a` and at `b`.
+    fn eval(&self, a: Point, b: Point) -> f64;
+
+    /// Prior variance at a point, `k(p, p)`.
+    fn variance_at(&self, p: Point) -> f64 {
+        self.eval(p, p)
+    }
+}
+
+/// Squared-exponential (RBF) kernel
+/// `k(a,b) = σ² exp(−‖a−b‖² / (2ℓ²))` — infinitely smooth fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SquaredExponential {
+    /// Signal variance σ².
+    pub variance: f64,
+    /// Length scale ℓ in grid units.
+    pub length_scale: f64,
+}
+
+impl SquaredExponential {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    /// Panics when either parameter is non-positive.
+    pub fn new(variance: f64, length_scale: f64) -> Self {
+        assert!(variance > 0.0, "variance must be positive");
+        assert!(length_scale > 0.0, "length scale must be positive");
+        Self {
+            variance,
+            length_scale,
+        }
+    }
+}
+
+impl Kernel for SquaredExponential {
+    #[inline]
+    fn eval(&self, a: Point, b: Point) -> f64 {
+        let d2 = a.distance_squared(b);
+        self.variance * (-d2 / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+}
+
+/// Matérn-3/2 kernel
+/// `k(a,b) = σ² (1 + √3 d/ℓ) exp(−√3 d/ℓ)` — once-differentiable fields,
+/// the usual middle ground between the rough exponential and the
+/// infinitely smooth RBF for environmental phenomena.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Matern32 {
+    /// Signal variance σ².
+    pub variance: f64,
+    /// Length scale ℓ in grid units.
+    pub length_scale: f64,
+}
+
+impl Matern32 {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    /// Panics when either parameter is non-positive.
+    pub fn new(variance: f64, length_scale: f64) -> Self {
+        assert!(variance > 0.0, "variance must be positive");
+        assert!(length_scale > 0.0, "length scale must be positive");
+        Self {
+            variance,
+            length_scale,
+        }
+    }
+}
+
+impl Kernel for Matern32 {
+    #[inline]
+    fn eval(&self, a: Point, b: Point) -> f64 {
+        let r = 3f64.sqrt() * a.distance(b) / self.length_scale;
+        self.variance * (1.0 + r) * (-r).exp()
+    }
+}
+
+/// Exponential (Ornstein–Uhlenbeck) kernel
+/// `k(a,b) = σ² exp(−‖a−b‖ / ℓ)` — rough, Markovian fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Signal variance σ².
+    pub variance: f64,
+    /// Length scale ℓ in grid units.
+    pub length_scale: f64,
+}
+
+impl Exponential {
+    /// Creates the kernel.
+    ///
+    /// # Panics
+    /// Panics when either parameter is non-positive.
+    pub fn new(variance: f64, length_scale: f64) -> Self {
+        assert!(variance > 0.0, "variance must be positive");
+        assert!(length_scale > 0.0, "length scale must be positive");
+        Self {
+            variance,
+            length_scale,
+        }
+    }
+}
+
+impl Kernel for Exponential {
+    #[inline]
+    fn eval(&self, a: Point, b: Point) -> f64 {
+        let d = a.distance(b);
+        self.variance * (-d / self.length_scale).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rbf_at_zero_distance_is_variance() {
+        let k = SquaredExponential::new(2.5, 3.0);
+        let p = Point::new(1.0, 1.0);
+        assert_eq!(k.eval(p, p), 2.5);
+        assert_eq!(k.variance_at(p), 2.5);
+    }
+
+    #[test]
+    fn rbf_decays_with_distance() {
+        let k = SquaredExponential::new(1.0, 2.0);
+        let a = Point::ORIGIN;
+        let near = k.eval(a, Point::new(1.0, 0.0));
+        let far = k.eval(a, Point::new(5.0, 0.0));
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn rbf_known_value() {
+        let k = SquaredExponential::new(1.0, 1.0);
+        let v = k.eval(Point::ORIGIN, Point::new(1.0, 0.0));
+        assert!((v - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_known_value() {
+        let k = Exponential::new(1.0, 2.0);
+        let v = k.eval(Point::ORIGIN, Point::new(2.0, 0.0));
+        assert!((v - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matern32_known_value_and_ordering() {
+        let k = Matern32::new(1.0, 1.0);
+        let p = Point::new(1.0, 0.0);
+        let r = 3f64.sqrt();
+        let want = (1.0 + r) * (-r).exp();
+        assert!((k.eval(Point::ORIGIN, p) - want).abs() < 1e-12);
+        // Smoothness ordering at matched scales: RBF ≥ Matérn-3/2 ≥ OU at
+        // moderate distances.
+        let rbf = SquaredExponential::new(1.0, 1.0);
+        let ou = Exponential::new(1.0, 1.0);
+        let d = Point::new(0.8, 0.0);
+        assert!(rbf.eval(Point::ORIGIN, d) > k.eval(Point::ORIGIN, d));
+        assert!(k.eval(Point::ORIGIN, d) > ou.eval(Point::ORIGIN, d));
+    }
+
+    #[test]
+    fn matern32_is_psd_enough_to_factor() {
+        // A Matérn kernel matrix over a grid must Cholesky-factor with
+        // noise — the property the posterior engine relies on.
+        use ps_linalg::{Cholesky, Matrix};
+        let k = Matern32::new(2.0, 1.5);
+        let pts: Vec<Point> = (0..16)
+            .map(|i| Point::new((i % 4) as f64, (i / 4) as f64))
+            .collect();
+        let mut m = Matrix::from_fn(16, 16, |i, j| k.eval(pts[i], pts[j]));
+        m.add_diagonal(1e-6);
+        assert!(Cholesky::factor(&m).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "length scale")]
+    fn zero_length_scale_rejected() {
+        let _ = SquaredExponential::new(1.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn kernels_are_symmetric_and_bounded(
+            ax in -10.0..10.0f64, ay in -10.0..10.0f64,
+            bx in -10.0..10.0f64, by in -10.0..10.0f64,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let rbf = SquaredExponential::new(1.7, 2.3);
+            let exp = Exponential::new(1.7, 2.3);
+            prop_assert!((rbf.eval(a, b) - rbf.eval(b, a)).abs() < 1e-12);
+            prop_assert!((exp.eval(a, b) - exp.eval(b, a)).abs() < 1e-12);
+            prop_assert!(rbf.eval(a, b) <= 1.7 + 1e-12);
+            prop_assert!(rbf.eval(a, b) >= 0.0);
+            prop_assert!(exp.eval(a, b) <= 1.7 + 1e-12);
+        }
+    }
+}

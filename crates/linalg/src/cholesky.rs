@@ -1,0 +1,258 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Kernel (Gram) matrices of Gaussian processes are symmetric positive
+//! semi-definite; with observation noise added to the diagonal they become
+//! positive definite and admit a Cholesky factorization `A = L Lᵀ`, the
+//! backbone of every GP computation in `ps-gp`.
+
+use crate::matrix::Matrix;
+use crate::solve::LinalgError;
+
+/// Lower-triangular Cholesky factor `L` of a symmetric positive-definite
+/// matrix `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] when a non-positive
+    /// pivot is encountered (within a relative tolerance), which for kernel
+    /// matrices signals that jitter must be added to the diagonal — see
+    /// [`Cholesky::factor_with_jitter`].
+    pub fn factor(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        // Scale-aware pivot tolerance: pivots smaller than this relative to
+        // the largest diagonal entry are treated as numerically zero.
+        let max_diag = (0..n).map(|i| a[(i, i)].abs()).fold(0.0, f64::max);
+        let tol = 1e-12 * max_diag.max(1e-300);
+        for j in 0..n {
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= tol || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let ljj = d.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / ljj;
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// Factorizes `a + jitter·I`, growing the jitter geometrically (×10)
+    /// from `initial_jitter` until the factorization succeeds or
+    /// `max_tries` is exhausted.
+    ///
+    /// This is the standard defence against numerically semi-definite
+    /// kernel matrices (e.g. two sensors at the same location).
+    pub fn factor_with_jitter(
+        a: &Matrix,
+        initial_jitter: f64,
+        max_tries: usize,
+    ) -> Result<(Self, f64), LinalgError> {
+        match Self::factor(a) {
+            Ok(c) => return Ok((c, 0.0)),
+            Err(LinalgError::NotSquare { rows, cols }) => {
+                return Err(LinalgError::NotSquare { rows, cols })
+            }
+            Err(_) => {}
+        }
+        let mut jitter = initial_jitter;
+        for _ in 0..max_tries {
+            let mut padded = a.clone();
+            padded.add_diagonal(jitter);
+            if let Ok(c) = Self::factor(&padded) {
+                return Ok((c, jitter));
+            }
+            jitter *= 10.0;
+        }
+        Err(LinalgError::NotPositiveDefinite { pivot: 0 })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` via forward/back substitution.
+    ///
+    /// # Panics
+    /// Panics when `b.len()` differs from the matrix dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut y = self.forward_substitute(b);
+        self.back_substitute_in_place(&mut y);
+        y
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    #[allow(clippy::needless_range_loop)] // parallel row/rhs indexing
+    pub fn forward_substitute(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            let row = self.l.row(i);
+            for k in 0..i {
+                s -= row[k] * y[k];
+            }
+            y[i] = s / row[i];
+        }
+        y
+    }
+
+    /// Solves `Lᵀ x = y` in place (back substitution).
+    #[allow(clippy::needless_range_loop)] // k indexes both L and y
+    pub fn back_substitute_in_place(&self, y: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(y.len(), n, "rhs length mismatch");
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+    }
+
+    /// Log-determinant of `A`: `2 Σ log L_ii`. Used by GP marginal
+    /// likelihood during hyperparameter fitting.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Reconstructs `A = L Lᵀ` (mainly for tests).
+    pub fn reconstruct(&self) -> Matrix {
+        self.l.matmul(&self.l.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd_3x3() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 2.0, 0.6],
+            &[2.0, 5.0, 1.0],
+            &[0.6, 1.0, 3.0],
+        ])
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd_3x3();
+        let c = Cholesky::factor(&a).unwrap();
+        assert!(c.reconstruct().max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn factor_of_identity_is_identity() {
+        let c = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        assert!(c.l().max_abs_diff(&Matrix::identity(4)) < 1e-15);
+        assert_eq!(c.log_det(), 0.0);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd_3x3();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let c = Cholesky::factor(&a).unwrap();
+        let x = c.solve(&b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite_matrix() {
+        // Rank-1 PSD matrix: vvᵀ with v = (1, 1).
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let (c, jitter) = Cholesky::factor_with_jitter(&a, 1e-10, 20).unwrap();
+        assert!(jitter > 0.0);
+        let mut target = a.clone();
+        target.add_diagonal(jitter);
+        assert!(c.reconstruct().max_abs_diff(&target) < 1e-9);
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det(diag(4, 9)) = 36.
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let c = Cholesky::factor(&a).unwrap();
+        assert!((c.log_det() - 36.0f64.ln()).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// Random Gram matrices B·Bᵀ + εI are SPD; factor + solve must
+        /// reproduce the right-hand side.
+        #[test]
+        fn factor_solve_roundtrip(
+            data in proptest::collection::vec(-2.0..2.0f64, 16),
+            rhs in proptest::collection::vec(-3.0..3.0f64, 4),
+        ) {
+            let b = Matrix::from_vec(4, 4, data);
+            let mut a = b.matmul(&b.transpose());
+            a.add_diagonal(0.5);
+            let c = Cholesky::factor(&a).unwrap();
+            let x = c.solve(&rhs);
+            let back = a.matvec(&x);
+            for (got, want) in back.iter().zip(&rhs) {
+                prop_assert!((got - want).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn reconstruction_error_is_tiny(
+            data in proptest::collection::vec(-2.0..2.0f64, 25),
+        ) {
+            let b = Matrix::from_vec(5, 5, data);
+            let mut a = b.matmul(&b.transpose());
+            a.add_diagonal(1.0);
+            let c = Cholesky::factor(&a).unwrap();
+            prop_assert!(c.reconstruct().max_abs_diff(&a) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Small dense linear algebra for the participatory-sensing workspace.
+//!
+//! The Gaussian-process engine (`ps-gp`) and the regression module
+//! (`ps-stats`) need exactly three things: a dense matrix type, a Cholesky
+//! factorization for symmetric positive (semi-)definite kernel matrices,
+//! and linear solves. The offline crate set has no linear-algebra crate, so
+//! this substrate implements them from scratch with careful tests.
+//!
+//! Matrices are row-major `Vec<f64>` with checked indexing in debug builds.
+//! Problem sizes in this workspace are modest (≤ a few hundred rows), so
+//! cache-blocking and SIMD are deliberately out of scope; algorithmic
+//! clarity and numerical robustness (pivoting, jitter) are in scope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod matrix;
+pub mod solve;
+
+pub use cholesky::Cholesky;
+pub use matrix::{dot, Matrix};
+pub use solve::{lu_solve, solve_spd, LinalgError};

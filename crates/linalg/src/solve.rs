@@ -1,0 +1,179 @@
+//! Linear solves: SPD via Cholesky, general square via pivoted LU.
+
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// Errors from factorizations and solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The operation requires a square matrix.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// Cholesky pivot `pivot` was non-positive: the matrix is not positive
+    /// definite (or is numerically singular).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// LU elimination found no usable pivot: the matrix is singular.
+    Singular {
+        /// Column at which elimination broke down.
+        column: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix is {rows}x{cols}, expected square")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { column } => {
+                write!(f, "matrix is singular (no pivot in column {column})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solves `A x = b` for symmetric positive-definite `A`, adding jitter if
+/// `A` turns out to be only semi-definite.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let (chol, _jitter) = Cholesky::factor_with_jitter(a, 1e-10, 12)?;
+    Ok(chol.solve(b))
+}
+
+/// Solves `A x = b` for a general square matrix via Gaussian elimination
+/// with partial pivoting.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut m = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivoting: bring the largest remaining entry up.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m[(r, col)].abs()))
+            .fold((col, 0.0), |acc, cur| if cur.1 > acc.1 { cur } else { acc });
+        if pivot_val < 1e-300 {
+            return Err(LinalgError::Singular { column: col });
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot_row, c)];
+                m[(pivot_row, c)] = tmp;
+            }
+            x.swap(col, pivot_row);
+        }
+        let pivot = m[(col, col)];
+        for r in (col + 1)..n {
+            let factor = m[(r, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            m[(r, col)] = 0.0;
+            for c in (col + 1)..n {
+                let v = m[(col, c)];
+                m[(r, c)] -= factor * v;
+            }
+            x[r] -= factor * x[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut s = x[col];
+        for c in (col + 1)..n {
+            s -= m[(col, c)] * x[c];
+        }
+        x[col] = s / m[(col, col)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lu_solves_known_system() {
+        // x + y = 3 ; 2x - y = 0  →  x = 1, y = 2.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, -1.0]]);
+        let x = lu_solve(&a, &[3.0, 0.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Zero in the (0,0) slot forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = lu_solve(&a, &[5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            lu_solve(&a, &[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_spd_agrees_with_lu() {
+        let b = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let rhs = vec![1.0, 2.0, 3.0];
+        let x1 = solve_spd(&b, &rhs).unwrap();
+        let x2 = lu_solve(&b, &rhs).unwrap();
+        for (a, c) in x1.iter().zip(&x2) {
+            assert!((a - c).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = LinalgError::Singular { column: 3 };
+        assert!(e.to_string().contains("singular"));
+        let e = LinalgError::NotSquare { rows: 2, cols: 5 };
+        assert!(e.to_string().contains("2x5"));
+    }
+
+    proptest! {
+        #[test]
+        fn lu_roundtrip_on_random_wellconditioned(
+            data in proptest::collection::vec(-2.0..2.0f64, 16),
+            rhs in proptest::collection::vec(-3.0..3.0f64, 4),
+        ) {
+            // Diagonally dominate to guarantee invertibility.
+            let mut a = Matrix::from_vec(4, 4, data);
+            for i in 0..4 {
+                let row_sum: f64 = (0..4).map(|j| a[(i, j)].abs()).sum();
+                a[(i, i)] += row_sum + 1.0;
+            }
+            let x = lu_solve(&a, &rhs).unwrap();
+            let back = a.matvec(&x);
+            for (got, want) in back.iter().zip(&rhs) {
+                prop_assert!((got - want).abs() < 1e-7);
+            }
+        }
+    }
+}

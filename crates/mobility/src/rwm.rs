@@ -1,0 +1,193 @@
+//! Random-waypoint mobility, exactly as §4.2 of the paper specifies:
+//! "each sensor moves from its current location with a speed randomly
+//! selected between zero and a sensor-specific maximum speed. The
+//! direction of the movement is either up, down, left, or right, and is
+//! randomly selected. The movements are limited to a region of 80×80
+//! grids. Upon initialization the maximum speed of each sensor is set
+//! randomly to 4 or 5, which are spread randomly in the region."
+
+use crate::trace::{MobilityModel, MobilityTrace};
+use ps_geo::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the random-waypoint model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomWaypoint {
+    /// World width in grid units (80 in the paper).
+    pub width: f64,
+    /// World height in grid units (80 in the paper).
+    pub height: f64,
+    /// Number of agents (200 by default in the paper's RWM experiments).
+    pub num_agents: usize,
+    /// Per-agent maximum speed is drawn uniformly from this list
+    /// (`[4.0, 5.0]` in the paper).
+    pub max_speed_choices: Vec<f64>,
+    /// RNG seed; traces are deterministic given the seed.
+    pub seed: u64,
+}
+
+impl RandomWaypoint {
+    /// The paper's RWM configuration: 80×80 world, 200 agents, speeds 4–5.
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            width: 80.0,
+            height: 80.0,
+            num_agents: 200,
+            max_speed_choices: vec![4.0, 5.0],
+            seed,
+        }
+    }
+
+    /// The world rectangle.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(0.0, 0.0, self.width, self.height)
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn generate(&self, num_slots: usize) -> MobilityTrace {
+        assert!(
+            !self.max_speed_choices.is_empty(),
+            "need at least one max-speed choice"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Per-agent state.
+        let mut pos: Vec<Point> = (0..self.num_agents)
+            .map(|_| {
+                Point::new(
+                    rng.gen_range(0.0..self.width),
+                    rng.gen_range(0.0..self.height),
+                )
+            })
+            .collect();
+        let max_speed: Vec<f64> = (0..self.num_agents)
+            .map(|_| self.max_speed_choices[rng.gen_range(0..self.max_speed_choices.len())])
+            .collect();
+
+        let mut positions = Vec::with_capacity(num_slots);
+        for _slot in 0..num_slots {
+            positions.push(pos.iter().map(|&p| Some(p)).collect::<Vec<_>>());
+            for (p, &vmax) in pos.iter_mut().zip(&max_speed) {
+                let speed = rng.gen_range(0.0..=vmax);
+                let (dx, dy) = match rng.gen_range(0..4u8) {
+                    0 => (speed, 0.0),
+                    1 => (-speed, 0.0),
+                    2 => (0.0, speed),
+                    _ => (0.0, -speed),
+                };
+                *p = p
+                    .offset(dx, dy)
+                    .clamp(0.0, 0.0, self.width, self.height);
+            }
+        }
+        MobilityTrace::new(positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_requested_shape() {
+        let model = RandomWaypoint::paper_default(1);
+        let trace = model.generate(10);
+        assert_eq!(trace.num_slots(), 10);
+        assert_eq!(trace.num_agents(), 200);
+    }
+
+    #[test]
+    fn agents_stay_in_bounds() {
+        let model = RandomWaypoint::paper_default(2);
+        let trace = model.generate(50);
+        let bounds = model.bounds();
+        for slot in 0..trace.num_slots() {
+            for agent in 0..trace.num_agents() {
+                let p = trace.position(slot, agent).expect("RWM agents always present");
+                assert!(bounds.contains(p), "agent {agent} escaped at slot {slot}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn agents_actually_move() {
+        let model = RandomWaypoint::paper_default(3);
+        let trace = model.generate(5);
+        let moved = (0..trace.num_agents())
+            .filter(|&a| trace.position(0, a) != trace.position(4, a))
+            .count();
+        assert!(moved > 150, "only {moved}/200 agents moved");
+    }
+
+    #[test]
+    fn per_slot_displacement_bounded_by_max_speed() {
+        let model = RandomWaypoint::paper_default(4);
+        let trace = model.generate(20);
+        for slot in 1..trace.num_slots() {
+            for agent in 0..trace.num_agents() {
+                let a = trace.position(slot - 1, agent).unwrap();
+                let b = trace.position(slot, agent).unwrap();
+                assert!(
+                    a.distance(b) <= 5.0 + 1e-9,
+                    "agent {agent} jumped {} at slot {slot}",
+                    a.distance(b)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn movement_is_axis_aligned() {
+        let model = RandomWaypoint::paper_default(5);
+        let trace = model.generate(10);
+        for slot in 1..trace.num_slots() {
+            for agent in 0..trace.num_agents() {
+                let a = trace.position(slot - 1, agent).unwrap();
+                let b = trace.position(slot, agent).unwrap();
+                let dx = (a.x - b.x).abs();
+                let dy = (a.y - b.y).abs();
+                assert!(
+                    dx < 1e-9 || dy < 1e-9,
+                    "diagonal move for agent {agent} at slot {slot}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_trace() {
+        let a = RandomWaypoint::paper_default(99).generate(10);
+        let b = RandomWaypoint::paper_default(99).generate(10);
+        for slot in 0..10 {
+            for agent in 0..a.num_agents() {
+                assert_eq!(a.position(slot, agent), b.position(slot, agent));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = RandomWaypoint::paper_default(1).generate(3);
+        let b = RandomWaypoint::paper_default(2).generate(3);
+        let same = (0..a.num_agents())
+            .filter(|&ag| a.position(0, ag) == b.position(0, ag))
+            .count();
+        assert!(same < 5, "{same} identical initial positions across seeds");
+    }
+
+    #[test]
+    fn hotspot_occupancy_is_proportional_to_area() {
+        // The paper's working region is the central 50×50 of 80×80;
+        // uniform-ish agents should put roughly (50/80)² = 39 % inside.
+        let model = RandomWaypoint::paper_default(7);
+        let trace = model.generate(50);
+        let hotspot = Rect::new(15.0, 15.0, 65.0, 65.0);
+        let occ = trace.mean_occupancy(&hotspot) / model.num_agents as f64;
+        assert!(
+            (0.25..0.60).contains(&occ),
+            "hotspot occupancy fraction {occ} implausible"
+        );
+    }
+}

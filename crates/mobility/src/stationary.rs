@@ -1,0 +1,51 @@
+//! Stationary deployments (Intel-Lab-style motes).
+
+use crate::trace::{MobilityModel, MobilityTrace};
+use ps_geo::Point;
+use serde::{Deserialize, Serialize};
+
+/// A set of sensors that never move — the Intel-Lab motes whose readings
+/// seed the region-monitoring ground truth (§4.2, §4.6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StationaryModel {
+    /// Fixed sensor positions.
+    pub positions: Vec<Point>,
+}
+
+impl StationaryModel {
+    /// Creates a stationary deployment.
+    pub fn new(positions: Vec<Point>) -> Self {
+        Self { positions }
+    }
+}
+
+impl MobilityModel for StationaryModel {
+    fn generate(&self, num_slots: usize) -> MobilityTrace {
+        let row: Vec<Option<Point>> = self.positions.iter().map(|&p| Some(p)).collect();
+        MobilityTrace::new(vec![row; num_slots])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_never_change() {
+        let model = StationaryModel::new(vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+        let trace = model.generate(10);
+        assert_eq!(trace.num_slots(), 10);
+        assert_eq!(trace.num_agents(), 2);
+        for slot in 0..10 {
+            assert_eq!(trace.position(slot, 0), Some(Point::new(1.0, 2.0)));
+            assert_eq!(trace.position(slot, 1), Some(Point::new(3.0, 4.0)));
+        }
+    }
+
+    #[test]
+    fn empty_deployment_is_fine() {
+        let trace = StationaryModel::new(vec![]).generate(3);
+        assert_eq!(trace.num_agents(), 0);
+        assert_eq!(trace.num_slots(), 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Mobility traces: per-slot agent positions.
+
+use ps_geo::{Point, Rect};
+
+/// A generated mobility trace: `positions[slot][agent]` is the agent's
+/// location during that time slot, or `None` when the agent is absent
+/// (not yet arrived, departed, or outside the simulated world).
+#[derive(Debug, Clone)]
+pub struct MobilityTrace {
+    num_agents: usize,
+    positions: Vec<Vec<Option<Point>>>,
+}
+
+impl MobilityTrace {
+    /// Builds a trace from a slot-major position table.
+    ///
+    /// # Panics
+    /// Panics when rows have inconsistent agent counts.
+    pub fn new(positions: Vec<Vec<Option<Point>>>) -> Self {
+        let num_agents = positions.first().map_or(0, Vec::len);
+        assert!(
+            positions.iter().all(|row| row.len() == num_agents),
+            "inconsistent agent count across slots"
+        );
+        Self {
+            num_agents,
+            positions,
+        }
+    }
+
+    /// Number of time slots.
+    pub fn num_slots(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of agents.
+    pub fn num_agents(&self) -> usize {
+        self.num_agents
+    }
+
+    /// Position of `agent` during `slot` (`None` when absent).
+    ///
+    /// # Panics
+    /// Panics when `slot` or `agent` is out of range.
+    pub fn position(&self, slot: usize, agent: usize) -> Option<Point> {
+        self.positions[slot][agent]
+    }
+
+    /// Agents present inside `region` during `slot`, with their positions.
+    pub fn agents_in<'a>(
+        &'a self,
+        slot: usize,
+        region: &'a Rect,
+    ) -> impl Iterator<Item = (usize, Point)> + 'a {
+        self.positions[slot]
+            .iter()
+            .enumerate()
+            .filter_map(move |(agent, pos)| {
+                pos.filter(|p| region.contains(*p)).map(|p| (agent, p))
+            })
+    }
+
+    /// Number of agents present inside `region` during `slot`.
+    pub fn count_in(&self, slot: usize, region: &Rect) -> usize {
+        self.agents_in(slot, region).count()
+    }
+
+    /// Mean over all slots of the number of agents inside `region`.
+    pub fn mean_occupancy(&self, region: &Rect) -> f64 {
+        if self.positions.is_empty() {
+            return 0.0;
+        }
+        let total: usize = (0..self.num_slots())
+            .map(|s| self.count_in(s, region))
+            .sum();
+        total as f64 / self.num_slots() as f64
+    }
+}
+
+/// A mobility model generating traces deterministically from its
+/// configuration (including its seed).
+pub trait MobilityModel {
+    /// Generates a trace covering `num_slots` time slots.
+    fn generate(&self, num_slots: usize) -> MobilityTrace;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trace() -> MobilityTrace {
+        MobilityTrace::new(vec![
+            vec![Some(Point::new(1.0, 1.0)), None, Some(Point::new(9.0, 9.0))],
+            vec![None, Some(Point::new(2.0, 2.0)), Some(Point::new(8.0, 8.0))],
+        ])
+    }
+
+    #[test]
+    fn dimensions_are_reported() {
+        let t = toy_trace();
+        assert_eq!(t.num_slots(), 2);
+        assert_eq!(t.num_agents(), 3);
+    }
+
+    #[test]
+    fn positions_roundtrip() {
+        let t = toy_trace();
+        assert_eq!(t.position(0, 0), Some(Point::new(1.0, 1.0)));
+        assert_eq!(t.position(0, 1), None);
+        assert_eq!(t.position(1, 0), None);
+    }
+
+    #[test]
+    fn agents_in_filters_by_region() {
+        let t = toy_trace();
+        let region = Rect::new(0.0, 0.0, 5.0, 5.0);
+        let inside: Vec<usize> = t.agents_in(0, &region).map(|(a, _)| a).collect();
+        assert_eq!(inside, vec![0]);
+        assert_eq!(t.count_in(1, &region), 1);
+    }
+
+    #[test]
+    fn mean_occupancy_averages_slots() {
+        let t = toy_trace();
+        let region = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert_eq!(t.mean_occupancy(&region), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent agent count")]
+    fn ragged_rows_rejected() {
+        let _ = MobilityTrace::new(vec![vec![None], vec![None, None]]);
+    }
+}

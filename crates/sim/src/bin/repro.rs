@@ -1,0 +1,69 @@
+//! Regenerates the paper's figures.
+//!
+//! ```text
+//! repro [--scale full|test|bench] [fig2 fig3 … | all]
+//! ```
+//!
+//! Prints each figure's series as an aligned table and writes
+//! `results/<figure>.csv`.
+
+use ps_sim::config::Scale;
+use ps_sim::experiments::ExperimentId;
+use ps_sim::report;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::full();
+    let mut wanted: Vec<ExperimentId> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = iter.next().map(String::as_str).unwrap_or("full");
+                scale = match v {
+                    "full" => Scale::full(),
+                    "test" => Scale::test(),
+                    "bench" => Scale::bench(),
+                    other => {
+                        eprintln!("unknown scale '{other}' (full|test|bench)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--scale full|test|bench] [fig2 … fig10 trust | all]");
+                return;
+            }
+            "all" => wanted.extend(ExperimentId::ALL),
+            name => match ExperimentId::parse(name) {
+                Some(id) => wanted.push(id),
+                None => {
+                    eprintln!("unknown experiment '{name}'");
+                    eprintln!("available: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 trust all");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if wanted.is_empty() {
+        wanted.extend(ExperimentId::ALL);
+    }
+
+    let results_dir = PathBuf::from("results");
+    for id in wanted {
+        let started = Instant::now();
+        eprintln!("running {} …", id.name());
+        let tables = id.run(&scale);
+        let elapsed = started.elapsed();
+        for table in &tables {
+            print!("{}", report::render(table));
+            println!();
+            if let Err(e) = report::write_csv(table, &results_dir) {
+                eprintln!("warning: could not write CSV for {}: {e}", table.id);
+            }
+        }
+        eprintln!("{} done in {:.1?}", id.name(), elapsed);
+    }
+}

@@ -1,0 +1,91 @@
+//! Experiment scaling and shared constants.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's fixed base price `C_s` (§4.1).
+pub const BASE_PRICE: f64 = 10.0;
+
+/// The paper's privacy window `w` for Eq. 14. The paper does not state the
+/// value used; 5 slots gives the qualitative behaviour of Fig. 6 (recent
+/// reporting is penalized, spread-out reporting is cheap).
+pub const PRIVACY_WINDOW: usize = 5;
+
+/// θ_min for point queries (§4.3).
+pub const THETA_MIN: f64 = 0.2;
+
+/// Scale of an experiment run: the full paper configuration or a reduced
+/// one for tests and micro-benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Number of simulated time slots (50 in the paper).
+    pub slots: usize,
+    /// Multiplier (0–1] applied to per-slot query counts.
+    pub query_factor: f64,
+    /// Multiplier (0–1] applied to sensor-population sizes.
+    pub sensor_factor: f64,
+    /// Base RNG seed; every run derives sub-seeds from it.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's full configuration.
+    pub fn full() -> Self {
+        Self {
+            slots: 50,
+            query_factor: 1.0,
+            sensor_factor: 1.0,
+            seed: 2013,
+        }
+    }
+
+    /// A fast configuration for integration tests (~seconds).
+    pub fn test() -> Self {
+        Self {
+            slots: 8,
+            query_factor: 0.15,
+            sensor_factor: 0.5,
+            seed: 2013,
+        }
+    }
+
+    /// A middle ground for Criterion benches.
+    pub fn bench() -> Self {
+        Self {
+            slots: 10,
+            query_factor: 0.25,
+            sensor_factor: 0.6,
+            seed: 2013,
+        }
+    }
+
+    /// Scales a query count, keeping at least 1.
+    pub fn queries(&self, full: usize) -> usize {
+        ((full as f64 * self.query_factor).round() as usize).max(1)
+    }
+
+    /// Scales a sensor count, keeping at least 1.
+    pub fn sensor_count(&self, full: usize) -> usize {
+        ((full as f64 * self.sensor_factor).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let s = Scale::full();
+        assert_eq!(s.slots, 50);
+        assert_eq!(s.queries(300), 300);
+        assert_eq!(s.sensor_count(635), 635);
+    }
+
+    #[test]
+    fn test_scale_shrinks_but_never_to_zero() {
+        let s = Scale::test();
+        assert!(s.queries(300) < 300);
+        assert!(s.queries(1) >= 1);
+        assert!(s.sensor_count(1) >= 1);
+    }
+}

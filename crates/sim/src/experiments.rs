@@ -1,0 +1,146 @@
+//! One driver per figure of §4, each returning the [`FigureTable`]s the
+//! paper plots.
+//!
+//! | Driver | Paper figure | Workload |
+//! |---|---|---|
+//! | [`fig2`] | Fig. 2(a,b) | point queries on RWM |
+//! | [`fig3`] | Fig. 3(a,b) | point queries on the RNC substitute |
+//! | [`fig4`] | Fig. 4(a,b) | uniformly distributed budgets |
+//! | [`fig5`] | Fig. 5(a,b) | varying query counts |
+//! | [`fig6`] | Fig. 6(a–d) | privacy + linear energy, lifetimes 50/25 |
+//! | [`fig7`] | Fig. 7(a,b) | spatial aggregate queries |
+//! | [`fig8`] | Fig. 8(a,b) | location monitoring on the ozone substitute |
+//! | [`fig9`] | Fig. 9(a,b) | region monitoring on the Intel substitute |
+//! | [`fig10`] | Fig. 10(a–d) | the query mix |
+//! | [`trust`] | §4.7 (text) | trust-distribution sweep |
+
+pub mod ablation;
+pub mod aggregate_queries;
+pub mod mix;
+pub mod monitoring;
+pub mod point_queries;
+
+pub use ablation::{ablation_objective, ablation_region};
+pub use aggregate_queries::fig7;
+pub use mix::fig10;
+pub use monitoring::{fig8, fig9};
+pub use point_queries::{fig2, fig3, fig4, fig5, fig6, trust};
+
+use crate::config::Scale;
+use crate::metrics::FigureTable;
+
+/// Identifier of a runnable experiment (CLI surface of the repro binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentId {
+    /// Fig. 2 — point queries, RWM.
+    Fig2,
+    /// Fig. 3 — point queries, RNC substitute.
+    Fig3,
+    /// Fig. 4 — uniform budgets.
+    Fig4,
+    /// Fig. 5 — query-count sweep.
+    Fig5,
+    /// Fig. 6 — privacy/energy, lifetimes 50 and 25.
+    Fig6,
+    /// Fig. 7 — aggregates.
+    Fig7,
+    /// Fig. 8 — location monitoring.
+    Fig8,
+    /// Fig. 9 — region monitoring.
+    Fig9,
+    /// Fig. 10 — query mix.
+    Fig10,
+    /// §4.7 trust sweep (no figure in the paper).
+    Trust,
+    /// Ablation of Algorithm 3's cost weighting + sensor sharing.
+    AblationRegion,
+    /// Ablation of the welfare vs egalitarian objective (§2).
+    AblationObjective,
+}
+
+impl ExperimentId {
+    /// Every experiment, in paper order.
+    pub const ALL: [ExperimentId; 12] = [
+        ExperimentId::Fig2,
+        ExperimentId::Fig3,
+        ExperimentId::Fig4,
+        ExperimentId::Fig5,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::Fig10,
+        ExperimentId::Trust,
+        ExperimentId::AblationRegion,
+        ExperimentId::AblationObjective,
+    ];
+
+    /// Parses a CLI name such as `fig2` or `trust`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "fig2" => Some(Self::Fig2),
+            "fig3" => Some(Self::Fig3),
+            "fig4" => Some(Self::Fig4),
+            "fig5" => Some(Self::Fig5),
+            "fig6" => Some(Self::Fig6),
+            "fig7" => Some(Self::Fig7),
+            "fig8" => Some(Self::Fig8),
+            "fig9" => Some(Self::Fig9),
+            "fig10" => Some(Self::Fig10),
+            "trust" => Some(Self::Trust),
+            "ablation-region" | "ablation_region" => Some(Self::AblationRegion),
+            "ablation-objective" | "ablation_objective" => Some(Self::AblationObjective),
+            _ => None,
+        }
+    }
+
+    /// CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Fig2 => "fig2",
+            Self::Fig3 => "fig3",
+            Self::Fig4 => "fig4",
+            Self::Fig5 => "fig5",
+            Self::Fig6 => "fig6",
+            Self::Fig7 => "fig7",
+            Self::Fig8 => "fig8",
+            Self::Fig9 => "fig9",
+            Self::Fig10 => "fig10",
+            Self::Trust => "trust",
+            Self::AblationRegion => "ablation-region",
+            Self::AblationObjective => "ablation-objective",
+        }
+    }
+
+    /// Runs the experiment at the given scale.
+    pub fn run(&self, scale: &Scale) -> Vec<FigureTable> {
+        match self {
+            Self::Fig2 => fig2(scale),
+            Self::Fig3 => fig3(scale),
+            Self::Fig4 => fig4(scale),
+            Self::Fig5 => fig5(scale),
+            Self::Fig6 => fig6(scale),
+            Self::Fig7 => fig7(scale),
+            Self::Fig8 => fig8(scale),
+            Self::Fig9 => fig9(scale),
+            Self::Fig10 => fig10(scale),
+            Self::Trust => trust(scale),
+            Self::AblationRegion => ablation_region(scale),
+            Self::AblationObjective => ablation_objective(scale),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_names() {
+        for id in ExperimentId::ALL {
+            assert_eq!(ExperimentId::parse(id.name()), Some(id));
+        }
+        assert_eq!(ExperimentId::parse("nope"), None);
+        assert_eq!(ExperimentId::parse("FIG2"), Some(ExperimentId::Fig2));
+    }
+}

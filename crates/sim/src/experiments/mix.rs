@@ -1,0 +1,252 @@
+//! Fig. 10: the query mix (§4.7) — point + aggregate + location
+//! monitoring queries on the RNC substitute, Algorithm 5 vs the sequential
+//! baseline. Region monitoring is excluded exactly as in the paper ("due
+//! to the lack of complete measurement data in RNC").
+
+use crate::config::Scale;
+use crate::metrics::FigureTable;
+use crate::sensors::{SensorPool, SensorPoolConfig};
+use crate::workload::{aggregate_queries, point_queries, spawn_location_monitors, BudgetScheme};
+use ps_core::mix::{run_mix_alg5, run_mix_baseline};
+use ps_core::monitor::location::LocationMonitor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::monitoring::ozone_context;
+use super::point_queries::rnc_setting;
+
+const BUDGET_FACTORS: [f64; 5] = [7.0, 10.0, 15.0, 20.0, 25.0];
+const SENSING_RANGE: f64 = 10.0;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MixAlgo {
+    Alg5,
+    Baseline,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct MixRunResult {
+    avg_utility: f64,
+    point_quality: f64,
+    aggregate_quality: f64,
+    monitor_quality: f64,
+}
+
+fn run_mix_simulation(
+    scale: &Scale,
+    budget_factor: f64,
+    algo: MixAlgo,
+    seed: u64,
+) -> MixRunResult {
+    let setting = rnc_setting(scale, seed);
+    let ctx = ozone_context(scale);
+    // §4.7: lifetime 25, random PSL, linear energy with β ~ U[0, 4].
+    let lifetime = (scale.slots / 2).max(1);
+    let pool_cfg = SensorPoolConfig::privacy_energy(lifetime, seed ^ 0x4444);
+    let mut pool = SensorPool::new(setting.num_agents, &pool_cfg);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(41));
+    let mut monitors: Vec<LocationMonitor> = Vec::new();
+    let mut finished_quality: Vec<f64> = Vec::new();
+    let mut next_id = 0u64;
+    let mut welfare_total = 0.0;
+    let mut point_quality_sum = 0.0;
+    let mut point_issued = 0usize;
+    let mut agg_quality_sum = 0.0;
+    let mut agg_issued = 0usize;
+
+    let points_per_slot = scale.queries(300);
+    let agg_mean = scale.queries(30);
+    let max_monitors = scale.queries(100);
+    let monitor_spawn = scale.queries(5);
+
+    for slot in 0..scale.slots {
+        let mut keep = Vec::new();
+        for m in monitors.drain(..) {
+            if m.is_active(slot) {
+                keep.push(m);
+            } else {
+                finished_quality.push(m.quality_of_results());
+            }
+        }
+        monitors = keep;
+        monitors.extend(spawn_location_monitors(
+            &mut rng,
+            slot,
+            monitors.len(),
+            max_monitors,
+            monitor_spawn,
+            &setting.working_region,
+            &ctx,
+            budget_factor,
+            &mut next_id,
+        ));
+
+        let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
+        let points = point_queries(
+            &mut rng,
+            points_per_slot,
+            &setting.working_region,
+            BudgetScheme::Fixed(budget_factor),
+            &mut next_id,
+        );
+        let aggs = aggregate_queries(
+            &mut rng,
+            agg_mean,
+            &setting.working_region,
+            SENSING_RANGE,
+            budget_factor,
+            &mut next_id,
+        );
+
+        let outcome = match algo {
+            MixAlgo::Alg5 => run_mix_alg5(
+                slot,
+                &sensors,
+                &setting.quality,
+                SENSING_RANGE,
+                &points,
+                &aggs,
+                &mut monitors,
+                &mut [],
+                &mut next_id,
+            ),
+            MixAlgo::Baseline => run_mix_baseline(
+                slot,
+                &sensors,
+                &setting.quality,
+                SENSING_RANGE,
+                &points,
+                &aggs,
+                &mut monitors,
+                &mut next_id,
+            ),
+        };
+        welfare_total += outcome.welfare;
+        // Qualities average over all *issued* queries: an unanswered query
+        // contributes 0, which is what collapses the baseline's curves at
+        // small budgets in Fig. 10(b–d).
+        point_quality_sum += outcome.breakdown.point_quality_sum;
+        point_issued += outcome.breakdown.point_total;
+        agg_quality_sum += outcome.breakdown.aggregate_quality_sum;
+        agg_issued += outcome.breakdown.aggregate_total;
+        pool.record_measurements(slot, outcome.sensors_used.iter().map(|&si| sensors[si].id));
+    }
+    finished_quality.extend(monitors.iter().map(|m| m.quality_of_results()));
+
+    MixRunResult {
+        avg_utility: welfare_total / scale.slots as f64,
+        point_quality: if point_issued == 0 {
+            0.0
+        } else {
+            point_quality_sum / point_issued as f64
+        },
+        aggregate_quality: if agg_issued == 0 {
+            0.0
+        } else {
+            agg_quality_sum / agg_issued as f64
+        },
+        monitor_quality: if finished_quality.is_empty() {
+            0.0
+        } else {
+            finished_quality.iter().sum::<f64>() / finished_quality.len() as f64
+        },
+    }
+}
+
+/// Fig. 10: mix utility (a) and per-type quality of results (b: point,
+/// c: aggregate, d: location monitoring) versus the budget factor.
+pub fn fig10(scale: &Scale) -> Vec<FigureTable> {
+    let algos = [MixAlgo::Alg5, MixAlgo::Baseline];
+    let grid: Vec<(usize, usize, MixRunResult)> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (ai, algo) in algos.iter().enumerate() {
+            for (xi, &b) in BUDGET_FACTORS.iter().enumerate() {
+                handles.push(s.spawn(move |_| {
+                    let r = run_mix_simulation(scale, b, *algo, scale.seed.wrapping_add(xi as u64));
+                    (ai, xi, r)
+                }));
+            }
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+    .expect("thread scope");
+
+    let n = BUDGET_FACTORS.len();
+    let mut results = vec![vec![MixRunResult::default(); n]; 2];
+    for (ai, xi, r) in grid {
+        results[ai][xi] = r;
+    }
+
+    type Extract = fn(&MixRunResult) -> f64;
+    let panels: [(&str, &str, Extract); 4] = [
+        (
+            "fig10a",
+            "Query mix: average utility per time slot",
+            |r| r.avg_utility,
+        ),
+        (
+            "fig10b",
+            "Query mix: average quality of results, point queries",
+            |r| r.point_quality,
+        ),
+        (
+            "fig10c",
+            "Query mix: average quality of results, aggregate queries",
+            |r| r.aggregate_quality,
+        ),
+        (
+            "fig10d",
+            "Query mix: average quality of results, location monitoring",
+            |r| r.monitor_quality,
+        ),
+    ];
+    let labels = ["Alg5", "Baseline"];
+    panels
+        .iter()
+        .map(|(id, title, extract)| {
+            let mut t = FigureTable::new(
+                id,
+                title,
+                "Budget factor",
+                if *id == "fig10a" {
+                    "Average utility"
+                } else {
+                    "Average quality of results"
+                },
+                BUDGET_FACTORS.to_vec(),
+            );
+            for (ai, label) in labels.iter().enumerate() {
+                t.push_series(label, results[ai].iter().map(extract).collect());
+            }
+            t
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_simulation_runs_and_alg5_wins() {
+        let scale = Scale {
+            slots: 4,
+            query_factor: 0.08,
+            sensor_factor: 0.4,
+            seed: 23,
+        };
+        let alg5 = run_mix_simulation(&scale, 15.0, MixAlgo::Alg5, 5);
+        let base = run_mix_simulation(&scale, 15.0, MixAlgo::Baseline, 5);
+        assert!(alg5.avg_utility.is_finite());
+        assert!(base.avg_utility.is_finite());
+        // Algorithm 1 is a heuristic and monitors evolve across slots, so
+        // per-run dominance is not a theorem; at this tiny scale allow a
+        // 2 % slack (the full-scale Fig. 10 gap is ~70 %).
+        assert!(
+            alg5.avg_utility >= 0.98 * base.avg_utility - 1e-6,
+            "alg5 {} far below baseline {}",
+            alg5.avg_utility,
+            base.avg_utility
+        );
+    }
+}

@@ -1,0 +1,403 @@
+//! Figs. 8 and 9: continuous queries — location monitoring on the ozone
+//! substitute, region monitoring on the Intel-Lab substitute.
+
+use crate::config::Scale;
+use crate::metrics::FigureTable;
+use crate::sensors::{SensorPool, SensorPoolConfig};
+use crate::workload::{spawn_location_monitors, spawn_region_monitor};
+use ps_core::alloc::baseline::BaselinePointScheduler;
+use ps_core::alloc::local_search::LocalSearchScheduler;
+use ps_core::alloc::optimal::OptimalScheduler;
+use ps_core::alloc::PointScheduler;
+use ps_core::mix::{run_location_slot, run_region_slot};
+use ps_core::monitor::location::LocationMonitor;
+use ps_core::monitor::region::RegionMonitor;
+use ps_core::valuation::monitoring::MonitoringContext;
+use ps_core::valuation::quality::QualityModel;
+use ps_data::intel::{IntelConfig, IntelFieldDataset};
+use ps_data::ozone::{OzoneConfig, OzoneTrace};
+use ps_geo::Rect;
+use ps_gp::hyper::{fit_rbf, HyperGrid};
+use ps_mobility::{MobilityModel, RandomWaypoint};
+use ps_stats::regression::DiurnalBasis;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+use super::point_queries::rnc_setting;
+
+const MONITOR_BUDGET_FACTORS: [f64; 5] = [7.0, 10.0, 15.0, 20.0, 25.0];
+
+/// Builds the ozone monitoring context: four days of history, diurnal
+/// basis, and a fold mapping simulation slots onto the second-to-last
+/// historical day (ref. \[19]'s same-interval-yesterday assumption).
+pub fn ozone_context(scale: &Scale) -> Arc<MonitoringContext> {
+    let cfg = OzoneConfig {
+        slots_per_day: 50,
+        history_days: 4,
+        seed: scale.seed,
+        ..OzoneConfig::default()
+    };
+    let trace = OzoneTrace::generate(&cfg, scale.slots + 25);
+    Arc::new(MonitoringContext {
+        basis: DiurnalBasis {
+            period: 50.0,
+            harmonics: 2,
+        },
+        history: trace.history(),
+        fold: Some((50.0, -100.0)),
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LocAlgo {
+    Alg2Optimal,
+    Alg2LocalSearch,
+    Baseline,
+}
+
+impl LocAlgo {
+    fn label(&self) -> &'static str {
+        match self {
+            LocAlgo::Alg2Optimal => "Alg2-O",
+            LocAlgo::Alg2LocalSearch => "Alg2-LS",
+            LocAlgo::Baseline => "Baseline",
+        }
+    }
+
+    fn scheduler(&self) -> Box<dyn PointScheduler + Send + Sync> {
+        match self {
+            LocAlgo::Alg2Optimal => Box::new(OptimalScheduler::new()),
+            LocAlgo::Alg2LocalSearch => Box::new(LocalSearchScheduler::new()),
+            LocAlgo::Baseline => Box::new(BaselinePointScheduler::new()),
+        }
+    }
+
+    fn baseline_mode(&self) -> bool {
+        matches!(self, LocAlgo::Baseline)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MonitorRunResult {
+    avg_utility: f64,
+    avg_quality: f64,
+}
+
+fn run_location_simulation(
+    scale: &Scale,
+    budget_factor: f64,
+    algo: LocAlgo,
+    seed: u64,
+) -> MonitorRunResult {
+    let setting = rnc_setting(scale, seed);
+    let ctx = ozone_context(scale);
+    let pool_cfg = SensorPoolConfig::paper_default(scale.slots, seed ^ 0x1111);
+    let mut pool = SensorPool::new(setting.num_agents, &pool_cfg);
+    let scheduler = algo.scheduler();
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(17));
+    let mut monitors: Vec<LocationMonitor> = Vec::new();
+    let mut finished_quality: Vec<f64> = Vec::new();
+    let mut next_id = 0u64;
+    let mut welfare_total = 0.0;
+    let max_concurrent = scale.queries(100);
+    let spawn_mean = scale.queries(5);
+
+    for slot in 0..scale.slots {
+        // Retire expired monitors, recording their result quality.
+        let mut keep = Vec::new();
+        for m in monitors.drain(..) {
+            if m.is_active(slot) {
+                keep.push(m);
+            } else {
+                finished_quality.push(m.quality_of_results());
+            }
+        }
+        monitors = keep;
+        // Spawn new ones.
+        monitors.extend(spawn_location_monitors(
+            &mut rng,
+            slot,
+            monitors.len(),
+            max_concurrent,
+            spawn_mean,
+            &setting.working_region,
+            &ctx,
+            budget_factor,
+            &mut next_id,
+        ));
+
+        let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
+        let out = run_location_slot(
+            slot,
+            &sensors,
+            &setting.quality,
+            &mut monitors,
+            scheduler.as_ref(),
+            algo.baseline_mode(),
+            &mut next_id,
+        );
+        welfare_total += out.welfare;
+        pool.record_measurements(slot, out.sensors_used.iter().map(|&si| sensors[si].id));
+    }
+    finished_quality.extend(monitors.iter().map(|m| m.quality_of_results()));
+
+    MonitorRunResult {
+        avg_utility: welfare_total / scale.slots as f64,
+        avg_quality: if finished_quality.is_empty() {
+            0.0
+        } else {
+            finished_quality.iter().sum::<f64>() / finished_quality.len() as f64
+        },
+    }
+}
+
+/// Fig. 8: location monitoring — average utility (a) and average quality
+/// of results (b) versus the budget factor, for Alg2-O / Alg2-LS /
+/// Baseline.
+pub fn fig8(scale: &Scale) -> Vec<FigureTable> {
+    let algos = [LocAlgo::Alg2Optimal, LocAlgo::Alg2LocalSearch, LocAlgo::Baseline];
+    let grid: Vec<(usize, usize, MonitorRunResult)> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (ai, algo) in algos.iter().enumerate() {
+            for (xi, &b) in MONITOR_BUDGET_FACTORS.iter().enumerate() {
+                handles.push(s.spawn(move |_| {
+                    let r = run_location_simulation(
+                        scale,
+                        b,
+                        *algo,
+                        scale.seed.wrapping_add(xi as u64),
+                    );
+                    (ai, xi, r)
+                }));
+            }
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+    .expect("thread scope");
+
+    let n = MONITOR_BUDGET_FACTORS.len();
+    let mut utilities = vec![vec![0.0; n]; algos.len()];
+    let mut qualities = vec![vec![0.0; n]; algos.len()];
+    for (ai, xi, r) in grid {
+        utilities[ai][xi] = r.avg_utility;
+        qualities[ai][xi] = r.avg_quality;
+    }
+
+    let mut ta = FigureTable::new(
+        "fig8a",
+        "Location monitoring queries: average utility per time slot",
+        "Budget factor",
+        "Average utility",
+        MONITOR_BUDGET_FACTORS.to_vec(),
+    );
+    let mut tb = FigureTable::new(
+        "fig8b",
+        "Location monitoring queries: average quality of results",
+        "Budget factor",
+        "Average quality of results",
+        MONITOR_BUDGET_FACTORS.to_vec(),
+    );
+    for (ai, algo) in algos.iter().enumerate() {
+        ta.push_series(algo.label(), utilities[ai].clone());
+        tb.push_series(algo.label(), qualities[ai].clone());
+    }
+    vec![ta, tb]
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionAlgo {
+    Alg3,
+    Baseline,
+}
+
+fn run_region_simulation(
+    scale: &Scale,
+    budget_factor: f64,
+    algo: RegionAlgo,
+    seed: u64,
+) -> MonitorRunResult {
+    // Intel-Lab substitute: 20×15 grid field; hyperparameters learned from
+    // a fraction (half) of the stationary motes' readings at slot 0.
+    let dataset = IntelFieldDataset::generate(
+        &IntelConfig {
+            seed,
+            ..IntelConfig::default()
+        },
+        scale.slots.max(1),
+    );
+    let readings = dataset.mote_readings(0);
+    let half = (readings.len() / 2).max(3).min(readings.len());
+    let (locs, vals): (Vec<_>, Vec<_>) = readings[..half].iter().copied().unzip();
+    let fitted = fit_rbf(&locs, &vals, &HyperGrid::default());
+
+    // 30 imaginary mobile sensors under a random waypoint model (§4.2).
+    let bounds = Rect::new(0.0, 0.0, 20.0, 15.0);
+    let num_agents = scale.sensor_count(30);
+    let trace = RandomWaypoint {
+        width: 20.0,
+        height: 15.0,
+        num_agents,
+        max_speed_choices: vec![2.0, 3.0],
+        seed: seed ^ 0x2222,
+    }
+    .generate(scale.slots);
+    let pool_cfg = SensorPoolConfig::paper_default(scale.slots, seed ^ 0x3333);
+    let mut pool = SensorPool::new(num_agents, &pool_cfg);
+    let quality = QualityModel::new(2.0); // r_s = 2 (§4.6)
+
+    let optimal = OptimalScheduler::new();
+    let baseline = BaselinePointScheduler::new();
+    let (scheduler, weighting, sharing): (&dyn PointScheduler, bool, bool) = match algo {
+        RegionAlgo::Alg3 => (&optimal, true, true),
+        RegionAlgo::Baseline => (&baseline, false, false),
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(29));
+    let mut monitors: Vec<RegionMonitor> = Vec::new();
+    let mut finished_quality: Vec<f64> = Vec::new();
+    let mut next_id = 0u64;
+    let mut welfare_total = 0.0;
+
+    for slot in 0..scale.slots {
+        let mut keep = Vec::new();
+        for m in monitors.drain(..) {
+            if m.is_active(slot) {
+                keep.push(m);
+            } else {
+                finished_quality.push(m.quality_of_results());
+            }
+        }
+        monitors = keep;
+        // One new region query per slot (§4.6).
+        monitors.push(spawn_region_monitor(
+            &mut rng,
+            slot,
+            &bounds,
+            &fitted.kernel,
+            fitted.noise_variance,
+            budget_factor,
+            &mut next_id,
+        ));
+
+        let sensors = pool.snapshots(slot, &trace, &bounds);
+        let out = run_region_slot(
+            slot,
+            &sensors,
+            &quality,
+            &mut monitors,
+            scheduler,
+            weighting,
+            sharing,
+            &mut next_id,
+        );
+        welfare_total += out.welfare;
+        pool.record_measurements(slot, out.sensors_used.iter().map(|&si| sensors[si].id));
+    }
+    finished_quality.extend(monitors.iter().map(|m| m.quality_of_results()));
+
+    MonitorRunResult {
+        avg_utility: welfare_total / scale.slots as f64,
+        avg_quality: if finished_quality.is_empty() {
+            0.0
+        } else {
+            finished_quality.iter().sum::<f64>() / finished_quality.len() as f64
+        },
+    }
+}
+
+/// Fig. 9: region monitoring — average utility (a) and average quality of
+/// results (b, not bounded by 1) versus the budget factor.
+pub fn fig9(scale: &Scale) -> Vec<FigureTable> {
+    let algos = [RegionAlgo::Alg3, RegionAlgo::Baseline];
+    let grid: Vec<(usize, usize, MonitorRunResult)> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (ai, algo) in algos.iter().enumerate() {
+            for (xi, &b) in MONITOR_BUDGET_FACTORS.iter().enumerate() {
+                handles.push(s.spawn(move |_| {
+                    let r = run_region_simulation(
+                        scale,
+                        b,
+                        *algo,
+                        scale.seed.wrapping_add(xi as u64),
+                    );
+                    (ai, xi, r)
+                }));
+            }
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+    .expect("thread scope");
+
+    let n = MONITOR_BUDGET_FACTORS.len();
+    let mut utilities = vec![vec![0.0; n]; 2];
+    let mut qualities = vec![vec![0.0; n]; 2];
+    for (ai, xi, r) in grid {
+        utilities[ai][xi] = r.avg_utility;
+        qualities[ai][xi] = r.avg_quality;
+    }
+
+    let mut ta = FigureTable::new(
+        "fig9a",
+        "Region monitoring queries: average utility per time slot",
+        "Budget factor",
+        "Average utility",
+        MONITOR_BUDGET_FACTORS.to_vec(),
+    );
+    let mut tb = FigureTable::new(
+        "fig9b",
+        "Region monitoring queries: average quality of results",
+        "Budget factor",
+        "Average quality of results",
+        MONITOR_BUDGET_FACTORS.to_vec(),
+    );
+    ta.push_series("Alg3", utilities[0].clone());
+    ta.push_series("Baseline", utilities[1].clone());
+    tb.push_series("Alg3", qualities[0].clone());
+    tb.push_series("Baseline", qualities[1].clone());
+    vec![ta, tb]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> Scale {
+        Scale {
+            slots: 5,
+            query_factor: 0.1,
+            sensor_factor: 0.4,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn location_simulation_is_finite_and_ordered() {
+        let scale = tiny_scale();
+        let alg2 = run_location_simulation(&scale, 15.0, LocAlgo::Alg2Optimal, 7);
+        let base = run_location_simulation(&scale, 15.0, LocAlgo::Baseline, 7);
+        assert!(alg2.avg_utility.is_finite());
+        assert!(base.avg_utility.is_finite());
+        assert!(alg2.avg_quality >= 0.0);
+    }
+
+    #[test]
+    fn region_simulation_accumulates_value() {
+        let scale = tiny_scale();
+        let alg3 = run_region_simulation(&scale, 15.0, RegionAlgo::Alg3, 11);
+        assert!(alg3.avg_utility.is_finite());
+        assert!(alg3.avg_quality >= 0.0);
+    }
+
+    #[test]
+    fn ozone_context_folds_into_history_range() {
+        let ctx = ozone_context(&tiny_scale());
+        for t in 0..75 {
+            let mapped = ctx.map_time(t as f64);
+            assert!(
+                (-100.0..-50.0).contains(&mapped),
+                "slot {t} mapped to {mapped}"
+            );
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Single-sensor point-query experiments: Figs. 2–6 and the §4.7 trust
+//! sweep.
+
+use crate::config::Scale;
+use crate::metrics::FigureTable;
+use crate::sensors::{SensorPool, SensorPoolConfig, TrustAssignment};
+use crate::workload::{point_queries, BudgetScheme};
+use ps_core::alloc::baseline::BaselinePointScheduler;
+use ps_core::alloc::local_search::LocalSearchScheduler;
+use ps_core::alloc::optimal::OptimalScheduler;
+use ps_core::alloc::PointScheduler;
+use ps_core::valuation::quality::QualityModel;
+use ps_geo::Rect;
+use ps_mobility::{CampaignModel, MobilityModel, MobilityTrace, RandomWaypoint};
+use ps_solver::ufl::SolveLimits;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The three point schedulers the figures compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointAlgo {
+    /// Exact Eq. 9 schedule.
+    Optimal,
+    /// Feige-et-al. local search.
+    LocalSearch,
+    /// Sequential per-query baseline.
+    Baseline,
+}
+
+impl PointAlgo {
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PointAlgo::Optimal => "Optimal",
+            PointAlgo::LocalSearch => "LocalSearch",
+            PointAlgo::Baseline => "Baseline",
+        }
+    }
+
+    /// Instantiates the scheduler. The exact solver gets a per-slot node
+    /// budget large enough to close the gap at paper scale while bounding
+    /// worst-case latency.
+    pub fn scheduler(&self) -> Box<dyn PointScheduler + Send + Sync> {
+        match self {
+            PointAlgo::Optimal => Box::new(OptimalScheduler {
+                limits: SolveLimits {
+                    max_nodes: 4000,
+                    max_dual_passes: 48,
+                },
+            }),
+            PointAlgo::LocalSearch => Box::new(LocalSearchScheduler::new()),
+            PointAlgo::Baseline => Box::new(BaselinePointScheduler::new()),
+        }
+    }
+
+    const ALL: [PointAlgo; 3] = [PointAlgo::Optimal, PointAlgo::LocalSearch, PointAlgo::Baseline];
+}
+
+/// One mobility environment for the point-query experiments.
+pub struct PointSetting {
+    /// Generated trace.
+    pub trace: MobilityTrace,
+    /// Aggregator working region ("hotspot").
+    pub working_region: Rect,
+    /// Eq. 4 quality model (`d_max`).
+    pub quality: QualityModel,
+    /// Agent population size.
+    pub num_agents: usize,
+}
+
+/// The RWM environment (§4.2): 80×80 grid, central 50×50 working region,
+/// 200 sensors, `d_max = 5`.
+pub fn rwm_setting(scale: &Scale, seed: u64) -> PointSetting {
+    let num_agents = scale.sensor_count(200);
+    let model = RandomWaypoint {
+        num_agents,
+        ..RandomWaypoint::paper_default(seed)
+    };
+    PointSetting {
+        trace: model.generate(scale.slots),
+        working_region: Rect::new(15.0, 15.0, 65.0, 65.0),
+        quality: QualityModel::new(5.0),
+        num_agents,
+    }
+}
+
+/// The RNC-substitute environment (§4.2): 237×300 world, central 100×100
+/// working region, 635 sensors, `d_max = 10`.
+pub fn rnc_setting(scale: &Scale, seed: u64) -> PointSetting {
+    let num_agents = scale.sensor_count(635);
+    let model = CampaignModel {
+        num_agents,
+        ..CampaignModel::rnc_like(seed)
+    };
+    let working_region = model.working_region;
+    PointSetting {
+        trace: model.generate(scale.slots),
+        working_region,
+        quality: QualityModel::new(10.0),
+        num_agents,
+    }
+}
+
+/// Result of one (algorithm, x-value) run.
+#[derive(Debug, Clone, Copy)]
+pub struct PointRunResult {
+    /// Mean welfare per slot — the paper's "average utility".
+    pub avg_utility: f64,
+    /// Fraction of queries answered — the "query satisfaction ratio".
+    pub satisfaction: f64,
+}
+
+/// Runs one point-query simulation: `scale.slots` slots, regenerating
+/// queries per slot, scheduling with `algo`, and updating sensor
+/// lifetimes/privacy histories with the chosen sensors.
+pub fn run_point_simulation(
+    setting: &PointSetting,
+    scale: &Scale,
+    pool_cfg: &SensorPoolConfig,
+    queries_per_slot: usize,
+    budgets: BudgetScheme,
+    algo: PointAlgo,
+    workload_seed: u64,
+) -> PointRunResult {
+    let scheduler = algo.scheduler();
+    let mut pool = SensorPool::new(setting.num_agents, pool_cfg);
+    let mut rng = StdRng::seed_from_u64(workload_seed);
+    let mut next_id = 0u64;
+    let mut welfare_total = 0.0;
+    let mut satisfied_total = 0usize;
+    let mut issued_total = 0usize;
+
+    for slot in 0..scale.slots {
+        let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
+        let queries = point_queries(
+            &mut rng,
+            queries_per_slot,
+            &setting.working_region,
+            budgets,
+            &mut next_id,
+        );
+        let alloc = scheduler.schedule(&queries, &sensors, &setting.quality);
+        welfare_total += alloc.welfare;
+        satisfied_total += alloc.satisfied_count();
+        issued_total += queries.len();
+        pool.record_measurements(slot, alloc.sensors_used.iter().map(|&si| sensors[si].id));
+    }
+
+    PointRunResult {
+        avg_utility: welfare_total / scale.slots as f64,
+        satisfaction: if issued_total == 0 {
+            0.0
+        } else {
+            satisfied_total as f64 / issued_total as f64
+        },
+    }
+}
+
+/// Sweep runner shared by Figs. 2–6: one (algorithm × x-value) grid, with
+/// identical workloads across algorithms at each x (same seeds). Runs the
+/// grid in parallel with crossbeam scoped threads.
+fn run_point_sweep(
+    xs: &[f64],
+    scale: &Scale,
+    make_setting: impl Fn(u64) -> PointSetting + Sync,
+    make_pool_cfg: impl Fn() -> SensorPoolConfig + Sync,
+    queries_for_x: impl Fn(f64) -> usize + Sync,
+    budgets_for_x: impl Fn(f64) -> BudgetScheme + Sync,
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    // [algo][x] result grids.
+    let n = xs.len();
+    let mut utilities = vec![vec![0.0; n]; PointAlgo::ALL.len()];
+    let mut satisfactions = vec![vec![0.0; n]; PointAlgo::ALL.len()];
+
+    let results: Vec<(usize, usize, PointRunResult)> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (ai, algo) in PointAlgo::ALL.iter().enumerate() {
+            for (xi, &x) in xs.iter().enumerate() {
+                let make_setting = &make_setting;
+                let make_pool_cfg = &make_pool_cfg;
+                let queries_for_x = &queries_for_x;
+                let budgets_for_x = &budgets_for_x;
+                handles.push(s.spawn(move |_| {
+                    // Same trace/workload seed across algorithms.
+                    let setting = make_setting(scale.seed.wrapping_add(xi as u64));
+                    let result = run_point_simulation(
+                        &setting,
+                        scale,
+                        &make_pool_cfg(),
+                        queries_for_x(x),
+                        budgets_for_x(x),
+                        *algo,
+                        scale.seed.wrapping_add(1000 + xi as u64),
+                    );
+                    (ai, xi, result)
+                }));
+            }
+        }
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    })
+    .expect("thread scope");
+
+    for (ai, xi, r) in results {
+        utilities[ai][xi] = r.avg_utility;
+        satisfactions[ai][xi] = r.satisfaction;
+    }
+    (utilities, satisfactions)
+}
+
+fn tables_from_grids(
+    id_prefix: &str,
+    title: &str,
+    x_label: &str,
+    xs: Vec<f64>,
+    utilities: Vec<Vec<f64>>,
+    satisfactions: Vec<Vec<f64>>,
+) -> Vec<FigureTable> {
+    let mut ta = FigureTable::new(
+        &format!("{id_prefix}a"),
+        &format!("{title}: average utility per time slot"),
+        x_label,
+        "Average utility",
+        xs.clone(),
+    );
+    let mut tb = FigureTable::new(
+        &format!("{id_prefix}b"),
+        &format!("{title}: query satisfaction ratio"),
+        x_label,
+        "Query satisfaction ratio",
+        xs,
+    );
+    for (ai, algo) in PointAlgo::ALL.iter().enumerate() {
+        ta.push_series(algo.label(), utilities[ai].clone());
+        tb.push_series(algo.label(), satisfactions[ai].clone());
+    }
+    vec![ta, tb]
+}
+
+const BUDGETS: [f64; 7] = [7.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0];
+
+/// Fig. 2: point queries on RWM, budget sweep.
+pub fn fig2(scale: &Scale) -> Vec<FigureTable> {
+    let queries = scale.queries(300);
+    let (u, s) = run_point_sweep(
+        &BUDGETS,
+        scale,
+        |seed| rwm_setting(scale, seed),
+        || SensorPoolConfig::paper_default(scale.slots, scale.seed ^ 0xA5),
+        |_x| queries,
+        BudgetScheme::Fixed,
+    );
+    tables_from_grids(
+        "fig2",
+        "Single-sensor point queries, RWM dataset",
+        "Query budget",
+        BUDGETS.to_vec(),
+        u,
+        s,
+    )
+}
+
+/// Fig. 3: point queries on the RNC substitute, budget sweep.
+pub fn fig3(scale: &Scale) -> Vec<FigureTable> {
+    let queries = scale.queries(300);
+    let (u, s) = run_point_sweep(
+        &BUDGETS,
+        scale,
+        |seed| rnc_setting(scale, seed),
+        || SensorPoolConfig::paper_default(scale.slots, scale.seed ^ 0xB6),
+        |_x| queries,
+        BudgetScheme::Fixed,
+    );
+    tables_from_grids(
+        "fig3",
+        "Single-sensor point queries, RNC dataset",
+        "Query budget",
+        BUDGETS.to_vec(),
+        u,
+        s,
+    )
+}
+
+/// Fig. 4: uniformly distributed budgets (mean ± 10) on RNC.
+pub fn fig4(scale: &Scale) -> Vec<FigureTable> {
+    let queries = scale.queries(300);
+    let (u, s) = run_point_sweep(
+        &BUDGETS,
+        scale,
+        |seed| rnc_setting(scale, seed),
+        || SensorPoolConfig::paper_default(scale.slots, scale.seed ^ 0xC7),
+        |_x| queries,
+        BudgetScheme::UniformAroundMean,
+    );
+    tables_from_grids(
+        "fig4",
+        "Uniformly distributed budget, RNC dataset",
+        "Mean query budget",
+        BUDGETS.to_vec(),
+        u,
+        s,
+    )
+}
+
+/// Fig. 5: query-count sweep at fixed budget 15 on RNC.
+pub fn fig5(scale: &Scale) -> Vec<FigureTable> {
+    let counts: Vec<f64> = [250.0, 500.0, 750.0, 1000.0].to_vec();
+    let (u, s) = run_point_sweep(
+        &counts,
+        scale,
+        |seed| rnc_setting(scale, seed),
+        || SensorPoolConfig::paper_default(scale.slots, scale.seed ^ 0xD8),
+        |x| scale.queries(x as usize),
+        |_x| BudgetScheme::Fixed(15.0),
+    );
+    tables_from_grids(
+        "fig5",
+        "Varying the number of queries (budget 15), RNC dataset",
+        "Number of queries",
+        counts,
+        u,
+        s,
+    )
+}
+
+/// Fig. 6: random PSL + linear energy cost, lifetimes 50 (a,b) and
+/// 25 (c,d), on RNC.
+pub fn fig6(scale: &Scale) -> Vec<FigureTable> {
+    let queries = scale.queries(300);
+    let mut out = Vec::new();
+    for (panel, lifetime_frac) in [("fig6ab", 1.0f64), ("fig6cd", 0.5)] {
+        let lifetime = ((scale.slots as f64 * lifetime_frac).round() as usize).max(1);
+        let (u, s) = run_point_sweep(
+            &BUDGETS,
+            scale,
+            |seed| rnc_setting(scale, seed),
+            || SensorPoolConfig::privacy_energy(lifetime, scale.seed ^ 0xE9),
+            |_x| queries,
+            BudgetScheme::Fixed,
+        );
+        let mut tables = tables_from_grids(
+            panel,
+            &format!("Random PSL + linear energy cost, lifetime {lifetime}, RNC"),
+            "Query budget",
+            BUDGETS.to_vec(),
+            u,
+            s,
+        );
+        out.append(&mut tables);
+    }
+    out
+}
+
+/// §4.7 trust sweep (text only in the paper): the more trustworthy the
+/// sensors, the more utility the queries obtain.
+pub fn trust(scale: &Scale) -> Vec<FigureTable> {
+    let queries = scale.queries(300);
+    let distributions: [(f64, TrustAssignment); 3] = [
+        (1.0, TrustAssignment::FullyTrusted),
+        (0.75, TrustAssignment::Uniform { lo: 0.5, hi: 1.0 }),
+        (0.5, TrustAssignment::Uniform { lo: 0.0, hi: 1.0 }),
+    ];
+    let mut table = FigureTable::new(
+        "trust",
+        "Trust distributions (LocalSearch, budget 20), RNC dataset",
+        "Mean sensor trust",
+        "Average utility",
+        distributions.iter().map(|&(m, _)| m).collect(),
+    );
+    let mut values = Vec::new();
+    for (i, &(_, assignment)) in distributions.iter().enumerate() {
+        let setting = rnc_setting(scale, scale.seed.wrapping_add(i as u64));
+        let cfg = SensorPoolConfig {
+            trust: assignment,
+            ..SensorPoolConfig::paper_default(scale.slots, scale.seed ^ 0xF1)
+        };
+        let r = run_point_simulation(
+            &setting,
+            scale,
+            &cfg,
+            queries,
+            BudgetScheme::Fixed(20.0),
+            PointAlgo::LocalSearch,
+            scale.seed.wrapping_add(2000 + i as u64),
+        );
+        values.push(r.avg_utility);
+    }
+    table.push_series("LocalSearch", values);
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwm_and_rnc_settings_have_paper_shape() {
+        let scale = Scale::test();
+        let rwm = rwm_setting(&scale, 1);
+        assert_eq!(rwm.quality.d_max, 5.0);
+        assert_eq!(rwm.working_region, Rect::new(15.0, 15.0, 65.0, 65.0));
+        let rnc = rnc_setting(&scale, 1);
+        assert_eq!(rnc.quality.d_max, 10.0);
+        assert!(rnc.num_agents <= 635);
+    }
+
+    #[test]
+    fn simulation_produces_finite_metrics() {
+        let scale = Scale {
+            slots: 3,
+            query_factor: 0.05,
+            sensor_factor: 0.3,
+            seed: 7,
+        };
+        let setting = rwm_setting(&scale, 3);
+        let cfg = SensorPoolConfig::paper_default(scale.slots, 3);
+        for algo in [PointAlgo::Optimal, PointAlgo::LocalSearch, PointAlgo::Baseline] {
+            let r = run_point_simulation(
+                &setting,
+                &scale,
+                &cfg,
+                scale.queries(300),
+                BudgetScheme::Fixed(20.0),
+                algo,
+                11,
+            );
+            assert!(r.avg_utility.is_finite());
+            assert!((0.0..=1.0).contains(&r.satisfaction));
+        }
+    }
+
+    #[test]
+    fn optimal_dominates_baseline_on_shared_workload() {
+        let scale = Scale {
+            slots: 4,
+            query_factor: 0.1,
+            sensor_factor: 0.5,
+            seed: 99,
+        };
+        let setting = rwm_setting(&scale, 5);
+        let cfg = SensorPoolConfig::paper_default(scale.slots, 5);
+        let opt = run_point_simulation(
+            &setting, &scale, &cfg, 30, BudgetScheme::Fixed(15.0), PointAlgo::Optimal, 13,
+        );
+        let base = run_point_simulation(
+            &setting, &scale, &cfg, 30, BudgetScheme::Fixed(15.0), PointAlgo::Baseline, 13,
+        );
+        assert!(
+            opt.avg_utility >= base.avg_utility - 1e-9,
+            "optimal {} below baseline {}",
+            opt.avg_utility,
+            base.avg_utility
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Time-slotted participatory-sensing simulator and the experiment
+//! drivers that regenerate every figure of the paper's evaluation (§4).
+//!
+//! The moving parts:
+//!
+//! * [`sensors`] — persistent sensor economics (lifetime, privacy history,
+//!   trust, inaccuracy) turned into per-slot [`ps_core::SensorSnapshot`]s
+//!   from a mobility trace;
+//! * [`workload`] — query generators matching §4's setups (300 point
+//!   queries per slot, ~30 aggregates, monitor arrival processes, budget
+//!   schemes);
+//! * [`experiments`] — one driver per figure (`fig2` … `fig10`, plus the
+//!   §4.7 trust sweep), each returning a [`metrics::FigureTable`];
+//! * [`report`] — console rendering and CSV output under `results/`.
+//!
+//! Experiments accept a [`config::Scale`] so integration tests and
+//! Criterion benches can run reduced workloads while `cargo run --release
+//! -p ps-sim --bin repro` regenerates the full-size figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod sensors;
+pub mod workload;
+
+pub use config::Scale;
+pub use metrics::FigureTable;

@@ -1,0 +1,306 @@
+//! Query workload generators matching §4's experimental setups.
+
+use crate::config::THETA_MIN;
+use ps_core::model::QueryId;
+use ps_core::monitor::location::LocationMonitor;
+use ps_core::monitor::region::RegionMonitor;
+use ps_core::query::{AggregateKind, AggregateQuery, PointQuery, QueryOrigin};
+use ps_core::valuation::monitoring::{MonitoringContext, MonitoringValuation};
+use ps_core::valuation::region::RegionValuation;
+use ps_geo::{Point, Rect};
+use ps_gp::kernel::SquaredExponential;
+use ps_stats::sampling::select_sampling_times;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Arc;
+
+/// How point-query budgets are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BudgetScheme {
+    /// Every query gets the same budget (most experiments).
+    Fixed(f64),
+    /// Budgets uniform in `[mean − 10, mean + 10]` (Fig. 4).
+    UniformAroundMean(f64),
+}
+
+impl BudgetScheme {
+    fn draw(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            BudgetScheme::Fixed(b) => b,
+            BudgetScheme::UniformAroundMean(mean) => {
+                rng.gen_range((mean - 10.0).max(0.5)..=mean + 10.0)
+            }
+        }
+    }
+}
+
+/// A uniformly random unit-cell centre inside `region` — queried
+/// locations live on the grid so that multiple queries can collide on a
+/// location and share sensors, exactly as in the paper's setup.
+pub fn random_cell_center(rng: &mut StdRng, region: &Rect) -> Point {
+    let col = rng.gen_range(region.min_x.floor() as i64..region.max_x.floor() as i64);
+    let row = rng.gen_range(region.min_y.floor() as i64..region.max_y.floor() as i64);
+    Point::new(col as f64 + 0.5, row as f64 + 0.5)
+}
+
+/// Generates one slot's end-user point queries (§4.3: 300 per slot at
+/// locations random over the working region).
+pub fn point_queries(
+    rng: &mut StdRng,
+    count: usize,
+    working_region: &Rect,
+    budgets: BudgetScheme,
+    next_id: &mut u64,
+) -> Vec<PointQuery> {
+    (0..count)
+        .map(|_| {
+            *next_id += 1;
+            PointQuery {
+                id: QueryId(*next_id),
+                loc: random_cell_center(rng, working_region),
+                budget: budgets.draw(rng),
+                offset: 0.0,
+                theta_min: THETA_MIN,
+                origin: QueryOrigin::EndUser,
+            }
+        })
+        .collect()
+}
+
+/// Generates one slot's aggregate queries (§4.4): the count is uniform
+/// with the given mean, regions are random rectangles in the working
+/// region, and budgets follow `A(r_q)/(1.5·r_s)·b`.
+pub fn aggregate_queries(
+    rng: &mut StdRng,
+    mean_count: usize,
+    working_region: &Rect,
+    sensing_range: f64,
+    budget_factor: f64,
+    next_id: &mut u64,
+) -> Vec<AggregateQuery> {
+    let count = rng.gen_range((mean_count / 2).max(1)..=mean_count + mean_count / 2);
+    (0..count)
+        .map(|_| {
+            *next_id += 1;
+            let region = random_subregion(rng, working_region, 10.0, 40.0);
+            let budget = region.area() / (1.5 * sensing_range) * budget_factor;
+            AggregateQuery {
+                id: QueryId(*next_id),
+                region,
+                budget,
+                kind: AggregateKind::Average,
+            }
+        })
+        .collect()
+}
+
+/// A random rectangle inside `bounds` with side lengths in
+/// `[min_side, max_side]` (clamped to the bounds).
+pub fn random_subregion(
+    rng: &mut StdRng,
+    bounds: &Rect,
+    min_side: f64,
+    max_side: f64,
+) -> Rect {
+    let max_w = (bounds.width()).min(max_side);
+    let max_h = (bounds.height()).min(max_side);
+    let w = rng.gen_range(min_side.min(max_w)..=max_w);
+    let h = rng.gen_range(min_side.min(max_h)..=max_h);
+    let x = rng.gen_range(bounds.min_x..=(bounds.max_x - w).max(bounds.min_x));
+    let y = rng.gen_range(bounds.min_y..=(bounds.max_y - h).max(bounds.min_y));
+    Rect::new(x, y, x + w, y + h)
+}
+
+/// Spawns new location monitors at slot `t` (§4.5): durations uniform in
+/// `[5, 20]`, desired sampling times = duration/3 chosen by the ref. \[19]
+/// technique against the phenomenon history, budget = duration × factor,
+/// α = 0.5. Keeps the concurrent total under `max_concurrent`.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_location_monitors(
+    rng: &mut StdRng,
+    t: usize,
+    active_now: usize,
+    max_concurrent: usize,
+    spawn_mean: usize,
+    working_region: &Rect,
+    ctx: &Arc<MonitoringContext>,
+    budget_factor: f64,
+    next_id: &mut u64,
+) -> Vec<LocationMonitor> {
+    let headroom = max_concurrent.saturating_sub(active_now);
+    let want = rng.gen_range(0..=spawn_mean * 2).min(headroom);
+    (0..want)
+        .map(|_| {
+            *next_id += 1;
+            let duration = rng.gen_range(5..=20usize);
+            let t2 = t + duration;
+            let candidates: Vec<f64> = (t..=t2).map(|s| s as f64).collect();
+            let k = (duration / 3).max(1);
+            let desired = select_desired_times(ctx, &candidates, k);
+            let budget = duration as f64 * budget_factor;
+            let valuation = MonitoringValuation::new(ctx.clone(), budget, desired);
+            LocationMonitor::new(
+                QueryId(*next_id),
+                random_cell_center(rng, working_region),
+                t,
+                t2,
+                0.5,
+                THETA_MIN,
+                valuation,
+            )
+        })
+        .collect()
+}
+
+/// Ref. \[19] sampling-time selection in *simulation* coordinates: when the
+/// context folds times onto a historical day, candidates are mapped before
+/// scoring but the returned times stay in simulation coordinates.
+pub fn select_desired_times(
+    ctx: &Arc<MonitoringContext>,
+    candidates_sim: &[f64],
+    k: usize,
+) -> Vec<f64> {
+    if ctx.fold.is_none() {
+        return select_sampling_times(&ctx.basis, &ctx.history, candidates_sim, k);
+    }
+    // Greedy selection over indices, scoring with mapped times.
+    let mapped: Vec<f64> = candidates_sim.iter().map(|&t| ctx.map_time(t)).collect();
+    let k = k.min(candidates_sim.len());
+    let mut chosen_idx: Vec<usize> = Vec::with_capacity(k);
+    let mut remaining: Vec<usize> = (0..candidates_sim.len()).collect();
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, &idx) in remaining.iter().enumerate() {
+            let mut training: Vec<f64> = chosen_idx.iter().map(|&i| mapped[i]).collect();
+            training.push(mapped[idx]);
+            let rss = ps_stats::sampling::rss_of_training_times(&ctx.basis, &ctx.history, &training);
+            match best {
+                Some((_, b)) if b <= rss => {}
+                _ => best = Some((pos, rss)),
+            }
+        }
+        let (pos, _) = best.expect("remaining non-empty");
+        chosen_idx.push(remaining.remove(pos));
+    }
+    let mut out: Vec<f64> = chosen_idx.into_iter().map(|i| candidates_sim[i]).collect();
+    out.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    out
+}
+
+/// Spawns one region monitor at slot `t` (§4.6): duration uniform in
+/// `[5, 20]`, budget = `A(r_q)/(3π r_s²)·b` with `r_s = 2`, α = 0.5.
+pub fn spawn_region_monitor(
+    rng: &mut StdRng,
+    t: usize,
+    bounds: &Rect,
+    kernel: &SquaredExponential,
+    noise_variance: f64,
+    budget_factor: f64,
+    next_id: &mut u64,
+) -> RegionMonitor {
+    *next_id += 1;
+    let duration = rng.gen_range(5..=20usize);
+    let region = random_subregion(rng, bounds, 4.0, 10.0);
+    let r_s = 2.0f64;
+    let budget = region.area() / (3.0 * std::f64::consts::PI * r_s * r_s) * budget_factor;
+    let valuation = RegionValuation::new(budget, region, kernel, noise_variance);
+    RegionMonitor::new(QueryId(*next_id), t, t + duration, 0.5, THETA_MIN, valuation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_stats::regression::DiurnalBasis;
+    use ps_stats::TimeSeries;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    fn ctx() -> Arc<MonitoringContext> {
+        let times: Vec<f64> = (0..100).map(|i| i as f64 - 100.0).collect();
+        let values: Vec<f64> = times.iter().map(|&t| (t / 9.0).sin() + 20.0).collect();
+        Arc::new(MonitoringContext {
+            basis: DiurnalBasis {
+                period: 50.0,
+                harmonics: 1,
+            },
+            history: TimeSeries::new(times, values),
+            fold: None,
+        })
+    }
+
+    #[test]
+    fn point_queries_land_on_cell_centers_inside_region() {
+        let region = Rect::new(15.0, 15.0, 65.0, 65.0);
+        let mut id = 0;
+        let qs = point_queries(&mut rng(), 100, &region, BudgetScheme::Fixed(15.0), &mut id);
+        assert_eq!(qs.len(), 100);
+        for q in &qs {
+            assert!(region.contains(q.loc));
+            assert_eq!(q.loc.x.fract(), 0.5);
+            assert_eq!(q.loc.y.fract(), 0.5);
+            assert_eq!(q.budget, 15.0);
+        }
+        // ids unique
+        let mut ids: Vec<u64> = qs.iter().map(|q| q.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn uniform_budgets_spread_around_mean() {
+        let region = Rect::new(0.0, 0.0, 50.0, 50.0);
+        let mut id = 0;
+        let qs = point_queries(
+            &mut rng(),
+            500,
+            &region,
+            BudgetScheme::UniformAroundMean(20.0),
+            &mut id,
+        );
+        let min = qs.iter().map(|q| q.budget).fold(f64::INFINITY, f64::min);
+        let max = qs.iter().map(|q| q.budget).fold(0.0, f64::max);
+        assert!(min >= 10.0 - 1e-9 && max <= 30.0 + 1e-9);
+        assert!(max - min > 10.0, "budgets not spread: {min}..{max}");
+    }
+
+    #[test]
+    fn aggregate_budget_follows_area_formula() {
+        let region = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let mut id = 0;
+        let qs = aggregate_queries(&mut rng(), 30, &region, 10.0, 20.0, &mut id);
+        for q in &qs {
+            let expected = q.region.area() / 15.0 * 20.0;
+            assert!((q.budget - expected).abs() < 1e-9);
+            assert!(region.contains_rect(&q.region));
+        }
+    }
+
+    #[test]
+    fn location_monitor_spawner_respects_cap() {
+        let region = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let c = ctx();
+        let mut id = 0;
+        let ms = spawn_location_monitors(&mut rng(), 0, 98, 100, 5, &region, &c, 10.0, &mut id);
+        assert!(ms.len() <= 2);
+        for m in &ms {
+            assert!(m.t2 - m.t1 >= 5 && m.t2 - m.t1 <= 20);
+            assert!(m.budget() > 0.0);
+        }
+    }
+
+    #[test]
+    fn region_monitor_budget_formula() {
+        let bounds = Rect::new(0.0, 0.0, 20.0, 15.0);
+        let kernel = SquaredExponential::new(2.0, 2.0);
+        let mut id = 0;
+        let m = spawn_region_monitor(&mut rng(), 3, &bounds, &kernel, 0.1, 15.0, &mut id);
+        let expected = m.region.area() / (3.0 * std::f64::consts::PI * 4.0) * 15.0;
+        assert!((m.remaining_budget() - expected).abs() < 1e-9);
+        assert!(m.is_active(3));
+        assert!(bounds.contains_rect(&m.region));
+    }
+}

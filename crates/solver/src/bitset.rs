@@ -1,0 +1,231 @@
+//! A compact fixed-capacity bit set over `0..n`.
+//!
+//! Ground sets in this workspace are sensor indices within one time slot
+//! (at most a few hundred), so a `Vec<u64>`-backed bit set is both compact
+//! and fast for the membership tests and iteration the submodular
+//! maximization engines perform in their inner loops.
+
+/// Fixed-capacity set of `usize` elements in `0..capacity`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set with room for elements `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Creates a set containing every element of `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for i in 0..capacity {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Builds a set from an iterator of elements.
+    ///
+    /// # Panics
+    /// Panics when an element is `>= capacity`.
+    pub fn from_iter(capacity: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::new(capacity);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Maximum element count (exclusive upper bound on elements).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of elements currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity, "element {i} out of capacity");
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Inserts `i`; returns true when it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics when `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "element {i} out of capacity");
+        let word = &mut self.words[i / 64];
+        let mask = 1 << (i % 64);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `i`; returns true when it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        let word = &mut self.words[i / 64];
+        let mask = 1 << (i % 64);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flips membership of `i`.
+    pub fn toggle(&mut self, i: usize) {
+        if !self.insert(i) {
+            self.remove(i);
+        }
+    }
+
+    /// The complement set within `0..capacity`.
+    pub fn complement(&self) -> BitSet {
+        let mut out = BitSet::new(self.capacity);
+        for i in 0..self.capacity {
+            if !self.contains(i) {
+                out.insert(i);
+            }
+        }
+        out
+    }
+
+    /// Iterates elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let base = wi * 64;
+            BitIter { word, base }
+        })
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(100);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_beyond_capacity_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let s = BitSet::from_iter(200, [3, 77, 5, 190, 64, 63]);
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![3, 5, 63, 64, 77, 190]);
+    }
+
+    #[test]
+    fn complement_partitions_ground_set() {
+        let s = BitSet::from_iter(10, [0, 2, 4, 6, 8]);
+        let c = s.complement();
+        let got: Vec<usize> = c.iter().collect();
+        assert_eq!(got, vec![1, 3, 5, 7, 9]);
+        assert_eq!(s.len() + c.len(), 10);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(65);
+        assert_eq!(s.len(), 65);
+        assert!(s.contains(64));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(64));
+    }
+
+    #[test]
+    fn toggle_flips_membership() {
+        let mut s = BitSet::new(8);
+        s.toggle(3);
+        assert!(s.contains(3));
+        s.toggle(3);
+        assert!(!s.contains(3));
+    }
+
+    proptest! {
+        #[test]
+        fn matches_reference_hashset(ops in proptest::collection::vec((0usize..128, prop::bool::ANY), 0..200)) {
+            let mut s = BitSet::new(128);
+            let mut reference = std::collections::BTreeSet::new();
+            for (elem, insert) in ops {
+                if insert {
+                    prop_assert_eq!(s.insert(elem), reference.insert(elem));
+                } else {
+                    prop_assert_eq!(s.remove(elem), reference.remove(&elem));
+                }
+            }
+            prop_assert_eq!(s.len(), reference.len());
+            let got: Vec<usize> = s.iter().collect();
+            let want: Vec<usize> = reference.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

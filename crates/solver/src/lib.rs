@@ -1,0 +1,37 @@
+//! Optimization engines for utility-driven sensor scheduling.
+//!
+//! The paper needs three optimization primitives:
+//!
+//! 1. **An exact solver for the single-sensor point-query BILP (Eq. 9).**
+//!    The program is an uncapacitated-facility-location-style welfare
+//!    maximization: opening sensor `i` costs `c_i`, and each queried
+//!    location `l` collects the value of the best open sensor. [`ufl`]
+//!    implements an exact branch-and-bound with Erlenkotter-style
+//!    dual-ascent bounds plus connected-component decomposition, and
+//!    [`bilp`]/[`lp`] provide the general BILP + simplex machinery the
+//!    paper's formulation corresponds to (also used to cross-validate the
+//!    specialized solver).
+//! 2. **The Local Search approximation of Feige, Mirrokni & Vondrák
+//!    (FOCS'07)** for non-monotone submodular maximization, which the paper
+//!    uses as its scalable heuristic for point-query scheduling
+//!    ([`submodular::local_search`] for black-box set functions and
+//!    [`ufl::solve_local_search`] for the specialized incremental variant).
+//! 3. **Greedy marginal-gain selection** (Algorithm 1's engine), provided
+//!    generically in [`submodular::greedy`].
+//!
+//! Everything here is deterministic: ties break on the lowest index, so
+//! simulations are reproducible bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bilp;
+pub mod bitset;
+pub mod lp;
+pub mod submodular;
+pub mod ufl;
+
+pub use bilp::{BilpProblem, BilpSolution, BilpStatus};
+pub use bitset::BitSet;
+pub use lp::{Constraint, ConstraintOp, LpError, LpProblem, LpSolution};
+pub use ufl::{SolveLimits, WelfareProblem, WelfareSolution};

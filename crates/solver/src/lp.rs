@@ -1,0 +1,497 @@
+//! Dense two-phase simplex for linear programs.
+//!
+//! Used as the relaxation engine inside the BILP branch-and-bound
+//! ([`crate::bilp`]) and directly testable against hand-computed LPs.
+//! The implementation is a classic tableau simplex: phase 1 drives
+//! artificial variables out to find a basic feasible solution, phase 2
+//! optimizes the real objective. Dantzig pricing with an automatic switch
+//! to Bland's rule guards against cycling.
+
+use std::fmt;
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// One linear constraint over the problem's variables.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse coefficients as `(variable index, coefficient)` pairs.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor for a `≤` constraint.
+    pub fn le(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Self {
+            coeffs,
+            op: ConstraintOp::Le,
+            rhs,
+        }
+    }
+
+    /// Convenience constructor for a `≥` constraint.
+    pub fn ge(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Self {
+            coeffs,
+            op: ConstraintOp::Ge,
+            rhs,
+        }
+    }
+
+    /// Convenience constructor for an `=` constraint.
+    pub fn eq(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
+        Self {
+            coeffs,
+            op: ConstraintOp::Eq,
+            rhs,
+        }
+    }
+}
+
+/// A linear program: maximize `objective · x` subject to `constraints`,
+/// with all variables non-negative.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    /// Objective coefficients (maximization).
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Creates a maximization problem with the given objective.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        Self {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint (builder style).
+    pub fn with(mut self, c: Constraint) -> Self {
+        self.constraints.push(c);
+        self
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.objective.len()
+    }
+}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Optimal variable assignment.
+    pub x: Vec<f64>,
+}
+
+/// Errors from the simplex solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point satisfies the constraints.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// Iteration limit hit (numerically pathological instance).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "infeasible linear program"),
+            LpError::Unbounded => write!(f, "unbounded linear program"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+const EPS: f64 = 1e-9;
+
+/// Solves the LP with the two-phase tableau simplex.
+pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    Tableau::build(problem).solve()
+}
+
+/// Internal simplex tableau.
+///
+/// Column layout: `[decision vars | slack/surplus | artificials | rhs]`.
+struct Tableau {
+    /// rows[i] has width `cols`; the last column is the RHS.
+    rows: Vec<Vec<f64>>,
+    /// Objective coefficients (phase 2), length `cols - 1`.
+    objective: Vec<f64>,
+    /// Basis variable per row.
+    basis: Vec<usize>,
+    num_decision: usize,
+    num_structural: usize, // decision + slack/surplus
+    cols: usize,           // total columns incl. rhs
+    artificial_start: usize,
+}
+
+impl Tableau {
+    fn build(problem: &LpProblem) -> Self {
+        let n = problem.num_vars();
+        let m = problem.constraints.len();
+
+        // Count slack (Le/Ge) and artificial (Ge/Eq, or Le with negative
+        // rhs after normalization) columns.
+        let mut num_slack = 0;
+        for c in &problem.constraints {
+            match effective_op(c) {
+                ConstraintOp::Le | ConstraintOp::Ge => num_slack += 1,
+                ConstraintOp::Eq => {}
+            }
+        }
+        let num_structural = n + num_slack;
+        // Worst case: every row needs an artificial.
+        let cols = num_structural + m + 1;
+        let artificial_start = num_structural;
+
+        let mut rows = vec![vec![0.0; cols]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_idx = n;
+        let mut art_idx = artificial_start;
+
+        for (i, c) in problem.constraints.iter().enumerate() {
+            // Normalize to non-negative rhs.
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(var, coef) in &c.coeffs {
+                assert!(var < n, "constraint references variable {var} >= {n}");
+                rows[i][var] += sign * coef;
+            }
+            rows[i][cols - 1] = sign * c.rhs;
+            let op = effective_op_raw(c.op, flip);
+            match op {
+                ConstraintOp::Le => {
+                    rows[i][slack_idx] = 1.0;
+                    basis[i] = slack_idx;
+                    slack_idx += 1;
+                }
+                ConstraintOp::Ge => {
+                    rows[i][slack_idx] = -1.0; // surplus
+                    slack_idx += 1;
+                    rows[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+                ConstraintOp::Eq => {
+                    rows[i][art_idx] = 1.0;
+                    basis[i] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+
+        let mut objective = vec![0.0; cols - 1];
+        objective[..n].copy_from_slice(&problem.objective);
+
+        Tableau {
+            rows,
+            objective,
+            basis,
+            num_decision: n,
+            num_structural,
+            cols,
+            artificial_start,
+        }
+    }
+
+    fn solve(mut self) -> Result<LpSolution, LpError> {
+        let m = self.rows.len();
+        let has_artificials = self.basis.iter().any(|&b| b >= self.artificial_start);
+
+        #[allow(clippy::needless_range_loop)]
+        if has_artificials {
+            // Phase 1: minimize sum of artificials == maximize -(sum).
+            let mut phase1 = vec![0.0; self.cols - 1];
+            for j in self.artificial_start..(self.cols - 1) {
+                phase1[j] = -1.0;
+            }
+            let value = self.optimize(&phase1, self.cols - 1)?;
+            if value < -1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            // Pivot remaining basic artificials out where possible.
+            for i in 0..m {
+                if self.basis[i] >= self.artificial_start {
+                    if let Some(j) = (0..self.num_structural)
+                        .find(|&j| self.rows[i][j].abs() > EPS)
+                    {
+                        self.pivot(i, j);
+                    }
+                    // A row with no structural pivot is all-zero
+                    // (redundant constraint); its artificial stays basic
+                    // at value 0 which is harmless for phase 2 as long as
+                    // artificial columns are barred from entering.
+                }
+            }
+        }
+
+        // Phase 2 over structural columns only.
+        let objective = self.objective.clone();
+        let value = self.optimize(&objective, self.num_structural)?;
+
+        let mut x = vec![0.0; self.num_decision];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.num_decision {
+                x[b] = self.rows[i][self.cols - 1];
+            }
+        }
+        Ok(LpSolution {
+            objective: value,
+            x,
+        })
+    }
+
+    /// Runs simplex iterations maximizing `obj`, restricted to entering
+    /// columns `< col_limit`. Returns the optimal objective value.
+    fn optimize(&mut self, obj: &[f64], col_limit: usize) -> Result<f64, LpError> {
+        // Reduced-cost row: z_j - c_j maintained implicitly; we recompute
+        // c_B B^-1 A_j - c_j from the tableau each pricing step, which for
+        // these problem sizes is simpler and numerically safer.
+        let m = self.rows.len();
+        let max_iters = 200 * (m + self.cols);
+        let bland_after = 50 * (m + self.cols);
+
+        for iter in 0..max_iters {
+            let use_bland = iter > bland_after;
+            // Pricing: reduced cost r_j = c_j - c_B · column_j.
+            let mut entering: Option<(usize, f64)> = None;
+            for j in 0..col_limit {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut r = obj[j];
+                for i in 0..m {
+                    let cb = obj[self.basis[i]];
+                    if cb != 0.0 {
+                        r -= cb * self.rows[i][j];
+                    }
+                }
+                if r > EPS {
+                    if use_bland {
+                        entering = Some((j, r));
+                        break;
+                    }
+                    match entering {
+                        Some((_, best)) if best >= r => {}
+                        _ => entering = Some((j, r)),
+                    }
+                }
+            }
+            let Some((enter, _)) = entering else {
+                // Optimal: compute objective value.
+                let rhs_col = self.cols - 1;
+                let value: f64 = (0..m)
+                    .map(|i| obj[self.basis[i]] * self.rows[i][rhs_col])
+                    .sum();
+                return Ok(value);
+            };
+
+            // Ratio test.
+            let rhs_col = self.cols - 1;
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..m {
+                let a = self.rows[i][enter];
+                if a > EPS {
+                    let ratio = self.rows[i][rhs_col] / a;
+                    match leave {
+                        Some((li, lr)) => {
+                            if ratio < lr - EPS
+                                || (ratio < lr + EPS && self.basis[i] < self.basis[li])
+                            {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                        None => leave = Some((i, ratio)),
+                    }
+                }
+            }
+            let Some((leave_row, _)) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(leave_row, enter);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let m = self.rows.len();
+        let pivot = self.rows[row][col];
+        debug_assert!(pivot.abs() > 1e-12, "pivot too small");
+        let inv = 1.0 / pivot;
+        for v in &mut self.rows[row] {
+            *v *= inv;
+        }
+        for i in 0..m {
+            if i == row {
+                continue;
+            }
+            let factor = self.rows[i][col];
+            if factor == 0.0 {
+                continue;
+            }
+            let (pivot_row, target_row) = if i < row {
+                let (a, b) = self.rows.split_at_mut(row);
+                (&b[0], &mut a[i])
+            } else {
+                let (a, b) = self.rows.split_at_mut(i);
+                (&a[row], &mut b[0])
+            };
+            for (t, p) in target_row.iter_mut().zip(pivot_row) {
+                *t -= factor * p;
+            }
+            // Clean numerical dust on the pivot column.
+            target_row[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+}
+
+fn effective_op(c: &Constraint) -> ConstraintOp {
+    effective_op_raw(c.op, c.rhs < 0.0)
+}
+
+fn effective_op_raw(op: ConstraintOp, flipped: bool) -> ConstraintOp {
+    if !flipped {
+        return op;
+    }
+    match op {
+        ConstraintOp::Le => ConstraintOp::Ge,
+        ConstraintOp::Ge => ConstraintOp::Le,
+        ConstraintOp::Eq => ConstraintOp::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_two_variable_lp() {
+        // max 3x + 2y  s.t.  x + y <= 4, x <= 2  → x=2, y=2, obj=10.
+        let p = LpProblem::maximize(vec![3.0, 2.0])
+            .with(Constraint::le(vec![(0, 1.0), (1, 1.0)], 4.0))
+            .with(Constraint::le(vec![(0, 1.0)], 2.0));
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, 10.0);
+        assert_close(s.x[0], 2.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn lp_with_ge_constraint() {
+        // max -x - y  s.t. x + y >= 3, x,y >= 0 → obj = -3.
+        let p = LpProblem::maximize(vec![-1.0, -1.0])
+            .with(Constraint::ge(vec![(0, 1.0), (1, 1.0)], 3.0));
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, -3.0);
+        assert_close(s.x[0] + s.x[1], 3.0);
+    }
+
+    #[test]
+    fn lp_with_equality_constraint() {
+        // max 2x + 3y  s.t. x + y = 5, y <= 2 → x=3, y=2, obj=12.
+        let p = LpProblem::maximize(vec![2.0, 3.0])
+            .with(Constraint::eq(vec![(0, 1.0), (1, 1.0)], 5.0))
+            .with(Constraint::le(vec![(1, 1.0)], 2.0));
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, 12.0);
+        assert_close(s.x[0], 3.0);
+        assert_close(s.x[1], 2.0);
+    }
+
+    #[test]
+    fn infeasible_lp_detected() {
+        // x <= 1 and x >= 2 simultaneously.
+        let p = LpProblem::maximize(vec![1.0])
+            .with(Constraint::le(vec![(0, 1.0)], 1.0))
+            .with(Constraint::ge(vec![(0, 1.0)], 2.0));
+        assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_lp_detected() {
+        let p = LpProblem::maximize(vec![1.0, 0.0])
+            .with(Constraint::ge(vec![(0, 1.0)], 1.0));
+        assert_eq!(solve(&p).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_is_normalized() {
+        // max x  s.t.  -x <= -2  (i.e. x >= 2), x <= 5 → obj=5.
+        let p = LpProblem::maximize(vec![1.0])
+            .with(Constraint::le(vec![(0, -1.0)], -2.0))
+            .with(Constraint::le(vec![(0, 1.0)], 5.0));
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, 5.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple constraints active at the optimum.
+        let p = LpProblem::maximize(vec![1.0, 1.0])
+            .with(Constraint::le(vec![(0, 1.0)], 1.0))
+            .with(Constraint::le(vec![(1, 1.0)], 1.0))
+            .with(Constraint::le(vec![(0, 1.0), (1, 1.0)], 2.0))
+            .with(Constraint::le(vec![(0, 1.0), (1, -1.0)], 0.0));
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, 2.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_tolerated() {
+        // x + y = 2 listed twice.
+        let p = LpProblem::maximize(vec![1.0, 0.0])
+            .with(Constraint::eq(vec![(0, 1.0), (1, 1.0)], 2.0))
+            .with(Constraint::eq(vec![(0, 1.0), (1, 1.0)], 2.0));
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, 2.0);
+        assert_close(s.x[0], 2.0);
+    }
+
+    #[test]
+    fn facility_location_relaxation_integral_example() {
+        // Tiny UFL: 1 facility (cost 1), 2 clients worth 2 each when open.
+        // Variables: x0 = open, y1, y2 = assignments.
+        // max 2y1 + 2y2 - x0  s.t. y1 <= x0, y2 <= x0, x0 <= 1.
+        let p = LpProblem::maximize(vec![-1.0, 2.0, 2.0])
+            .with(Constraint::le(vec![(1, 1.0), (0, -1.0)], 0.0))
+            .with(Constraint::le(vec![(2, 1.0), (0, -1.0)], 0.0))
+            .with(Constraint::le(vec![(0, 1.0)], 1.0));
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, 3.0);
+        assert_close(s.x[0], 1.0);
+    }
+
+    #[test]
+    fn zero_objective_feasible() {
+        let p = LpProblem::maximize(vec![0.0])
+            .with(Constraint::le(vec![(0, 1.0)], 3.0));
+        let s = solve(&p).unwrap();
+        assert_close(s.objective, 0.0);
+    }
+}

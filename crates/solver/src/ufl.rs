@@ -1,0 +1,1063 @@
+//! Welfare-maximizing facility location: the engine behind the paper's
+//! *Optimal* and *LocalSearch* point-query schedulers.
+//!
+//! Eq. 9 of the paper assigns sensors to queried locations: opening sensor
+//! `i` costs `c_i` once, each location `l` collects the value `v_{l,i}` of
+//! the single sensor assigned to it, and the objective is total value minus
+//! total cost. Given the set `W` of open sensors, the optimal assignment is
+//! trivially "each location takes its best open sensor", so the program
+//! collapses to maximizing
+//!
+//! ```text
+//! u(W) = Σ_l max(0, max_{i∈W} v_{l,i}) − Σ_{i∈W} c_i          (Eq. 12)
+//! ```
+//!
+//! — an uncapacitated-facility-location (UFL) welfare problem. This module
+//! provides:
+//!
+//! * [`solve_exact`] — branch-and-bound over facility-open decisions with
+//!   Erlenkotter-style **dual-ascent bounds** on the equivalent min-cost
+//!   UFL, after decomposing the sensor/location bipartite graph into
+//!   connected components (sensors only interact through shared
+//!   locations, so components solve independently).
+//! * [`solve_local_search`] — the Feige-et-al. Local Search of §3.1.2,
+//!   specialized with incremental best/second-best bookkeeping so that a
+//!   full add-pass costs `O(edges)` instead of `O(n · oracle)`.
+//! * [`solve_greedy`] — greedy marginal-gain opening (used as a primal
+//!   heuristic and as an extra baseline in ablation benches).
+
+/// A welfare-maximization facility-location instance.
+#[derive(Debug, Clone)]
+pub struct WelfareProblem {
+    /// Opening cost per facility (sensor), `c_i ≥ 0`.
+    pub facility_cost: Vec<f64>,
+    /// Per client (queried location): candidate facilities and the value
+    /// the client derives from each, `v > 0`. Facilities absent from the
+    /// list yield value 0 for this client.
+    pub client_values: Vec<Vec<(usize, f64)>>,
+}
+
+impl WelfareProblem {
+    /// Creates an instance, dropping non-positive candidate values (they
+    /// can never be chosen by a welfare maximizer, exactly like the `−1`
+    /// trick in the paper's Eq. 10).
+    pub fn new(facility_cost: Vec<f64>, mut client_values: Vec<Vec<(usize, f64)>>) -> Self {
+        let nf = facility_cost.len();
+        for list in &mut client_values {
+            list.retain(|&(f, v)| {
+                assert!(f < nf, "facility index {f} out of range");
+                v > 0.0
+            });
+            // Deterministic order.
+            list.sort_by_key(|&(f, _)| f);
+        }
+        Self {
+            facility_cost,
+            client_values,
+        }
+    }
+
+    /// Number of facilities (sensors).
+    pub fn num_facilities(&self) -> usize {
+        self.facility_cost.len()
+    }
+
+    /// Number of clients (queried locations).
+    pub fn num_clients(&self) -> usize {
+        self.client_values.len()
+    }
+
+    /// Eq. 12 utility of an open set: best-open value per client minus the
+    /// cost of *every* open facility (including useless ones).
+    pub fn welfare_of(&self, open: &[bool]) -> f64 {
+        assert_eq!(open.len(), self.num_facilities());
+        let value: f64 = self
+            .client_values
+            .iter()
+            .map(|cands| {
+                cands
+                    .iter()
+                    .filter(|&&(f, _)| open[f])
+                    .map(|&(_, v)| v)
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        let cost: f64 = open
+            .iter()
+            .zip(&self.facility_cost)
+            .filter(|(&o, _)| o)
+            .map(|(_, &c)| c)
+            .sum();
+        value - cost
+    }
+
+    /// Builds the final allocation from an open set: every client takes
+    /// its best open facility (ties to the lowest index); facilities that
+    /// end up serving no client are pruned, so the reported welfare never
+    /// pays for dead sensors. Pruning can only increase Eq. 12 utility, and
+    /// an optimal open set is unaffected (it never contains dead sensors).
+    pub fn solution_from_open(&self, open: &[bool]) -> WelfareSolution {
+        let mut assignment: Vec<Option<usize>> = Vec::with_capacity(self.num_clients());
+        let mut used = vec![false; self.num_facilities()];
+        for cands in &self.client_values {
+            let mut best: Option<(usize, f64)> = None;
+            for &(f, v) in cands {
+                if !open[f] {
+                    continue;
+                }
+                match best {
+                    Some((_, bv)) if bv >= v => {}
+                    _ => best = Some((f, v)),
+                }
+            }
+            if let Some((f, _)) = best {
+                used[f] = true;
+            }
+            assignment.push(best.map(|(f, _)| f));
+        }
+        let welfare = self.welfare_of(&used);
+        WelfareSolution {
+            open: used,
+            assignment,
+            welfare,
+            proven_optimal: false,
+        }
+    }
+
+    /// Splits the instance into connected components of the bipartite
+    /// facility/client graph. Returns per-component sub-problems with maps
+    /// back to original facility and client indices.
+    fn components(&self) -> Vec<Component> {
+        let nf = self.num_facilities();
+        let mut dsu = Dsu::new(nf);
+        for cands in &self.client_values {
+            if let Some(&(first, _)) = cands.first() {
+                for &(f, _) in &cands[1..] {
+                    dsu.union(first, f);
+                }
+            }
+        }
+        // Group facilities by root.
+        let mut groups: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for f in 0..nf {
+            groups.entry(dsu.find(f)).or_default().push(f);
+        }
+        let mut comps: Vec<Component> = Vec::new();
+        let mut root_to_comp: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut roots: Vec<usize> = groups.keys().copied().collect();
+        roots.sort_unstable();
+        for root in roots {
+            let facilities = groups.remove(&root).expect("root present");
+            root_to_comp.insert(root, comps.len());
+            let mut local = vec![usize::MAX; nf];
+            for (li, &f) in facilities.iter().enumerate() {
+                local[f] = li;
+            }
+            comps.push(Component {
+                facility_map: facilities,
+                local_facility: local,
+                clients: Vec::new(),
+                local_client_values: Vec::new(),
+            });
+        }
+        let mut with_clients: Vec<(usize, Vec<(usize, f64)>)> = Vec::new();
+        for (l, cands) in self.client_values.iter().enumerate() {
+            if cands.is_empty() {
+                continue; // unservable client contributes nothing
+            }
+            let root = dsu.find(cands[0].0);
+            let ci = root_to_comp[&root];
+            with_clients.push((ci, cands.clone()));
+            comps[ci].clients.push(l);
+        }
+        for (ci, cands) in with_clients {
+            let local: Vec<(usize, f64)> = cands
+                .iter()
+                .map(|&(f, v)| (comps[ci].local_facility[f], v))
+                .collect();
+            comps[ci].local_client_values.push(local);
+        }
+        comps
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Component {
+    /// local facility index → global facility index
+    facility_map: Vec<usize>,
+    /// global facility index → local (usize::MAX when absent)
+    local_facility: Vec<usize>,
+    /// global client indices in this component
+    clients: Vec<usize>,
+    /// client candidate lists re-indexed to local facility ids
+    local_client_values: Vec<Vec<(usize, f64)>>,
+}
+
+/// Result of a facility-location solve.
+#[derive(Debug, Clone)]
+pub struct WelfareSolution {
+    /// Which facilities are open (after pruning dead ones).
+    pub open: Vec<bool>,
+    /// Per client: the facility serving it, if any.
+    pub assignment: Vec<Option<usize>>,
+    /// Achieved Eq. 12 welfare.
+    pub welfare: f64,
+    /// True when branch-and-bound proved optimality (node limit not hit).
+    pub proven_optimal: bool,
+}
+
+/// Resource limits for the exact solver.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveLimits {
+    /// Maximum branch-and-bound nodes per connected component.
+    pub max_nodes: usize,
+    /// Maximum dual-ascent sweeps per node.
+    pub max_dual_passes: usize,
+}
+
+impl Default for SolveLimits {
+    fn default() -> Self {
+        Self {
+            max_nodes: 200_000,
+            max_dual_passes: 64,
+        }
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// Greedy marginal-gain facility opening (test baseline + primal warm
+/// start): repeatedly open the facility with the best welfare gain while
+/// positive.
+pub fn solve_greedy(p: &WelfareProblem) -> WelfareSolution {
+    let nf = p.num_facilities();
+    let mut open = vec![false; nf];
+    let mut best_val = vec![0.0f64; p.num_clients()];
+    // facility → (client, value) adjacency.
+    let fac_clients = facility_adjacency(p);
+
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for f in 0..nf {
+            if open[f] {
+                continue;
+            }
+            let gain: f64 = fac_clients[f]
+                .iter()
+                .map(|&(l, v)| (v - best_val[l]).max(0.0))
+                .sum::<f64>()
+                - p.facility_cost[f];
+            if gain > EPS {
+                match best {
+                    Some((_, g)) if g >= gain => {}
+                    _ => best = Some((f, gain)),
+                }
+            }
+        }
+        match best {
+            Some((f, _)) => {
+                open[f] = true;
+                for &(l, v) in &fac_clients[f] {
+                    if v > best_val[l] {
+                        best_val[l] = v;
+                    }
+                }
+            }
+            None => break,
+        }
+    }
+    p.solution_from_open(&open)
+}
+
+/// Specialized Feige-et-al. Local Search over Eq. 12 (see §3.1.2 of the
+/// paper): add/delete passes with a `(1 + ε/n²)` improvement threshold,
+/// returning the best of the local optimum, its complement, and ∅.
+pub fn solve_local_search(p: &WelfareProblem, epsilon: f64) -> WelfareSolution {
+    let nf = p.num_facilities();
+    if nf == 0 {
+        return p.solution_from_open(&[]);
+    }
+    let fac_clients = facility_adjacency(p);
+    let mut state = LsState::new(p, &fac_clients);
+
+    // Best singleton start.
+    let mut best_single: Option<(usize, f64)> = None;
+    for f in 0..nf {
+        let gain = state.add_gain(f);
+        let val = gain; // u(∅) = 0
+        match best_single {
+            Some((_, b)) if b >= val => {}
+            _ => best_single = Some((f, val)),
+        }
+    }
+    let (start, _) = best_single.expect("nf > 0");
+    state.open_facility(start);
+
+    let factor = 1.0 + epsilon / ((nf * nf) as f64);
+    let threshold = |cur: f64| -> f64 {
+        if cur > 0.0 {
+            cur * factor
+        } else {
+            cur + 1e-9
+        }
+    };
+
+    let max_moves = 200 * nf * nf + 1000;
+    let mut moves = 0;
+    'outer: while moves < max_moves {
+        // Add pass.
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for f in 0..nf {
+                if state.open[f] {
+                    continue;
+                }
+                let val = state.utility + state.add_gain(f);
+                if val > threshold(state.utility) {
+                    match best {
+                        Some((_, b)) if b >= val => {}
+                        _ => best = Some((f, val)),
+                    }
+                }
+            }
+            match best {
+                Some((f, _)) => {
+                    state.open_facility(f);
+                    moves += 1;
+                    if moves >= max_moves {
+                        break 'outer;
+                    }
+                }
+                None => break,
+            }
+        }
+        // Delete pass: first improving deletion restarts adding.
+        for f in 0..nf {
+            if !state.open[f] {
+                continue;
+            }
+            let val = state.utility + state.remove_gain(f);
+            if val > threshold(state.utility) {
+                state.close_facility(f);
+                moves += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    // Candidates: W, complement, ∅ (Eq. 12 semantics for the comparison).
+    let w_val = state.utility;
+    let complement: Vec<bool> = state.open.iter().map(|&o| !o).collect();
+    let comp_val = p.welfare_of(&complement);
+    let (chosen, _val) = if w_val >= comp_val && w_val >= 0.0 {
+        (state.open.clone(), w_val)
+    } else if comp_val >= 0.0 {
+        (complement, comp_val)
+    } else {
+        (vec![false; nf], 0.0)
+    };
+    p.solution_from_open(&chosen)
+}
+
+/// Incremental Eq. 12 bookkeeping for local search: per-client best and
+/// second-best open values.
+struct LsState<'a> {
+    p: &'a WelfareProblem,
+    fac_clients: &'a [Vec<(usize, f64)>],
+    open: Vec<bool>,
+    /// best open value per client (0 when unserved)
+    best: Vec<f64>,
+    /// facility providing `best` (usize::MAX when unserved)
+    best_fac: Vec<usize>,
+    /// second-best open value per client
+    second: Vec<f64>,
+    utility: f64,
+}
+
+impl<'a> LsState<'a> {
+    fn new(p: &'a WelfareProblem, fac_clients: &'a [Vec<(usize, f64)>]) -> Self {
+        Self {
+            p,
+            fac_clients,
+            open: vec![false; p.num_facilities()],
+            best: vec![0.0; p.num_clients()],
+            best_fac: vec![usize::MAX; p.num_clients()],
+            second: vec![0.0; p.num_clients()],
+            utility: 0.0,
+        }
+    }
+
+    /// Δu from opening facility `f`.
+    fn add_gain(&self, f: usize) -> f64 {
+        self.fac_clients[f]
+            .iter()
+            .map(|&(l, v)| (v - self.best[l]).max(0.0))
+            .sum::<f64>()
+            - self.p.facility_cost[f]
+    }
+
+    /// Δu from closing facility `f`.
+    fn remove_gain(&self, f: usize) -> f64 {
+        let lost: f64 = self.fac_clients[f]
+            .iter()
+            .filter(|&&(l, _)| self.best_fac[l] == f)
+            .map(|&(l, _)| self.best[l] - self.second[l])
+            .sum();
+        self.p.facility_cost[f] - lost
+    }
+
+    fn open_facility(&mut self, f: usize) {
+        debug_assert!(!self.open[f]);
+        self.utility += self.add_gain(f);
+        self.open[f] = true;
+        for &(l, v) in &self.fac_clients[f] {
+            if v > self.best[l] {
+                self.second[l] = self.best[l];
+                self.best[l] = v;
+                self.best_fac[l] = f;
+            } else if v > self.second[l] {
+                self.second[l] = v;
+            }
+        }
+    }
+
+    fn close_facility(&mut self, f: usize) {
+        debug_assert!(self.open[f]);
+        self.utility += self.remove_gain(f);
+        self.open[f] = false;
+        for &(l, _) in &self.fac_clients[f] {
+            self.recompute_client(l);
+        }
+    }
+
+    fn recompute_client(&mut self, l: usize) {
+        let mut best = 0.0f64;
+        let mut best_fac = usize::MAX;
+        let mut second = 0.0f64;
+        for &(f, v) in &self.p.client_values[l] {
+            if !self.open[f] {
+                continue;
+            }
+            if v > best {
+                second = best;
+                best = v;
+                best_fac = f;
+            } else if v > second {
+                second = v;
+            }
+        }
+        self.best[l] = best;
+        self.best_fac[l] = best_fac;
+        self.second[l] = second;
+    }
+}
+
+/// Exact solve: connected-component decomposition, then branch-and-bound
+/// with dual-ascent bounds per component. The Local Search solution seeds
+/// the incumbent, so even when `limits.max_nodes` is exhausted the result
+/// is at least as good as Local Search (then `proven_optimal = false`).
+pub fn solve_exact(p: &WelfareProblem, limits: &SolveLimits) -> WelfareSolution {
+    let nf = p.num_facilities();
+    let mut open = vec![false; nf];
+    let mut proven = true;
+
+    for comp in p.components() {
+        if comp.clients.is_empty() {
+            continue;
+        }
+        let sub = WelfareProblem::new(
+            comp.facility_map
+                .iter()
+                .map(|&f| p.facility_cost[f])
+                .collect(),
+            comp.local_client_values.clone(),
+        );
+        let (sub_open, sub_proven) = branch_and_bound(&sub, limits);
+        proven &= sub_proven;
+        for (li, &gf) in comp.facility_map.iter().enumerate() {
+            if sub_open[li] {
+                open[gf] = true;
+            }
+        }
+    }
+
+    let mut sol = p.solution_from_open(&open);
+    sol.proven_optimal = proven;
+    sol
+}
+
+/// Branch-and-bound on one connected component. Returns (open, proven).
+fn branch_and_bound(p: &WelfareProblem, limits: &SolveLimits) -> (Vec<bool>, bool) {
+    let nf = p.num_facilities();
+    let fac_clients = facility_adjacency(p);
+
+    // Incumbent from local search (strong in practice).
+    let ls = solve_local_search(p, 0.01);
+    let mut best_open = ls.open.clone();
+    let mut best_welfare = ls.welfare;
+
+    // Also try greedy — occasionally better on adversarial shapes.
+    let gr = solve_greedy(p);
+    if gr.welfare > best_welfare {
+        best_welfare = gr.welfare;
+        best_open = gr.open.clone();
+    }
+
+    // DFS over (forced_open, forced_closed) as status vector.
+    #[derive(Clone)]
+    struct Node {
+        status: Vec<Status>,
+    }
+
+    let mut stack = vec![Node {
+        status: vec![Status::Free; nf],
+    }];
+    let mut nodes = 0usize;
+    let mut proven = true;
+
+    while let Some(node) = stack.pop() {
+        if nodes >= limits.max_nodes {
+            proven = false;
+            break;
+        }
+        nodes += 1;
+
+        let bound = dual_ascent_bound(p, &fac_clients, &node.status, limits.max_dual_passes);
+        if bound <= best_welfare + 1e-7 {
+            continue;
+        }
+
+        // Cheap primal at this node: open forced-open plus greedily add
+        // free facilities with positive gain.
+        let primal = node_primal(p, &fac_clients, &node.status);
+        let primal_welfare = p.welfare_of(&primal);
+        if primal_welfare > best_welfare {
+            best_welfare = primal_welfare;
+            best_open = primal;
+        }
+
+        // Branch on the free facility with the largest value mass.
+        let branch = (0..nf)
+            .filter(|&f| node.status[f] == Status::Free)
+            .max_by(|&a, &b| {
+                let ma: f64 = fac_clients[a].iter().map(|&(_, v)| v).sum();
+                let mb: f64 = fac_clients[b].iter().map(|&(_, v)| v).sum();
+                ma.partial_cmp(&mb).unwrap_or(std::cmp::Ordering::Equal)
+            });
+        let Some(f) = branch else {
+            continue; // fully decided; primal above already evaluated it
+        };
+        let mut open_child = node.clone();
+        open_child.status[f] = Status::Open;
+        let mut closed_child = node;
+        closed_child.status[f] = Status::Closed;
+        stack.push(closed_child);
+        stack.push(open_child);
+    }
+
+    // `best_open` may be a pruned solution (dead facilities removed).
+    (best_open, proven)
+}
+
+/// Valid upper bound on the welfare of any completion of `status`, via
+/// dual ascent on the equivalent min-cost UFL.
+///
+/// Transformation: let `U_l` be the best value client `l` could get from
+/// any non-closed facility. Serving `l` by facility `i` "costs"
+/// `d_{l,i} = U_l − v_{l,i} ≥ 0`, leaving `l` unserved costs `U_l`
+/// (a zero-cost dummy facility). Then
+/// `welfare(W) = Σ_l U_l − (assignment cost + opening cost)`, so any dual
+/// feasible value `D ≤ min-cost` yields `UB = Σ_l U_l − D − Σ_{forced} c`.
+fn dual_ascent_bound(
+    p: &WelfareProblem,
+    fac_clients: &[Vec<(usize, f64)>],
+    status: &[Status],
+    max_passes: usize,
+) -> f64 {
+    let nf = p.num_facilities();
+    let nc = p.num_clients();
+
+    // Effective cost: forced-open facilities are free in the min problem
+    // (their cost is charged as a constant), closed ones are unavailable.
+    let mut eff_cost = vec![0.0f64; nf];
+    let mut available = vec![false; nf];
+    let mut forced_cost = 0.0;
+    for f in 0..nf {
+        match status[f] {
+            Status::Free => {
+                available[f] = true;
+                eff_cost[f] = p.facility_cost[f];
+            }
+            Status::Open => {
+                available[f] = true;
+                eff_cost[f] = 0.0;
+                forced_cost += p.facility_cost[f];
+            }
+            Status::Closed => {}
+        }
+    }
+
+    // U_l and sorted breakpoints d_{l,i}.
+    let mut total_u = 0.0f64;
+    let mut client_d: Vec<Vec<(f64, usize)>> = Vec::with_capacity(nc);
+    for cands in &p.client_values {
+        let u_l = cands
+            .iter()
+            .filter(|&&(f, _)| available[f])
+            .map(|&(_, v)| v)
+            .fold(0.0, f64::max);
+        total_u += u_l;
+        let mut ds: Vec<(f64, usize)> = cands
+            .iter()
+            .filter(|&&(f, _)| available[f])
+            .map(|&(f, v)| (u_l - v, f))
+            .collect();
+        ds.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        client_d.push(ds);
+    }
+
+    // Dual ascent: w_l starts at the cheapest option and is raised toward
+    // U_l while facility slacks allow.
+    let mut w: Vec<f64> = client_d
+        .iter()
+        .zip(p.client_values.iter())
+        .map(|(ds, _)| ds.first().map_or(0.0, |&(d, _)| d))
+        .collect();
+    // Cap: w_l ≤ U_l (the dummy's constraint). U_l = ds last? No — U_l is
+    // max value; recompute per client.
+    let u_caps: Vec<f64> = p
+        .client_values
+        .iter()
+        .map(|cands| {
+            cands
+                .iter()
+                .filter(|&&(f, _)| available[f])
+                .map(|&(_, v)| v)
+                .fold(0.0, f64::max)
+        })
+        .collect();
+
+    let mut slack = eff_cost.clone();
+    for (l, ds) in client_d.iter().enumerate() {
+        for &(d, f) in ds {
+            let pay = w[l] - d;
+            if pay > 0.0 {
+                slack[f] -= pay;
+            }
+        }
+    }
+    let _ = fac_clients; // adjacency not needed in this direction
+
+    for _ in 0..max_passes {
+        let mut progress = false;
+        for l in 0..nc {
+            let ds = &client_d[l];
+            if ds.is_empty() {
+                continue;
+            }
+            loop {
+                if w[l] >= u_caps[l] - EPS {
+                    break;
+                }
+                // Facilities currently being paid by l (d < w_l), and the
+                // next breakpoint strictly above w_l.
+                let mut min_slack = f64::INFINITY;
+                let mut next_bp = u_caps[l];
+                for &(d, f) in ds {
+                    if d < w[l] - EPS {
+                        min_slack = min_slack.min(slack[f]);
+                    } else if d <= w[l] + EPS {
+                        // Joining exactly at the current level: consuming
+                        // starts immediately on any raise.
+                        min_slack = min_slack.min(slack[f]);
+                    } else {
+                        next_bp = next_bp.min(d);
+                        break; // sorted; later ones are farther
+                    }
+                }
+                let delta = (next_bp - w[l]).min(min_slack).min(u_caps[l] - w[l]);
+                if delta <= EPS {
+                    break;
+                }
+                // Apply the raise.
+                for &(d, f) in ds {
+                    if d <= w[l] + EPS {
+                        slack[f] -= delta;
+                    } else {
+                        break;
+                    }
+                }
+                w[l] += delta;
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+
+    let dual: f64 = w.iter().sum();
+    total_u - dual - forced_cost
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Status {
+    Free,
+    Open,
+    Closed,
+}
+
+/// Cheap primal completion: forced-open facilities plus greedy additions
+/// of free facilities with positive marginal welfare.
+fn node_primal(
+    p: &WelfareProblem,
+    fac_clients: &[Vec<(usize, f64)>],
+    status: &[Status],
+) -> Vec<bool> {
+    let nf = p.num_facilities();
+    let mut open = vec![false; nf];
+    let mut best_val = vec![0.0f64; p.num_clients()];
+    for f in 0..nf {
+        if status[f] == Status::Open {
+            open[f] = true;
+            for &(l, v) in &fac_clients[f] {
+                if v > best_val[l] {
+                    best_val[l] = v;
+                }
+            }
+        }
+    }
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for f in 0..nf {
+            if open[f] || status[f] != Status::Free {
+                continue;
+            }
+            let gain: f64 = fac_clients[f]
+                .iter()
+                .map(|&(l, v)| (v - best_val[l]).max(0.0))
+                .sum::<f64>()
+                - p.facility_cost[f];
+            if gain > EPS {
+                match best {
+                    Some((_, g)) if g >= gain => {}
+                    _ => best = Some((f, gain)),
+                }
+            }
+        }
+        match best {
+            Some((f, _)) => {
+                open[f] = true;
+                for &(l, v) in &fac_clients[f] {
+                    if v > best_val[l] {
+                        best_val[l] = v;
+                    }
+                }
+            }
+            None => break,
+        }
+    }
+    open
+}
+
+/// facility → [(client, value)] adjacency.
+fn facility_adjacency(p: &WelfareProblem) -> Vec<Vec<(usize, f64)>> {
+    let mut adj = vec![Vec::new(); p.num_facilities()];
+    for (l, cands) in p.client_values.iter().enumerate() {
+        for &(f, v) in cands {
+            adj[f].push((l, v));
+        }
+    }
+    adj
+}
+
+/// Disjoint-set union for component decomposition.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            // Deterministic: smaller root wins.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Exhaustive welfare maximization for tests (≤ 20 facilities).
+pub fn solve_exhaustive(p: &WelfareProblem) -> WelfareSolution {
+    let nf = p.num_facilities();
+    assert!(nf <= 20, "exhaustive limited to 20 facilities");
+    let mut best_open = vec![false; nf];
+    let mut best = 0.0f64; // empty set welfare
+    for mask in 1u64..(1 << nf) {
+        let open: Vec<bool> = (0..nf).map(|f| mask & (1 << f) != 0).collect();
+        let w = p.welfare_of(&open);
+        if w > best {
+            best = w;
+            best_open = open;
+        }
+    }
+    let mut sol = p.solution_from_open(&best_open);
+    sol.proven_optimal = true;
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bilp::{self, BilpProblem};
+    use crate::lp::Constraint;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_instance() -> WelfareProblem {
+        // 2 facilities (cost 3), 2 clients.
+        // client 0: f0=5, f1=4 ; client 1: f0=1, f1=4.
+        WelfareProblem::new(
+            vec![3.0, 3.0],
+            vec![vec![(0, 5.0), (1, 4.0)], vec![(0, 1.0), (1, 4.0)]],
+        )
+    }
+
+    #[test]
+    fn welfare_of_matches_manual() {
+        let p = tiny_instance();
+        assert_eq!(p.welfare_of(&[true, false]), 5.0 + 1.0 - 3.0);
+        assert_eq!(p.welfare_of(&[false, true]), 4.0 + 4.0 - 3.0);
+        assert_eq!(p.welfare_of(&[true, true]), 5.0 + 4.0 - 6.0);
+        assert_eq!(p.welfare_of(&[false, false]), 0.0);
+    }
+
+    #[test]
+    fn exact_solves_tiny_instance() {
+        let p = tiny_instance();
+        let sol = solve_exact(&p, &SolveLimits::default());
+        assert!(sol.proven_optimal);
+        assert_eq!(sol.welfare, 5.0);
+        assert_eq!(sol.open, vec![false, true]);
+        assert_eq!(sol.assignment, vec![Some(1), Some(1)]);
+    }
+
+    #[test]
+    fn local_search_matches_optimum_on_tiny() {
+        let p = tiny_instance();
+        let sol = solve_local_search(&p, 0.01);
+        assert_eq!(sol.welfare, 5.0);
+    }
+
+    #[test]
+    fn greedy_reaches_positive_welfare() {
+        let p = tiny_instance();
+        let sol = solve_greedy(&p);
+        assert!(sol.welfare > 0.0);
+    }
+
+    #[test]
+    fn unaffordable_sensors_yield_empty_solution() {
+        // All values below cost → best is to select nothing (the paper's
+        // baseline observation at budgets 7–10 with C_s = 10).
+        let p = WelfareProblem::new(
+            vec![10.0, 10.0],
+            vec![vec![(0, 6.0)], vec![(1, 7.0)]],
+        );
+        let exact = solve_exact(&p, &SolveLimits::default());
+        assert_eq!(exact.welfare, 0.0);
+        assert!(exact.open.iter().all(|&o| !o));
+        let ls = solve_local_search(&p, 0.01);
+        assert_eq!(ls.welfare, 0.0);
+    }
+
+    #[test]
+    fn sharing_makes_unaffordable_sensors_affordable() {
+        // Two clients, each worth 6 < cost 10, but together 12 > 10.
+        let p = WelfareProblem::new(
+            vec![10.0],
+            vec![vec![(0, 6.0)], vec![(0, 6.0)]],
+        );
+        let exact = solve_exact(&p, &SolveLimits::default());
+        assert_eq!(exact.welfare, 2.0);
+        assert_eq!(exact.open, vec![true]);
+    }
+
+    #[test]
+    fn dead_facilities_are_pruned_from_solutions() {
+        let p = WelfareProblem::new(
+            vec![1.0, 1.0],
+            vec![vec![(0, 5.0), (1, 4.0)]],
+        );
+        // Force both open through welfare_of vs solution_from_open.
+        let sol = p.solution_from_open(&[true, true]);
+        assert_eq!(sol.open, vec![true, false]);
+        assert_eq!(sol.welfare, 4.0);
+    }
+
+    #[test]
+    fn components_solve_independently() {
+        // Two disjoint copies of the tiny instance.
+        let p = WelfareProblem::new(
+            vec![3.0, 3.0, 3.0, 3.0],
+            vec![
+                vec![(0, 5.0), (1, 4.0)],
+                vec![(0, 1.0), (1, 4.0)],
+                vec![(2, 5.0), (3, 4.0)],
+                vec![(2, 1.0), (3, 4.0)],
+            ],
+        );
+        let sol = solve_exact(&p, &SolveLimits::default());
+        assert!(sol.proven_optimal);
+        assert_eq!(sol.welfare, 10.0);
+        assert_eq!(sol.open, vec![false, true, false, true]);
+    }
+
+    fn random_instance(rng: &mut StdRng, nf: usize, nc: usize) -> WelfareProblem {
+        let costs: Vec<f64> = (0..nf).map(|_| rng.gen_range(2.0..12.0)).collect();
+        let clients: Vec<Vec<(usize, f64)>> = (0..nc)
+            .map(|_| {
+                let mut list = Vec::new();
+                for f in 0..nf {
+                    if rng.gen_bool(0.5) {
+                        list.push((f, rng.gen_range(0.5..9.0)));
+                    }
+                }
+                list
+            })
+            .collect();
+        WelfareProblem::new(costs, clients)
+    }
+
+    #[test]
+    fn exact_matches_exhaustive_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..40 {
+            let p = random_instance(&mut rng, 8, 10);
+            let ex = solve_exhaustive(&p);
+            let bb = solve_exact(&p, &SolveLimits::default());
+            assert!(bb.proven_optimal, "trial {trial} not proven");
+            assert!(
+                (bb.welfare - ex.welfare).abs() < 1e-7,
+                "trial {trial}: bb={} exhaustive={}",
+                bb.welfare,
+                ex.welfare
+            );
+        }
+    }
+
+    #[test]
+    fn exact_matches_general_bilp_formulation() {
+        // Cross-validate the specialized solver against the literal Eq. 9
+        // BILP: variables [X_i | Y_{l,i}].
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let p = random_instance(&mut rng, 5, 6);
+            let nf = p.num_facilities();
+            // Build BILP.
+            let mut obj = vec![0.0; nf];
+            for (f, &c) in p.facility_cost.iter().enumerate() {
+                obj[f] = -c;
+            }
+            let mut constraints = Vec::new();
+            let mut y_index = nf;
+            for cands in &p.client_values {
+                let mut row = Vec::new();
+                for &(f, v) in cands {
+                    obj.push(v);
+                    // Y ≤ X
+                    constraints.push(Constraint::le(vec![(y_index, 1.0), (f, -1.0)], 0.0));
+                    row.push((y_index, 1.0));
+                    y_index += 1;
+                }
+                if !row.is_empty() {
+                    constraints.push(Constraint::le(row, 1.0)); // ≤ 1 per location
+                }
+            }
+            let mut bp = BilpProblem::maximize(obj);
+            bp.constraints = constraints;
+            let bilp_sol = bilp::solve(&bp, 200_000);
+            let ufl_sol = solve_exact(&p, &SolveLimits::default());
+            assert!(
+                (bilp_sol.objective.max(0.0) - ufl_sol.welfare).abs() < 1e-6,
+                "bilp={} ufl={}",
+                bilp_sol.objective,
+                ufl_sol.welfare
+            );
+        }
+    }
+
+    #[test]
+    fn dual_ascent_bound_is_valid_upper_bound() {
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..60 {
+            let p = random_instance(&mut rng, 7, 9);
+            let fac_clients = facility_adjacency(&p);
+            let status = vec![Status::Free; p.num_facilities()];
+            let bound = dual_ascent_bound(&p, &fac_clients, &status, 64);
+            let opt = solve_exhaustive(&p);
+            assert!(
+                bound >= opt.welfare - 1e-7,
+                "bound {bound} below optimum {}",
+                opt.welfare
+            );
+        }
+    }
+
+    #[test]
+    fn local_search_never_beats_exact_and_is_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(5150);
+        for _ in 0..30 {
+            let p = random_instance(&mut rng, 10, 12);
+            let ls = solve_local_search(&p, 0.01);
+            let ex = solve_exact(&p, &SolveLimits::default());
+            assert!(ls.welfare <= ex.welfare + 1e-7);
+            assert!(ls.welfare >= 0.0);
+        }
+    }
+
+    #[test]
+    fn assignments_point_to_open_facilities() {
+        let mut rng = StdRng::seed_from_u64(31337);
+        let p = random_instance(&mut rng, 12, 15);
+        let sol = solve_exact(&p, &SolveLimits::default());
+        for (l, a) in sol.assignment.iter().enumerate() {
+            if let Some(f) = a {
+                assert!(sol.open[*f], "client {l} assigned to closed facility");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+        #[test]
+        fn exact_at_least_local_search(seed in 0u64..1000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let p = random_instance(&mut rng, 9, 11);
+            let ls = solve_local_search(&p, 0.01);
+            let ex = solve_exact(&p, &SolveLimits::default());
+            prop_assert!(ex.welfare + 1e-7 >= ls.welfare);
+            let brute = solve_exhaustive(&p);
+            prop_assert!((ex.welfare - brute.welfare).abs() < 1e-6);
+        }
+    }
+}

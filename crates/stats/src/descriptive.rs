@@ -1,0 +1,130 @@
+//! Descriptive statistics for experiment metrics.
+
+/// Summary statistics of a sample, computed in one pass (Welford's
+/// algorithm for numerically stable variance).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub variance: f64,
+    /// Minimum observation (+∞ for an empty sample).
+    pub min: f64,
+    /// Maximum observation (−∞ for an empty sample).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations.
+    pub fn of(data: &[f64]) -> Self {
+        let mut count = 0usize;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &x in data {
+            count += 1;
+            let delta = x - mean;
+            mean += delta / count as f64;
+            m2 += delta * (x - mean);
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let variance = if count > 1 {
+            m2 / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Self {
+            count,
+            mean: if count == 0 { 0.0 } else { mean },
+            variance,
+            min,
+            max,
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Standard error of the mean (0 for an empty sample).
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        0.0
+    } else {
+        data.iter().sum::<f64>() / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance with n−1 = 7: Σ(x−5)² = 32 → 32/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn empty_sample_is_safe() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    fn mean_helper_matches_summary() {
+        let data = [1.0, 2.0, 3.5];
+        assert!((mean(&data) - Summary::of(&data).mean).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn welford_matches_two_pass(data in proptest::collection::vec(-100.0..100.0f64, 2..50)) {
+            let s = Summary::of(&data);
+            let m = data.iter().sum::<f64>() / data.len() as f64;
+            let v = data.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (data.len() as f64 - 1.0);
+            prop_assert!((s.mean - m).abs() < 1e-9);
+            prop_assert!((s.variance - v).abs() < 1e-7);
+        }
+
+        #[test]
+        fn min_le_mean_le_max(data in proptest::collection::vec(-100.0..100.0f64, 1..50)) {
+            let s = Summary::of(&data);
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Residual-driven sampling-time selection (OptiMos, ref. \[19]) and the
+//! `G` quality factor of Eq. 17.
+//!
+//! The paper determines the *desired* sampling times `T` of a location
+//! monitoring query by working "on the historical data and select\[ing] the
+//! sampling times such that the residuals of the model based on the values
+//! at the sampling times and the model given all the historical data is
+//! minimized" — with the number of sampling times fixed in advance. The
+//! valuation of the *achieved* samples `T'` is then the residual ratio
+//!
+//! ```text
+//! G(T') = Σ r²ᵢ|T  /  Σ r²ᵢ|T'                                  (Eq. 17)
+//! ```
+//!
+//! where `r_i|X` is the residual of the i-th historical item against a
+//! model trained only on timestamps in `X`.
+
+use crate::regression::{Basis, LinearModel};
+use crate::series::TimeSeries;
+
+const RIDGE: f64 = 1e-8;
+
+/// Greedily selects `k` sampling times from `candidates` so that a model
+/// trained on (the historical values at) the selected times minimizes the
+/// residual sum of squares against the whole `history`.
+///
+/// Ties break toward the earlier candidate; returned times are sorted.
+pub fn select_sampling_times<B: Basis>(
+    basis: &B,
+    history: &TimeSeries,
+    candidates: &[f64],
+    k: usize,
+) -> Vec<f64> {
+    let k = k.min(candidates.len());
+    if k == 0 || history.is_empty() {
+        return Vec::new();
+    }
+    let mut chosen: Vec<f64> = Vec::with_capacity(k);
+    let mut remaining: Vec<f64> = candidates.to_vec();
+
+    for _ in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, &cand) in remaining.iter().enumerate() {
+            chosen.push(cand);
+            let rss = rss_of_training_times(basis, history, &chosen);
+            chosen.pop();
+            match best {
+                Some((_, b)) if b <= rss => {}
+                _ => best = Some((idx, rss)),
+            }
+        }
+        let (idx, _) = best.expect("remaining non-empty while k not reached");
+        chosen.push(remaining.remove(idx));
+    }
+    chosen.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    chosen
+}
+
+/// Residual sum of squares of the whole history under a model trained only
+/// on the history's values at `training_times` — the `Σ r²ᵢ|X` of Eq. 17.
+///
+/// With no training times, the model predicts 0 everywhere, so the RSS is
+/// the raw energy of the series (maximally bad), which is the desired
+/// behaviour for `G(∅)`.
+pub fn rss_of_training_times<B: Basis>(
+    basis: &B,
+    history: &TimeSeries,
+    training_times: &[f64],
+) -> f64 {
+    let values: Vec<f64> = training_times
+        .iter()
+        .map(|&t| history.value_at(t))
+        .collect();
+    let model = LinearModel::fit(basis, training_times, &values, RIDGE);
+    model.rss(basis, history.times(), history.values())
+}
+
+/// The quality factor `G(T') = RSS|desired / RSS|sampled` of Eq. 17.
+///
+/// * `G = 0` when nothing has been sampled (infinite denominator in
+///   spirit: a model with no data explains nothing).
+/// * `G ≈ 1` when the sampled times are as informative as the desired
+///   ones, and `G > 1` when they happen to be *more* informative.
+/// * Guards against a zero denominator (perfect fit from `T'`) by
+///   clamping to `G_MAX`.
+pub fn g_factor<B: Basis>(
+    basis: &B,
+    history: &TimeSeries,
+    desired_times: &[f64],
+    sampled_times: &[f64],
+) -> f64 {
+    const G_MAX: f64 = 4.0;
+    if sampled_times.is_empty() || history.is_empty() {
+        return 0.0;
+    }
+    let rss_desired = rss_of_training_times(basis, history, desired_times);
+    let rss_sampled = rss_of_training_times(basis, history, sampled_times);
+    if rss_sampled <= 1e-12 {
+        return G_MAX;
+    }
+    (rss_desired / rss_sampled).min(G_MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regression::DiurnalBasis;
+
+    fn diurnal_history() -> TimeSeries {
+        let times: Vec<f64> = (0..96).map(|i| i as f64 * 0.5).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| 20.0 + 6.0 * (std::f64::consts::TAU * t / 24.0).sin())
+            .collect();
+        TimeSeries::new(times, values)
+    }
+
+    fn basis() -> DiurnalBasis {
+        DiurnalBasis {
+            period: 24.0,
+            harmonics: 1,
+        }
+    }
+
+    #[test]
+    fn selects_requested_count() {
+        let h = diurnal_history();
+        let candidates: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let times = select_sampling_times(&basis(), &h, &candidates, 5);
+        assert_eq!(times.len(), 5);
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn zero_k_gives_empty() {
+        let h = diurnal_history();
+        assert!(select_sampling_times(&basis(), &h, &[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_candidates_is_clamped() {
+        let h = diurnal_history();
+        let times = select_sampling_times(&basis(), &h, &[1.0, 5.0], 10);
+        assert_eq!(times.len(), 2);
+    }
+
+    #[test]
+    fn selected_times_beat_random_prefix() {
+        // The greedy choice should be at least as informative as naively
+        // taking the first k candidates.
+        let h = diurnal_history();
+        let candidates: Vec<f64> = (0..48).map(|i| i as f64).collect();
+        let k = 4;
+        let selected = select_sampling_times(&basis(), &h, &candidates, k);
+        let naive: Vec<f64> = candidates[..k].to_vec();
+        let rss_selected = rss_of_training_times(&basis(), &h, &selected);
+        let rss_naive = rss_of_training_times(&basis(), &h, &naive);
+        assert!(rss_selected <= rss_naive + 1e-9);
+    }
+
+    #[test]
+    fn g_factor_empty_sampled_is_zero() {
+        let h = diurnal_history();
+        assert_eq!(g_factor(&basis(), &h, &[0.0, 6.0, 12.0], &[]), 0.0);
+    }
+
+    #[test]
+    fn g_factor_of_same_set_is_one() {
+        let h = diurnal_history();
+        let t = vec![0.0, 6.0, 12.0, 18.0, 24.0];
+        let g = g_factor(&basis(), &h, &t, &t);
+        assert!((g - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn g_factor_grows_with_more_samples() {
+        let h = diurnal_history();
+        let desired = vec![0.0, 6.0, 12.0, 18.0];
+        let few = vec![0.0, 6.0];
+        let more = vec![0.0, 6.0, 12.0, 18.0];
+        let g_few = g_factor(&basis(), &h, &desired, &few);
+        let g_more = g_factor(&basis(), &h, &desired, &more);
+        assert!(g_more >= g_few - 1e-9);
+        assert!((g_more - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn g_factor_is_clamped() {
+        let h = diurnal_history();
+        // Sampled set far richer than a deliberately poor desired set.
+        let desired = vec![0.0];
+        let sampled: Vec<f64> = (0..24).map(|i| i as f64).collect();
+        let g = g_factor(&basis(), &h, &desired, &sampled);
+        assert!(g <= 4.0 + 1e-12);
+        assert!(g >= 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Time series with interpolation — the "historical data" the
+//! location-monitoring valuation regresses against.
+
+/// A time series with strictly increasing timestamps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from parallel `times`/`values` vectors.
+    ///
+    /// # Panics
+    /// Panics when lengths differ or timestamps are not strictly
+    /// increasing.
+    pub fn new(times: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(times.len(), values.len(), "times/values length mismatch");
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "timestamps must be strictly increasing"
+        );
+        Self { times, values }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the series has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Timestamps.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterator over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Value at time `t` by linear interpolation; clamps to the first/last
+    /// value outside the observed range.
+    ///
+    /// # Panics
+    /// Panics on an empty series.
+    pub fn value_at(&self, t: f64) -> f64 {
+        assert!(!self.is_empty(), "value_at on empty series");
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().expect("non-empty") {
+            return *self.values.last().expect("non-empty");
+        }
+        // Binary search for the bracketing interval.
+        let idx = self
+            .times
+            .partition_point(|&x| x <= t);
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        let alpha = (t - t0) / (t1 - t0);
+        v0 + alpha * (v1 - v0)
+    }
+
+    /// The sub-series with `start <= t <= end`.
+    pub fn window(&self, start: f64, end: f64) -> TimeSeries {
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        for (t, v) in self.iter() {
+            if t >= start && t <= end {
+                times.push(t);
+                values.push(v);
+            }
+        }
+        TimeSeries { times, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ramp() -> TimeSeries {
+        TimeSeries::new(vec![0.0, 1.0, 2.0, 4.0], vec![0.0, 10.0, 20.0, 40.0])
+    }
+
+    #[test]
+    fn value_at_interpolates_linearly() {
+        let s = ramp();
+        assert_eq!(s.value_at(0.5), 5.0);
+        assert_eq!(s.value_at(3.0), 30.0);
+    }
+
+    #[test]
+    fn value_at_clamps_outside_range() {
+        let s = ramp();
+        assert_eq!(s.value_at(-1.0), 0.0);
+        assert_eq!(s.value_at(99.0), 40.0);
+    }
+
+    #[test]
+    fn value_at_exact_timestamps() {
+        let s = ramp();
+        for (t, v) in s.iter() {
+            assert_eq!(s.value_at(t), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_times_rejected() {
+        let _ = TimeSeries::new(vec![0.0, 2.0, 1.0], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn window_selects_inclusive_range() {
+        let s = ramp();
+        let w = s.window(1.0, 2.0);
+        assert_eq!(w.times(), &[1.0, 2.0]);
+        assert_eq!(w.values(), &[10.0, 20.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn interpolation_is_bounded_by_neighbours(t in 0.0..4.0f64) {
+            let s = ramp();
+            let v = s.value_at(t);
+            prop_assert!((-1e-9..=40.0 + 1e-9).contains(&v));
+        }
+    }
+}

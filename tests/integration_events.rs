@@ -1,0 +1,139 @@
+//! End-to-end event detection (§2.3 extension): an event monitor buys
+//! redundant readings through Algorithm 1's multi-sensor valuation until
+//! its confidence target is met, then detects a threshold crossing in the
+//! synthetic Intel-Lab field.
+
+use ps_core::alloc::greedy::greedy_select;
+use ps_core::model::{QueryId, SensorSnapshot};
+use ps_core::monitor::event::{EventMonitor, EventQuerySpec};
+use ps_core::valuation::multi_point::MultiPointValuation;
+use ps_core::valuation::quality::QualityModel;
+use ps_core::valuation::SetValuation;
+use ps_data::intel::{IntelConfig, IntelFieldDataset};
+use ps_geo::Point;
+
+#[test]
+fn event_monitor_detects_through_redundant_sampling() {
+    // Ground truth: a warm Intel-Lab-style field (mean 22).
+    let dataset = IntelFieldDataset::generate(&IntelConfig::default(), 10);
+    let loc = Point::new(10.5, 7.5);
+    let quality = QualityModel::new(4.0);
+
+    // Fire when the estimate exceeds a threshold below the field mean, so
+    // the event is genuinely present; demand high confidence so one
+    // reading is not enough.
+    // Confidence 0.90 needs all three θ ≈ 0.52–0.62 readings
+    // (1 − 0.38·0.43·0.47 ≈ 0.92); the budget must make even the third,
+    // strongly diminished marginal worth a sensor's price.
+    let mut monitor = EventMonitor::new(EventQuerySpec {
+        id: QueryId(1),
+        loc,
+        t1: 0,
+        t2: 9,
+        threshold: 15.0,
+        confidence: 0.90,
+        budget_per_slot: 150.0,
+        theta_min: 0.2,
+    });
+
+    // Three mediocre sensors near the location: θ ≈ 0.6 each, so a single
+    // reading (confidence 0.6) cannot fire, but the redundancy valuation
+    // makes Algorithm 1 buy several.
+    let sensors: Vec<SensorSnapshot> = (0..3)
+        .map(|i| SensorSnapshot {
+            id: i,
+            loc: Point::new(10.5 + 0.3 * i as f64, 7.5),
+            cost: 10.0,
+            trust: 0.65,
+            inaccuracy: 0.05,
+        })
+        .collect();
+
+    let mut detected = false;
+    for slot in 0..10 {
+        let pq = monitor
+            .create_point_query(slot, QueryId(100 + slot as u64), 0)
+            .expect("active window");
+        let mut valuation = MultiPointValuation::new(pq, quality, 5);
+        let mut vals: Vec<&mut dyn SetValuation> = vec![&mut valuation];
+        let outcome = greedy_select(&mut vals, &sensors);
+        assert!(
+            outcome.selected.len() >= 2,
+            "redundancy valuation bought only {} readings",
+            outcome.selected.len()
+        );
+
+        // Each selected sensor reports the field value of its cell, tagged
+        // with its reading quality.
+        let readings: Vec<(f64, f64)> = outcome
+            .selected
+            .iter()
+            .map(|&si| {
+                let s = &sensors[si];
+                let value = dataset.reading_at(slot, s.loc).expect("inside grid");
+                (value, quality.quality(s, loc))
+            })
+            .collect();
+        let payment: f64 = outcome.per_query_payments[0].iter().map(|&(_, p)| p).sum();
+        if monitor.apply_readings(slot, &readings, payment).is_some() {
+            detected = true;
+            break;
+        }
+    }
+    assert!(detected, "event never detected despite value above threshold");
+    let d = monitor.detections()[0];
+    assert!(d.estimate > 15.0);
+    assert!(d.confidence >= 0.90);
+    assert!(monitor.spent() > 0.0, "readings must be paid for");
+}
+
+#[test]
+fn insufficient_redundancy_budget_prevents_confident_detection() {
+    // With budget for at most one reading, confidence 0.6 < 0.93: no
+    // detection may fire even though the value exceeds the threshold.
+    let dataset = IntelFieldDataset::generate(&IntelConfig::default(), 3);
+    let loc = Point::new(5.5, 5.5);
+    let quality = QualityModel::new(4.0);
+    let mut monitor = EventMonitor::new(EventQuerySpec {
+        id: QueryId(2),
+        loc,
+        t1: 0,
+        t2: 2,
+        threshold: 10.0,
+        confidence: 0.93,
+        budget_per_slot: 14.0, // covers one 10-cost sensor at θ ≈ 0.6
+        theta_min: 0.2,
+    });
+    let sensors = vec![SensorSnapshot {
+        id: 0,
+        loc,
+        cost: 10.0,
+        trust: 0.65,
+        inaccuracy: 0.05,
+    }];
+    for slot in 0..3 {
+        let pq = monitor
+            .create_point_query(slot, QueryId(200 + slot as u64), 0)
+            .unwrap();
+        let mut valuation = MultiPointValuation::new(pq, quality, 5);
+        let mut vals: Vec<&mut dyn SetValuation> = vec![&mut valuation];
+        let outcome = greedy_select(&mut vals, &sensors);
+        let readings: Vec<(f64, f64)> = outcome
+            .selected
+            .iter()
+            .map(|&si| {
+                let s = &sensors[si];
+                (
+                    dataset.reading_at(slot, s.loc).unwrap(),
+                    quality.quality(s, loc),
+                )
+            })
+            .collect();
+        let payment: f64 = outcome.per_query_payments[0].iter().map(|&(_, p)| p).sum();
+        let detection = monitor.apply_readings(slot, &readings, payment);
+        assert!(
+            detection.is_none(),
+            "single low-quality reading fired a 0.93-confidence event"
+        );
+    }
+}

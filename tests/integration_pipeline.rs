@@ -1,0 +1,141 @@
+//! Cross-crate integration: mobility traces → sensor pool → core
+//! schedulers, verifying the paper's economic invariants end-to-end.
+
+use ps_core::alloc::baseline::BaselinePointScheduler;
+use ps_core::alloc::local_search::LocalSearchScheduler;
+use ps_core::alloc::optimal::OptimalScheduler;
+use ps_core::alloc::PointScheduler;
+use ps_core::valuation::quality::QualityModel;
+use ps_sim::config::Scale;
+use ps_sim::experiments::point_queries::rwm_setting;
+use ps_sim::sensors::{SensorPool, SensorPoolConfig};
+use ps_sim::workload::{point_queries, BudgetScheme};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scale() -> Scale {
+    Scale {
+        slots: 6,
+        query_factor: 0.15,
+        sensor_factor: 0.5,
+        seed: 424242,
+    }
+}
+
+#[test]
+fn full_pipeline_schedules_and_respects_invariants() {
+    let scale = scale();
+    let setting = rwm_setting(&scale, 7);
+    let mut pool = SensorPool::new(setting.num_agents, &SensorPoolConfig::paper_default(50, 7));
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut next_id = 0u64;
+    let optimal = OptimalScheduler::new();
+    let ls = LocalSearchScheduler::new();
+    let baseline = BaselinePointScheduler::new();
+
+    for slot in 0..scale.slots {
+        let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
+        let queries = point_queries(
+            &mut rng,
+            40,
+            &setting.working_region,
+            BudgetScheme::Fixed(20.0),
+            &mut next_id,
+        );
+
+        let alloc_opt = optimal.schedule(&queries, &sensors, &setting.quality);
+        let alloc_ls = ls.schedule(&queries, &sensors, &setting.quality);
+        let alloc_base = baseline.schedule(&queries, &sensors, &setting.quality);
+
+        // Welfare ordering: Optimal ≥ LocalSearch and Optimal ≥ Baseline.
+        assert!(
+            alloc_opt.welfare >= alloc_ls.welfare - 1e-7,
+            "slot {slot}: optimal {} < LS {}",
+            alloc_opt.welfare,
+            alloc_ls.welfare
+        );
+        assert!(
+            alloc_opt.welfare >= alloc_base.welfare - 1e-7,
+            "slot {slot}: optimal {} < baseline {}",
+            alloc_opt.welfare,
+            alloc_base.welfare
+        );
+
+        // Economic invariants for the welfare-sharing schedulers.
+        for alloc in [&alloc_opt, &alloc_ls] {
+            let mut receipts = vec![0.0; sensors.len()];
+            for a in alloc.assignments.iter().flatten() {
+                assert!(a.payment <= a.value + 1e-9, "payment exceeds value");
+                assert!(a.quality >= 0.0 && a.quality <= 1.0);
+                receipts[a.sensor] += a.payment;
+            }
+            for &si in &alloc.sensors_used {
+                assert!(
+                    (receipts[si] - sensors[si].cost).abs() < 1e-7,
+                    "sensor {si} receipts {} != cost {}",
+                    receipts[si],
+                    sensors[si].cost
+                );
+            }
+        }
+
+        pool.record_measurements(slot, alloc_opt.sensors_used.iter().map(|&si| sensors[si].id));
+    }
+}
+
+#[test]
+fn lifetime_attrition_shrinks_the_pool() {
+    let scale = scale();
+    let setting = rwm_setting(&scale, 13);
+    // Tiny lifetime: sensors die after 2 readings.
+    let mut pool = SensorPool::new(setting.num_agents, &SensorPoolConfig::paper_default(2, 13));
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut next_id = 0u64;
+    let optimal = OptimalScheduler::new();
+
+    let initial = pool
+        .snapshots(0, &setting.trace, &setting.working_region)
+        .len();
+    for slot in 0..scale.slots {
+        let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
+        let queries = point_queries(
+            &mut rng,
+            60,
+            &setting.working_region,
+            BudgetScheme::Fixed(35.0),
+            &mut next_id,
+        );
+        let alloc = optimal.schedule(&queries, &sensors, &setting.quality);
+        pool.record_measurements(slot, alloc.sensors_used.iter().map(|&si| sensors[si].id));
+    }
+    assert!(
+        pool.exhausted_count() > 0,
+        "no sensor exhausted its lifetime despite heavy load"
+    );
+    assert!(initial > 0);
+}
+
+#[test]
+fn quality_model_bounds_served_distance() {
+    let scale = scale();
+    let setting = rwm_setting(&scale, 21);
+    let pool = SensorPool::new(setting.num_agents, &SensorPoolConfig::paper_default(50, 21));
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut next_id = 0u64;
+    let sensors = pool.snapshots(0, &setting.trace, &setting.working_region);
+    let queries = point_queries(
+        &mut rng,
+        80,
+        &setting.working_region,
+        BudgetScheme::Fixed(30.0),
+        &mut next_id,
+    );
+    let quality = QualityModel::new(5.0);
+    let alloc = OptimalScheduler::new().schedule(&queries, &sensors, &quality);
+    for (q, a) in queries.iter().zip(alloc.assignments.iter()) {
+        if let Some(a) = a {
+            let d = sensors[a.sensor].loc.distance(q.loc);
+            assert!(d <= 5.0 + 1e-9, "assignment beyond d_max: {d}");
+        }
+    }
+}
