@@ -54,9 +54,7 @@ fn bench_schedulers(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("exact", format!("{nf}s_{nc}l")),
             &problem,
-            |b, p| {
-                b.iter(|| black_box(ufl::solve_exact(p, &SolveLimits::default()).welfare))
-            },
+            |b, p| b.iter(|| black_box(ufl::solve_exact(p, &SolveLimits::default()).welfare)),
         );
         group.bench_with_input(
             BenchmarkId::new("local_search", format!("{nf}s_{nc}l")),

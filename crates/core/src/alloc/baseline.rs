@@ -265,7 +265,10 @@ mod tests {
         let alloc =
             BaselinePointScheduler::new().schedule(&queries, &sensors, &QualityModel::new(5.0));
         assert!(alloc.assignments[0].is_none() || alloc.assignments[0].unwrap().payment == 0.0);
-        assert_eq!(alloc.satisfied_count(), 1 + usize::from(alloc.assignments[0].is_some()));
+        assert_eq!(
+            alloc.satisfied_count(),
+            1 + usize::from(alloc.assignments[0].is_some())
+        );
     }
 
     #[test]

@@ -185,7 +185,12 @@ mod tests {
         assert_eq!(out.selected, vec![0]);
         assert!(out.welfare > 0.0);
         // Payments split in proportion to marginal value and cover cost.
-        let paid: f64 = out.per_query_payments.iter().flatten().map(|&(_, p)| p).sum();
+        let paid: f64 = out
+            .per_query_payments
+            .iter()
+            .flatten()
+            .map(|&(_, p)| p)
+            .sum();
         assert!((paid - 10.0).abs() < 1e-9);
     }
 
@@ -203,7 +208,12 @@ mod tests {
                     let y = rng.gen_range(0.0..20.0);
                     agg(
                         i as u64,
-                        Rect::new(x, y, x + rng.gen_range(4.0..12.0), y + rng.gen_range(4.0..12.0)),
+                        Rect::new(
+                            x,
+                            y,
+                            x + rng.gen_range(4.0..12.0),
+                            y + rng.gen_range(4.0..12.0),
+                        ),
                         rng.gen_range(20.0..80.0),
                     )
                 })
@@ -274,14 +284,28 @@ mod tests {
         let nq = 5;
         let ns = 12;
         let queries: Vec<AggregateQuery> = (0..nq)
-            .map(|i| agg(i as u64, Rect::new(0.0, 0.0, 20.0, 20.0), rng.gen_range(50.0..150.0)))
+            .map(|i| {
+                agg(
+                    i as u64,
+                    Rect::new(0.0, 0.0, 20.0, 20.0),
+                    rng.gen_range(50.0..150.0),
+                )
+            })
             .collect();
         let mut vals_storage: Vec<AggregateValuation> = queries
             .iter()
             .map(|q| AggregateValuation::new(q, 5.0))
             .collect();
         let sensors: Vec<SensorSnapshot> = (0..ns)
-            .map(|id| sensor(id, rng.gen_range(0.0..20.0), rng.gen_range(0.0..20.0), 10.0, 1.0))
+            .map(|id| {
+                sensor(
+                    id,
+                    rng.gen_range(0.0..20.0),
+                    rng.gen_range(0.0..20.0),
+                    10.0,
+                    1.0,
+                )
+            })
             .collect();
         let mut vals: Vec<&mut dyn SetValuation> = vals_storage
             .iter_mut()
@@ -309,7 +333,10 @@ mod tests {
             theta_min: 0.2,
             origin: QueryOrigin::EndUser,
         };
-        let q1 = PointQuery { id: QueryId(1), ..q0 };
+        let q1 = PointQuery {
+            id: QueryId(1),
+            ..q0
+        };
         let mut v0 = PointValuation::new(q0, quality);
         let mut v1 = PointValuation::new(q1, quality);
         let sensors = vec![sensor(0, 0.5, 0.0, 10.0, 1.0)];

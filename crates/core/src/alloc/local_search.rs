@@ -160,8 +160,7 @@ mod tests {
         let quality = QualityModel::new(5.0);
         let (queries, sensors) = random_instance(&mut rng, 12, 8);
         let groups = crate::alloc::group_by_location(&queries);
-        let problem =
-            crate::alloc::build_welfare_problem(&queries, &groups, &sensors, &quality);
+        let problem = crate::alloc::build_welfare_problem(&queries, &groups, &sensors, &quality);
         let f = FnSet::new(sensors.len(), |set| {
             let open: Vec<bool> = (0..sensors.len()).map(|i| set.contains(i)).collect();
             problem.welfare_of(&open)

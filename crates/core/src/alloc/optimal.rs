@@ -151,7 +151,8 @@ mod tests {
         let alloc =
             OptimalScheduler::new().schedule(&[], &[sensor(0, 0.0, 10.0)], &QualityModel::new(5.0));
         assert!(alloc.assignments.is_empty());
-        let alloc2 = OptimalScheduler::new().schedule(&[pq(0, 0.0, 10.0)], &[], &QualityModel::new(5.0));
+        let alloc2 =
+            OptimalScheduler::new().schedule(&[pq(0, 0.0, 10.0)], &[], &QualityModel::new(5.0));
         assert!(alloc2.assignments[0].is_none());
     }
 }

@@ -214,8 +214,7 @@ impl SensorEconomics {
     /// privacy cost (Eq. 15: `PSL · p_s · C_s`).
     pub fn price(&self, now: Slot) -> f64 {
         let energy_cost = self.energy.cost(self.base_price, self.remaining_energy());
-        let privacy_cost =
-            self.psl.factor() * self.history.privacy_loss(now) * self.base_price;
+        let privacy_cost = self.psl.factor() * self.history.privacy_loss(now) * self.base_price;
         energy_cost + privacy_cost
     }
 
@@ -321,8 +320,13 @@ mod tests {
 
     #[test]
     fn price_reflects_privacy_pressure() {
-        let mut e =
-            SensorEconomics::new(10.0, EnergyModel::Fixed, PrivacySensitivity::VeryHigh, 50, 5);
+        let mut e = SensorEconomics::new(
+            10.0,
+            EnergyModel::Fixed,
+            PrivacySensitivity::VeryHigh,
+            50,
+            5,
+        );
         let fresh = e.price(0);
         e.record_measurement(0);
         let after = e.price(1);

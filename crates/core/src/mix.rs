@@ -14,6 +14,51 @@
 //!    queries that originally paid.
 //! 4. **Data acquisition & accounting** — selected sensors measure, the
 //!    ledger charges queries and pays sensors.
+//!
+//! # Example
+//!
+//! One slot with two sensors and two end-user point queries that share a
+//! location (and therefore a sensor); no aggregates or monitors:
+//!
+//! ```rust
+//! use ps_core::mix::run_mix_alg5;
+//! use ps_core::model::{QueryId, SensorSnapshot};
+//! use ps_core::query::{PointQuery, QueryOrigin};
+//! use ps_core::valuation::quality::QualityModel;
+//! use ps_geo::Point;
+//!
+//! let sensors = vec![
+//!     SensorSnapshot { id: 0, loc: Point::new(5.0, 5.0), cost: 10.0, trust: 1.0, inaccuracy: 0.0 },
+//!     SensorSnapshot { id: 1, loc: Point::new(12.0, 5.0), cost: 10.0, trust: 0.9, inaccuracy: 0.1 },
+//! ];
+//! let queries: Vec<PointQuery> = (0..2)
+//!     .map(|i| PointQuery {
+//!         id: QueryId(i),
+//!         loc: Point::new(5.0, 5.0),
+//!         budget: 12.0,
+//!         offset: 0.0,
+//!         theta_min: 0.2,
+//!         origin: QueryOrigin::EndUser,
+//!     })
+//!     .collect();
+//!
+//! let mut next_query_id = 100;
+//! let outcome = run_mix_alg5(
+//!     0,                       // slot
+//!     &sensors,
+//!     &QualityModel::new(5.0), // Eq. 4, d_max = 5
+//!     10.0,                    // sensing range for aggregates
+//!     &queries,
+//!     &[],                     // no aggregate queries
+//!     &mut [],                 // no location monitors
+//!     &mut [],                 // no region monitors
+//!     &mut next_query_id,
+//! );
+//! // Both co-located queries are satisfied by the same (cheapest) sensor.
+//! assert_eq!(outcome.breakdown.point_satisfied, 2);
+//! assert_eq!(outcome.sensors_used.len(), 1);
+//! assert!(outcome.welfare > 0.0);
+//! ```
 
 use crate::alloc::baseline::{baseline_select_for_query, BaselinePointScheduler};
 use crate::alloc::greedy::greedy_select;
@@ -174,8 +219,7 @@ pub fn run_mix_alg5(
 
     // Point queries of all three origins.
     let mut lm_results: Vec<Option<(f64, f64)>> = vec![None; location_monitors.len()];
-    let mut rm_satisfied: Vec<Vec<(SensorSnapshot, f64)>> =
-        vec![Vec::new(); region_monitors.len()];
+    let mut rm_satisfied: Vec<Vec<(SensorSnapshot, f64)>> = vec![Vec::new(); region_monitors.len()];
     for (pi, v) in point_vals.iter().enumerate() {
         let idx = na + pi;
         let value = v.current_value();
@@ -386,7 +430,9 @@ pub fn run_mix_baseline(
                 breakdown.monitor_samples += 1;
                 welfare += m.value() - before;
             }
-            QueryOrigin::RegionMonitor { .. } => unreachable!("baseline mix has no region monitors"),
+            QueryOrigin::RegionMonitor { .. } => {
+                unreachable!("baseline mix has no region monitors")
+            }
         }
     }
     welfare -= alloc.total_sensor_cost;

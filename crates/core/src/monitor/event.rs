@@ -124,7 +124,12 @@ impl EventMonitor {
     /// [`crate::valuation::multi_point::MultiPointValuation`] so that the
     /// redundancy valuation buys readings until the requested confidence
     /// is covered.
-    pub fn create_point_query(&self, t: Slot, id: QueryId, monitor_index: usize) -> Option<PointQuery> {
+    pub fn create_point_query(
+        &self,
+        t: Slot,
+        id: QueryId,
+        monitor_index: usize,
+    ) -> Option<PointQuery> {
         if !self.is_active(t) {
             return None;
         }
@@ -236,14 +241,20 @@ mod tests {
         assert!(m.apply_readings(1, &[(80.0, 0.6)], 8.0).is_none());
         // A second independent reading lifts confidence to 1 − 0.4² = 0.84
         // — still short.
-        assert!(m.apply_readings(2, &[(80.0, 0.6), (75.0, 0.6)], 8.0).is_none());
+        assert!(m
+            .apply_readings(2, &[(80.0, 0.6), (75.0, 0.6)], 8.0)
+            .is_none());
         // Three readings: 1 − 0.4³ = 0.936 — still short of 0.95.
         assert!(m
             .apply_readings(3, &[(80.0, 0.6), (75.0, 0.6), (82.0, 0.6)], 8.0)
             .is_none());
         // Four: 1 − 0.4⁴ = 0.974 ≥ 0.95 → fire.
         assert!(m
-            .apply_readings(4, &[(80.0, 0.6), (75.0, 0.6), (82.0, 0.6), (79.0, 0.6)], 8.0)
+            .apply_readings(
+                4,
+                &[(80.0, 0.6), (75.0, 0.6), (82.0, 0.6), (79.0, 0.6)],
+                8.0
+            )
             .is_some());
     }
 

@@ -297,7 +297,9 @@ mod tests {
     #[test]
     fn full_value_at_desired_time() {
         let m = monitor(vec![5.0, 15.0], 100.0, 0.5);
-        let pq = m.create_point_query(5, QueryId(9), 0).expect("desired time");
+        let pq = m
+            .create_point_query(5, QueryId(9), 0)
+            .expect("desired time");
         // Budget equals the full marginal Δv_t.
         assert!(pq.budget > 0.0);
         assert_eq!(pq.loc, m.loc);
@@ -346,7 +348,9 @@ mod tests {
         let mut m = monitor(vec![5.0, 15.0], 100.0, 0.5);
         // Nothing sampled at slot 5 (failed); at slot 6 nst (=5) ≤ 6 → full.
         m.apply_result(5, None);
-        let pq = m.create_point_query(6, QueryId(9), 0).expect("recovery query");
+        let pq = m
+            .create_point_query(6, QueryId(9), 0)
+            .expect("recovery query");
         let full_dv = pq.budget;
         assert!(full_dv > 0.0);
     }

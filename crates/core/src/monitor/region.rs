@@ -209,7 +209,9 @@ impl RegionMonitor {
                     }
                 }
             }
-            let Some((si, tau_off, _delta)) = best else { break };
+            let Some((si, tau_off, _delta)) = best else {
+                break;
+            };
             let field = fields[tau_off].as_mut().expect("created during scan");
             field.commit(&sensors[si]);
             chosen[tau_off].push(si);
@@ -381,8 +383,7 @@ mod tests {
         // Budget 15 with cost-10 sensors: at most ~1–2 sensors planned
         // across all horizon slots, so the current slot gets ≤ 2.
         let m = monitor(15.0, 0, 10);
-        let sensors: Vec<SensorSnapshot> =
-            (0..6).map(|i| sensor(i, 1.0 + i as f64, 3.0)).collect();
+        let sensors: Vec<SensorSnapshot> = (0..6).map(|i| sensor(i, 1.0 + i as f64, 3.0)).collect();
         let costs: Vec<f64> = sensors.iter().map(|s| s.cost).collect();
         let mut next_id = 0u64;
         let plan = m.plan(0, &sensors, &costs, 0, &mut || {

@@ -77,8 +77,7 @@ impl SetValuation for AggregateValuation {
     fn marginal(&self, sensor: &SensorSnapshot) -> f64 {
         let new_fraction = self.coverage.fraction_with(sensor.loc);
         let theta = sensor.intrinsic_quality();
-        let new_value =
-            self.value_parts(new_fraction, self.sum_theta + theta, self.count + 1);
+        let new_value = self.value_parts(new_fraction, self.sum_theta + theta, self.count + 1);
         new_value - self.current_value()
     }
 

@@ -171,7 +171,10 @@ mod tests {
         let m2 = v.marginal(&sensor(1, 2.5, 1.0));
         v.commit(&sensor(1, 2.5, 1.0));
         let m3 = v.marginal(&sensor(2, 2.5, 1.0));
-        assert!(m1 > m2 && m2 > m3, "marginals not diminishing: {m1} {m2} {m3}");
+        assert!(
+            m1 > m2 && m2 > m3,
+            "marginals not diminishing: {m1} {m2} {m3}"
+        );
         // Confidence: 1 − 0.5³ after three identical readings.
         v.commit(&sensor(2, 2.5, 1.0));
         assert!((v.confidence() - (1.0 - 0.125)).abs() < 1e-12);

@@ -220,7 +220,10 @@ mod tests {
                 }
             }
         }
-        assert!(near / n as f64 * 1.5 < far / n as f64, "no spatial smoothness");
+        assert!(
+            near / n as f64 * 1.5 < far / n as f64,
+            "no spatial smoothness"
+        );
     }
 
     #[test]

@@ -78,10 +78,7 @@ impl OzoneTrace {
             .map(|i| {
                 let t = i as f64 - history_len as f64;
                 noise = config.noise_ar * noise + innov * standard_normal(&mut rng);
-                config.base
-                    + config.amplitude * (omega * t).sin()
-                    + config.trend * t
-                    + noise
+                config.base + config.amplitude * (omega * t).sin() + config.trend * t + noise
             })
             .collect();
         Self {

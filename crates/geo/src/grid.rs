@@ -145,13 +145,19 @@ mod tests {
     #[test]
     fn cell_containing_interior_point() {
         let g = Grid::new(10, 10);
-        assert_eq!(g.cell_containing(Point::new(3.7, 8.2)), Some(Cell::new(3, 8)));
+        assert_eq!(
+            g.cell_containing(Point::new(3.7, 8.2)),
+            Some(Cell::new(3, 8))
+        );
     }
 
     #[test]
     fn cell_containing_boundary() {
         let g = Grid::new(10, 10);
-        assert_eq!(g.cell_containing(Point::new(10.0, 10.0)), Some(Cell::new(9, 9)));
+        assert_eq!(
+            g.cell_containing(Point::new(10.0, 10.0)),
+            Some(Cell::new(9, 9))
+        );
         assert_eq!(g.cell_containing(Point::new(-0.1, 5.0)), None);
         assert_eq!(g.cell_containing(Point::new(10.5, 5.0)), None);
     }

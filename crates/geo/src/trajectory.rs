@@ -33,10 +33,7 @@ impl Trajectory {
 
     /// Total polyline length.
     pub fn length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].distance(w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].distance(w[1])).sum()
     }
 
     /// The point at arc-length parameter `t ∈ [0, 1]` along the polyline.

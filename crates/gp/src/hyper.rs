@@ -65,10 +65,12 @@ pub fn fit_rbf(locations: &[Point], readings: &[f64], grid: &HyperGrid) -> Fitte
         for &l in &grid.length_scales {
             for &n in &grid.noise_variances {
                 let kernel = SquaredExponential::new(v, l);
-                let gp =
-                    GaussianProcess::fit(kernel, locations.to_vec(), centred.clone(), n);
+                let gp = GaussianProcess::fit(kernel, locations.to_vec(), centred.clone(), n);
                 let lml = gp.log_marginal_likelihood();
-                if best.as_ref().is_none_or(|b| lml > b.log_marginal_likelihood) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| lml > b.log_marginal_likelihood)
+                {
                     best = Some(FittedHyperparams {
                         kernel,
                         noise_variance: n,
@@ -132,7 +134,11 @@ mod tests {
 
     #[test]
     fn best_score_is_finite() {
-        let locs = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)];
+        let locs = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
         let fitted = fit_rbf(&locs, &[1.0, 2.0, 3.0], &HyperGrid::default());
         assert!(fitted.log_marginal_likelihood.is_finite());
     }

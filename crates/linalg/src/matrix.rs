@@ -146,9 +146,7 @@ impl Matrix {
     /// Panics when `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| dot(self.row(i), v))
-            .collect()
+        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
     }
 
     /// Transposed matrix–vector product `selfᵀ * v`.

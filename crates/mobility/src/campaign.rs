@@ -177,8 +177,7 @@ impl MobilityModel for CampaignModel {
                         }
                         // New trip when the current target is reached.
                         if a.pos.distance(a.target) < 0.5 {
-                            a.target =
-                                jitter_around(&mut rng, a.anchor, self.trip_radius, &bounds);
+                            a.target = jitter_around(&mut rng, a.anchor, self.trip_radius, &bounds);
                         }
                         let speed = rng.gen_range(self.speed_range.0..=self.speed_range.1);
                         let dist = a.pos.distance(a.target);
@@ -316,8 +315,7 @@ mod tests {
         // working region (120 sensors over 100×100 vs 200 over 80×80).
         let model = CampaignModel::rnc_like(5);
         let trace = model.generate(50);
-        let density = trace.mean_occupancy(&model.working_region)
-            / model.working_region.area();
+        let density = trace.mean_occupancy(&model.working_region) / model.working_region.area();
         let rwm_density = 200.0 / (80.0 * 80.0);
         assert!(
             density < rwm_density,

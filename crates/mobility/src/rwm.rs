@@ -77,9 +77,7 @@ impl MobilityModel for RandomWaypoint {
                     2 => (0.0, speed),
                     _ => (0.0, -speed),
                 };
-                *p = p
-                    .offset(dx, dy)
-                    .clamp(0.0, 0.0, self.width, self.height);
+                *p = p.offset(dx, dy).clamp(0.0, 0.0, self.width, self.height);
             }
         }
         MobilityTrace::new(positions)
@@ -105,8 +103,13 @@ mod tests {
         let bounds = model.bounds();
         for slot in 0..trace.num_slots() {
             for agent in 0..trace.num_agents() {
-                let p = trace.position(slot, agent).expect("RWM agents always present");
-                assert!(bounds.contains(p), "agent {agent} escaped at slot {slot}: {p:?}");
+                let p = trace
+                    .position(slot, agent)
+                    .expect("RWM agents always present");
+                assert!(
+                    bounds.contains(p),
+                    "agent {agent} escaped at slot {slot}: {p:?}"
+                );
             }
         }
     }

@@ -55,9 +55,7 @@ impl MobilityTrace {
         self.positions[slot]
             .iter()
             .enumerate()
-            .filter_map(move |(agent, pos)| {
-                pos.filter(|p| region.contains(*p)).map(|p| (agent, p))
-            })
+            .filter_map(move |(agent, pos)| pos.filter(|p| region.contains(*p)).map(|p| (agent, p)))
     }
 
     /// Number of agents present inside `region` during `slot`.

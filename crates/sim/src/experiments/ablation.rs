@@ -60,12 +60,7 @@ const REGION_VARIANTS: [RegionVariant; 4] = [
     },
 ];
 
-fn run_region_variant(
-    scale: &Scale,
-    budget_factor: f64,
-    variant: RegionVariant,
-    seed: u64,
-) -> f64 {
+fn run_region_variant(scale: &Scale, budget_factor: f64, variant: RegionVariant, seed: u64) -> f64 {
     let dataset = IntelFieldDataset::generate(
         &IntelConfig {
             seed,
@@ -88,7 +83,10 @@ fn run_region_variant(
         seed: seed ^ 0x5151,
     }
     .generate(scale.slots);
-    let mut pool = SensorPool::new(num_agents, &SensorPoolConfig::paper_default(scale.slots, seed));
+    let mut pool = SensorPool::new(
+        num_agents,
+        &SensorPoolConfig::paper_default(scale.slots, seed),
+    );
     let quality = ps_core::valuation::quality::QualityModel::new(2.0);
     let scheduler = OptimalScheduler::new();
 
@@ -134,20 +132,22 @@ pub fn ablation_region(scale: &Scale) -> Vec<FigureTable> {
         "Average utility",
         BUDGET_FACTORS.to_vec(),
     );
-    let grid: Vec<(usize, usize, f64)> = crossbeam::thread::scope(|s| {
+    let grid: Vec<(usize, usize, f64)> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (vi, variant) in REGION_VARIANTS.iter().enumerate() {
             for (xi, &b) in BUDGET_FACTORS.iter().enumerate() {
-                handles.push(s.spawn(move |_| {
+                handles.push(s.spawn(move || {
                     let w =
                         run_region_variant(scale, b, *variant, scale.seed.wrapping_add(xi as u64));
                     (vi, xi, w)
                 }));
             }
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("thread scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
 
     let mut values = vec![vec![0.0; BUDGET_FACTORS.len()]; REGION_VARIANTS.len()];
     for (vi, xi, w) in grid {
@@ -210,10 +210,7 @@ pub fn ablation_objective(scale: &Scale) -> Vec<FigureTable> {
                 welfare += alloc.welfare;
                 satisfied += alloc.satisfied_count();
                 issued += queries.len();
-                pool.record_measurements(
-                    slot,
-                    alloc.sensors_used.iter().map(|&si| sensors[si].id),
-                );
+                pool.record_measurements(slot, alloc.sensors_used.iter().map(|&si| sensors[si].id));
             }
             utilities.push(welfare / scale.slots as f64);
             satisfactions.push(if issued == 0 {

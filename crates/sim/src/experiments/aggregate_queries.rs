@@ -112,11 +112,11 @@ fn run_aggregate_simulation(
 pub fn fig7(scale: &Scale) -> Vec<FigureTable> {
     let mean_count = scale.queries(30);
     let algos = [AggAlgo::Greedy, AggAlgo::Baseline];
-    let grid: Vec<(usize, usize, AggRunResult)> = crossbeam::thread::scope(|s| {
+    let grid: Vec<(usize, usize, AggRunResult)> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (ai, algo) in algos.iter().enumerate() {
             for (xi, &b) in BUDGET_FACTORS.iter().enumerate() {
-                handles.push(s.spawn(move |_| {
+                handles.push(s.spawn(move || {
                     let setting = rnc_setting(scale, scale.seed.wrapping_add(xi as u64));
                     let cfg = SensorPoolConfig::paper_default(scale.slots, scale.seed ^ 0x77);
                     let r = run_aggregate_simulation(
@@ -132,9 +132,11 @@ pub fn fig7(scale: &Scale) -> Vec<FigureTable> {
                 }));
             }
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("thread scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
 
     let mut utilities = vec![vec![0.0; BUDGET_FACTORS.len()]; 2];
     let mut qualities = vec![vec![0.0; BUDGET_FACTORS.len()]; 2];

@@ -32,12 +32,7 @@ struct MixRunResult {
     monitor_quality: f64,
 }
 
-fn run_mix_simulation(
-    scale: &Scale,
-    budget_factor: f64,
-    algo: MixAlgo,
-    seed: u64,
-) -> MixRunResult {
+fn run_mix_simulation(scale: &Scale, budget_factor: f64, algo: MixAlgo, seed: u64) -> MixRunResult {
     let setting = rnc_setting(scale, seed);
     let ctx = ozone_context(scale);
     // §4.7: lifetime 25, random PSL, linear energy with β ~ U[0, 4].
@@ -157,19 +152,21 @@ fn run_mix_simulation(
 /// c: aggregate, d: location monitoring) versus the budget factor.
 pub fn fig10(scale: &Scale) -> Vec<FigureTable> {
     let algos = [MixAlgo::Alg5, MixAlgo::Baseline];
-    let grid: Vec<(usize, usize, MixRunResult)> = crossbeam::thread::scope(|s| {
+    let grid: Vec<(usize, usize, MixRunResult)> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (ai, algo) in algos.iter().enumerate() {
             for (xi, &b) in BUDGET_FACTORS.iter().enumerate() {
-                handles.push(s.spawn(move |_| {
+                handles.push(s.spawn(move || {
                     let r = run_mix_simulation(scale, b, *algo, scale.seed.wrapping_add(xi as u64));
                     (ai, xi, r)
                 }));
             }
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("thread scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
 
     let n = BUDGET_FACTORS.len();
     let mut results = vec![vec![MixRunResult::default(); n]; 2];
@@ -179,11 +176,9 @@ pub fn fig10(scale: &Scale) -> Vec<FigureTable> {
 
     type Extract = fn(&MixRunResult) -> f64;
     let panels: [(&str, &str, Extract); 4] = [
-        (
-            "fig10a",
-            "Query mix: average utility per time slot",
-            |r| r.avg_utility,
-        ),
+        ("fig10a", "Query mix: average utility per time slot", |r| {
+            r.avg_utility
+        }),
         (
             "fig10b",
             "Query mix: average quality of results, point queries",

@@ -156,12 +156,16 @@ fn run_location_simulation(
 /// of results (b) versus the budget factor, for Alg2-O / Alg2-LS /
 /// Baseline.
 pub fn fig8(scale: &Scale) -> Vec<FigureTable> {
-    let algos = [LocAlgo::Alg2Optimal, LocAlgo::Alg2LocalSearch, LocAlgo::Baseline];
-    let grid: Vec<(usize, usize, MonitorRunResult)> = crossbeam::thread::scope(|s| {
+    let algos = [
+        LocAlgo::Alg2Optimal,
+        LocAlgo::Alg2LocalSearch,
+        LocAlgo::Baseline,
+    ];
+    let grid: Vec<(usize, usize, MonitorRunResult)> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (ai, algo) in algos.iter().enumerate() {
             for (xi, &b) in MONITOR_BUDGET_FACTORS.iter().enumerate() {
-                handles.push(s.spawn(move |_| {
+                handles.push(s.spawn(move || {
                     let r = run_location_simulation(
                         scale,
                         b,
@@ -172,9 +176,11 @@ pub fn fig8(scale: &Scale) -> Vec<FigureTable> {
                 }));
             }
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("thread scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
 
     let n = MONITOR_BUDGET_FACTORS.len();
     let mut utilities = vec![vec![0.0; n]; algos.len()];
@@ -310,24 +316,22 @@ fn run_region_simulation(
 /// results (b, not bounded by 1) versus the budget factor.
 pub fn fig9(scale: &Scale) -> Vec<FigureTable> {
     let algos = [RegionAlgo::Alg3, RegionAlgo::Baseline];
-    let grid: Vec<(usize, usize, MonitorRunResult)> = crossbeam::thread::scope(|s| {
+    let grid: Vec<(usize, usize, MonitorRunResult)> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (ai, algo) in algos.iter().enumerate() {
             for (xi, &b) in MONITOR_BUDGET_FACTORS.iter().enumerate() {
-                handles.push(s.spawn(move |_| {
-                    let r = run_region_simulation(
-                        scale,
-                        b,
-                        *algo,
-                        scale.seed.wrapping_add(xi as u64),
-                    );
+                handles.push(s.spawn(move || {
+                    let r =
+                        run_region_simulation(scale, b, *algo, scale.seed.wrapping_add(xi as u64));
                     (ai, xi, r)
                 }));
             }
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("thread scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
 
     let n = MONITOR_BUDGET_FACTORS.len();
     let mut utilities = vec![vec![0.0; n]; 2];

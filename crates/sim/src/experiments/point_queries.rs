@@ -53,7 +53,11 @@ impl PointAlgo {
         }
     }
 
-    const ALL: [PointAlgo; 3] = [PointAlgo::Optimal, PointAlgo::LocalSearch, PointAlgo::Baseline];
+    const ALL: [PointAlgo; 3] = [
+        PointAlgo::Optimal,
+        PointAlgo::LocalSearch,
+        PointAlgo::Baseline,
+    ];
 }
 
 /// One mobility environment for the point-query experiments.
@@ -158,7 +162,7 @@ pub fn run_point_simulation(
 
 /// Sweep runner shared by Figs. 2–6: one (algorithm × x-value) grid, with
 /// identical workloads across algorithms at each x (same seeds). Runs the
-/// grid in parallel with crossbeam scoped threads.
+/// grid in parallel with std scoped threads.
 fn run_point_sweep(
     xs: &[f64],
     scale: &Scale,
@@ -172,7 +176,7 @@ fn run_point_sweep(
     let mut utilities = vec![vec![0.0; n]; PointAlgo::ALL.len()];
     let mut satisfactions = vec![vec![0.0; n]; PointAlgo::ALL.len()];
 
-    let results: Vec<(usize, usize, PointRunResult)> = crossbeam::thread::scope(|s| {
+    let results: Vec<(usize, usize, PointRunResult)> = std::thread::scope(|s| {
         let mut handles = Vec::new();
         for (ai, algo) in PointAlgo::ALL.iter().enumerate() {
             for (xi, &x) in xs.iter().enumerate() {
@@ -180,7 +184,7 @@ fn run_point_sweep(
                 let make_pool_cfg = &make_pool_cfg;
                 let queries_for_x = &queries_for_x;
                 let budgets_for_x = &budgets_for_x;
-                handles.push(s.spawn(move |_| {
+                handles.push(s.spawn(move || {
                     // Same trace/workload seed across algorithms.
                     let setting = make_setting(scale.seed.wrapping_add(xi as u64));
                     let result = run_point_simulation(
@@ -196,9 +200,11 @@ fn run_point_sweep(
                 }));
             }
         }
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("thread scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
 
     for (ai, xi, r) in results {
         utilities[ai][xi] = r.avg_utility;
@@ -413,7 +419,11 @@ mod tests {
         };
         let setting = rwm_setting(&scale, 3);
         let cfg = SensorPoolConfig::paper_default(scale.slots, 3);
-        for algo in [PointAlgo::Optimal, PointAlgo::LocalSearch, PointAlgo::Baseline] {
+        for algo in [
+            PointAlgo::Optimal,
+            PointAlgo::LocalSearch,
+            PointAlgo::Baseline,
+        ] {
             let r = run_point_simulation(
                 &setting,
                 &scale,
@@ -439,10 +449,22 @@ mod tests {
         let setting = rwm_setting(&scale, 5);
         let cfg = SensorPoolConfig::paper_default(scale.slots, 5);
         let opt = run_point_simulation(
-            &setting, &scale, &cfg, 30, BudgetScheme::Fixed(15.0), PointAlgo::Optimal, 13,
+            &setting,
+            &scale,
+            &cfg,
+            30,
+            BudgetScheme::Fixed(15.0),
+            PointAlgo::Optimal,
+            13,
         );
         let base = run_point_simulation(
-            &setting, &scale, &cfg, 30, BudgetScheme::Fixed(15.0), PointAlgo::Baseline, 13,
+            &setting,
+            &scale,
+            &cfg,
+            30,
+            BudgetScheme::Fixed(15.0),
+            PointAlgo::Baseline,
+            13,
         );
         assert!(
             opt.avg_utility >= base.avg_utility - 1e-9,

@@ -16,6 +16,35 @@
 //! Experiments accept a [`config::Scale`] so integration tests and
 //! Criterion benches can run reduced workloads while `cargo run --release
 //! -p ps-sim --bin repro` regenerates the full-size figures.
+//!
+//! # Example
+//!
+//! Regenerate Fig. 2 (single-sensor point queries on the RWM trace) at a
+//! heavily reduced scale:
+//!
+//! ```rust
+//! use ps_sim::experiments::ExperimentId;
+//! use ps_sim::Scale;
+//!
+//! let scale = Scale {
+//!     slots: 2,
+//!     query_factor: 0.05,
+//!     sensor_factor: 0.25,
+//!     seed: 7,
+//! };
+//! let tables = ExperimentId::Fig2.run(&scale);
+//!
+//! // Fig. 2 has a utility panel and a satisfaction panel, each holding
+//! // one series per scheduling algorithm over the same x-axis.
+//! assert_eq!(tables.len(), 2);
+//! for table in &tables {
+//!     assert!(!table.series.is_empty());
+//!     for series in &table.series {
+//!         assert_eq!(series.values.len(), table.xs.len());
+//!         assert!(series.values.iter().all(|v| v.is_finite()));
+//!     }
+//! }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -254,7 +254,11 @@ mod tests {
         let before: f64 = pool.snapshots(0, &t, &region).iter().map(|s| s.cost).sum();
         // Everyone measures for three consecutive slots.
         for slot in 0..3 {
-            let ids: Vec<usize> = pool.snapshots(slot, &t, &region).iter().map(|s| s.id).collect();
+            let ids: Vec<usize> = pool
+                .snapshots(slot, &t, &region)
+                .iter()
+                .map(|s| s.id)
+                .collect();
             pool.record_measurements(slot, ids);
         }
         let snaps = pool.snapshots(3, &t, &region);

@@ -96,12 +96,7 @@ pub fn aggregate_queries(
 
 /// A random rectangle inside `bounds` with side lengths in
 /// `[min_side, max_side]` (clamped to the bounds).
-pub fn random_subregion(
-    rng: &mut StdRng,
-    bounds: &Rect,
-    min_side: f64,
-    max_side: f64,
-) -> Rect {
+pub fn random_subregion(rng: &mut StdRng, bounds: &Rect, min_side: f64, max_side: f64) -> Rect {
     let max_w = (bounds.width()).min(max_side);
     let max_h = (bounds.height()).min(max_side);
     let w = rng.gen_range(min_side.min(max_w)..=max_w);
@@ -173,7 +168,8 @@ pub fn select_desired_times(
         for (pos, &idx) in remaining.iter().enumerate() {
             let mut training: Vec<f64> = chosen_idx.iter().map(|&i| mapped[i]).collect();
             training.push(mapped[idx]);
-            let rss = ps_stats::sampling::rss_of_training_times(&ctx.basis, &ctx.history, &training);
+            let rss =
+                ps_stats::sampling::rss_of_training_times(&ctx.basis, &ctx.history, &training);
             match best {
                 Some((_, b)) if b <= rss => {}
                 _ => best = Some((pos, rss)),
@@ -204,7 +200,14 @@ pub fn spawn_region_monitor(
     let r_s = 2.0f64;
     let budget = region.area() / (3.0 * std::f64::consts::PI * r_s * r_s) * budget_factor;
     let valuation = RegionValuation::new(budget, region, kernel, noise_variance);
-    RegionMonitor::new(QueryId(*next_id), t, t + duration, 0.5, THETA_MIN, valuation)
+    RegionMonitor::new(
+        QueryId(*next_id),
+        t,
+        t + duration,
+        0.5,
+        THETA_MIN,
+        valuation,
+    )
 }
 
 #[cfg(test)]

@@ -296,7 +296,9 @@ mod tests {
     }
 
     fn random_instance(rng: &mut StdRng, n: usize, m: usize) -> BilpProblem {
-        let obj: Vec<f64> = (0..n).map(|_| (rng.gen_range(-50..50) as f64) / 10.0).collect();
+        let obj: Vec<f64> = (0..n)
+            .map(|_| (rng.gen_range(-50..50) as f64) / 10.0)
+            .collect();
         let mut p = BilpProblem::maximize(obj);
         for _ in 0..m {
             let mut coeffs: Vec<(usize, f64)> = Vec::new();

@@ -233,8 +233,7 @@ impl Tableau {
             // Pivot remaining basic artificials out where possible.
             for i in 0..m {
                 if self.basis[i] >= self.artificial_start {
-                    if let Some(j) = (0..self.num_structural)
-                        .find(|&j| self.rows[i][j].abs() > EPS)
+                    if let Some(j) = (0..self.num_structural).find(|&j| self.rows[i][j].abs() > EPS)
                     {
                         self.pivot(i, j);
                     }
@@ -435,8 +434,7 @@ mod tests {
 
     #[test]
     fn unbounded_lp_detected() {
-        let p = LpProblem::maximize(vec![1.0, 0.0])
-            .with(Constraint::ge(vec![(0, 1.0)], 1.0));
+        let p = LpProblem::maximize(vec![1.0, 0.0]).with(Constraint::ge(vec![(0, 1.0)], 1.0));
         assert_eq!(solve(&p).unwrap_err(), LpError::Unbounded);
     }
 
@@ -489,8 +487,7 @@ mod tests {
 
     #[test]
     fn zero_objective_feasible() {
-        let p = LpProblem::maximize(vec![0.0])
-            .with(Constraint::le(vec![(0, 1.0)], 3.0));
+        let p = LpProblem::maximize(vec![0.0]).with(Constraint::le(vec![(0, 1.0)], 3.0));
         let s = solve(&p).unwrap();
         assert_close(s.objective, 0.0);
     }

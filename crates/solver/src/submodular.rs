@@ -357,10 +357,7 @@ mod tests {
 
     /// Weighted cut function of a small undirected graph — the canonical
     /// non-monotone submodular function.
-    fn cut_function(
-        n: usize,
-        edges: Vec<(usize, usize, f64)>,
-    ) -> FnSet<impl Fn(&BitSet) -> f64> {
+    fn cut_function(n: usize, edges: Vec<(usize, usize, f64)>) -> FnSet<impl Fn(&BitSet) -> f64> {
         FnSet::new(n, move |s: &BitSet| {
             edges
                 .iter()
@@ -395,7 +392,16 @@ mod tests {
 
     #[test]
     fn cut_function_is_submodular_not_monotone() {
-        let f = cut_function(5, vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (3, 4, 1.0), (0, 4, 0.5)]);
+        let f = cut_function(
+            5,
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.5),
+                (3, 4, 1.0),
+                (0, 4, 0.5),
+            ],
+        );
         assert!(verify_submodular(&f, 1e-9));
         assert!(!verify_monotone(&f, 1e-9));
     }

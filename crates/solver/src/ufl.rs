@@ -879,10 +879,7 @@ mod tests {
     fn unaffordable_sensors_yield_empty_solution() {
         // All values below cost → best is to select nothing (the paper's
         // baseline observation at budgets 7–10 with C_s = 10).
-        let p = WelfareProblem::new(
-            vec![10.0, 10.0],
-            vec![vec![(0, 6.0)], vec![(1, 7.0)]],
-        );
+        let p = WelfareProblem::new(vec![10.0, 10.0], vec![vec![(0, 6.0)], vec![(1, 7.0)]]);
         let exact = solve_exact(&p, &SolveLimits::default());
         assert_eq!(exact.welfare, 0.0);
         assert!(exact.open.iter().all(|&o| !o));
@@ -893,10 +890,7 @@ mod tests {
     #[test]
     fn sharing_makes_unaffordable_sensors_affordable() {
         // Two clients, each worth 6 < cost 10, but together 12 > 10.
-        let p = WelfareProblem::new(
-            vec![10.0],
-            vec![vec![(0, 6.0)], vec![(0, 6.0)]],
-        );
+        let p = WelfareProblem::new(vec![10.0], vec![vec![(0, 6.0)], vec![(0, 6.0)]]);
         let exact = solve_exact(&p, &SolveLimits::default());
         assert_eq!(exact.welfare, 2.0);
         assert_eq!(exact.open, vec![true]);
@@ -904,10 +898,7 @@ mod tests {
 
     #[test]
     fn dead_facilities_are_pruned_from_solutions() {
-        let p = WelfareProblem::new(
-            vec![1.0, 1.0],
-            vec![vec![(0, 5.0), (1, 4.0)]],
-        );
+        let p = WelfareProblem::new(vec![1.0, 1.0], vec![vec![(0, 5.0), (1, 4.0)]]);
         // Force both open through welfare_of vs solution_from_open.
         let sol = p.solution_from_open(&[true, true]);
         assert_eq!(sol.open, vec![true, false]);

@@ -62,9 +62,7 @@ impl TimeSeries {
             return *self.values.last().expect("non-empty");
         }
         // Binary search for the bracketing interval.
-        let idx = self
-            .times
-            .partition_point(|&x| x <= t);
+        let idx = self.times.partition_point(|&x| x <= t);
         let (t0, t1) = (self.times[idx - 1], self.times[idx]);
         let (v0, v1) = (self.values[idx - 1], self.values[idx]);
         let alpha = (t - t0) / (t1 - t0);

@@ -1,7 +1,7 @@
 //! Air-quality scenario: the paper's motivating query mix, end to end.
 //!
 //! ```text
-//! cargo run --release -p ps-sim --example air_quality_mix
+//! cargo run --release --example air_quality_mix
 //! ```
 //!
 //! A city's participants move under a random-waypoint model. Each 5-minute

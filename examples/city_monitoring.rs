@@ -1,7 +1,7 @@
 //! Region monitoring: watch a Gaussian-process-valued district (§2.3.1).
 //!
 //! ```text
-//! cargo run --release -p ps-sim --example city_monitoring
+//! cargo run --release --example city_monitoring
 //! ```
 //!
 //! An environmental agency monitors a district for 15 slots. The

@@ -2,7 +2,7 @@
 //! box, so applications can plug arbitrary set functions into Algorithm 1.
 //!
 //! ```text
-//! cargo run --release -p ps-sim --example custom_valuation
+//! cargo run --release --example custom_valuation
 //! ```
 //!
 //! Here an application values *spatial diversity*: it pays for sensor

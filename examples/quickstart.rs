@@ -1,7 +1,7 @@
 //! Quickstart: schedule one slot of point queries with the exact solver.
 //!
 //! ```text
-//! cargo run --release -p ps-sim --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 //!
 //! Five participants announce locations and prices; three applications ask

@@ -80,7 +80,10 @@ fn event_monitor_detects_through_redundant_sampling() {
             break;
         }
     }
-    assert!(detected, "event never detected despite value above threshold");
+    assert!(
+        detected,
+        "event never detected despite value above threshold"
+    );
     let d = monitor.detections()[0];
     assert!(d.estimate > 15.0);
     assert!(d.confidence >= 0.90);

@@ -40,9 +40,7 @@ fn fig2_shapes_hold() {
     }
 
     // Utility grows with budget overall (compare the endpoints).
-    assert!(
-        utility.value_at("Optimal", 35.0).unwrap() > utility.value_at("Optimal", 7.0).unwrap()
-    );
+    assert!(utility.value_at("Optimal", 35.0).unwrap() > utility.value_at("Optimal", 7.0).unwrap());
     // Satisfaction stays a ratio.
     for s in &satisfaction.series {
         for v in &s.values {
@@ -101,7 +99,12 @@ fn fig8_alg2_beats_desired_times_only_baseline() {
     // monitors, very few sensors); the paper-level claim is that Alg2's
     // opportunistic sampling wins overall.
     let alg2: f64 = utility.series_named("Alg2-O").unwrap().values.iter().sum();
-    let base: f64 = utility.series_named("Baseline").unwrap().values.iter().sum();
+    let base: f64 = utility
+        .series_named("Baseline")
+        .unwrap()
+        .values
+        .iter()
+        .sum();
     assert!(
         alg2 >= base - 1e-6,
         "Alg2-O total {alg2} below baseline total {base}: {utility:?}"
@@ -114,7 +117,12 @@ fn fig9_alg3_beats_baseline_and_quality_is_sane() {
     let utility = &tables[0];
     let quality = &tables[1];
     let alg3_total: f64 = utility.series_named("Alg3").unwrap().values.iter().sum();
-    let base_total: f64 = utility.series_named("Baseline").unwrap().values.iter().sum();
+    let base_total: f64 = utility
+        .series_named("Baseline")
+        .unwrap()
+        .values
+        .iter()
+        .sum();
     assert!(
         alg3_total >= base_total - 1e-6,
         "Alg3 total {alg3_total} below baseline {base_total}"
@@ -129,7 +137,12 @@ fn fig10_alg5_dominates_the_sequential_baseline() {
     let tables = fig10(&scale());
     let utility = &tables[0];
     let alg5: f64 = utility.series_named("Alg5").unwrap().values.iter().sum();
-    let base: f64 = utility.series_named("Baseline").unwrap().values.iter().sum();
+    let base: f64 = utility
+        .series_named("Baseline")
+        .unwrap()
+        .values
+        .iter()
+        .sum();
     assert!(
         alg5 >= base - 1e-6,
         "Alg5 total {alg5} below baseline {base}"

@@ -96,7 +96,14 @@ fn baseline_mix_never_loses_money_on_a_query() {
         BudgetScheme::Fixed(25.0),
         &mut next_id,
     );
-    let aggs = aggregate_queries(&mut rng, 4, &setting.working_region, 10.0, 20.0, &mut next_id);
+    let aggs = aggregate_queries(
+        &mut rng,
+        4,
+        &setting.working_region,
+        10.0,
+        20.0,
+        &mut next_id,
+    );
     let out = run_mix_baseline(
         0,
         &sensors,

@@ -79,7 +79,10 @@ fn full_pipeline_schedules_and_respects_invariants() {
             }
         }
 
-        pool.record_measurements(slot, alloc_opt.sensors_used.iter().map(|&si| sensors[si].id));
+        pool.record_measurements(
+            slot,
+            alloc_opt.sensors_used.iter().map(|&si| sensors[si].id),
+        );
     }
 }
 

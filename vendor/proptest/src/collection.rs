@@ -1,0 +1,64 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt;
+use std::ops::Range;
+
+/// A length specification for [`vec()`]: a fixed size or a half-open range.
+#[derive(Debug, Clone)]
+pub enum SizeRange {
+    /// Exactly this many elements.
+    Fixed(usize),
+    /// A length drawn uniformly from `lo..hi`.
+    Span(Range<usize>),
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange::Fixed(n)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange::Span(r)
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Builds a [`VecStrategy`]; `size` is a fixed `usize` or a `Range<usize>`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: fmt::Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = match &self.size {
+            SizeRange::Fixed(n) => *n,
+            SizeRange::Span(r) => {
+                if r.is_empty() {
+                    0
+                } else {
+                    rng.gen_range(r.clone())
+                }
+            }
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

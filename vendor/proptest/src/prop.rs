@@ -1,0 +1,23 @@
+//! The `prop::` strategy namespace (`prop::bool::ANY`, …).
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing fair random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// A fair coin flip.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}

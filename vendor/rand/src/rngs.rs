@@ -1,0 +1,54 @@
+//! Concrete generator types.
+
+use crate::{RngCore, SeedableRng};
+
+/// A deterministic, high-quality, non-cryptographic generator
+/// (xoshiro256++ seeded via SplitMix64).
+///
+/// This mirrors the role of `rand::rngs::StdRng` in this workspace —
+/// a seedable source of reproducible streams — without claiming to
+/// produce the crates.io `StdRng` byte stream.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut state);
+        }
+        // xoshiro's all-zero state is a fixed point; SplitMix64 cannot
+        // produce four zeros from one seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9e3779b97f4a7c15;
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}

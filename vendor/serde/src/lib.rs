@@ -1,0 +1,23 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public model
+//! types so that downstream users can persist them, but nothing in the
+//! workspace itself serializes anything (there is no `serde_json` here).
+//! With no network access to fetch the real crate, this stub keeps every
+//! `#[derive(Serialize, Deserialize)]` compiling by providing the two
+//! traits as markers plus derive macros that emit empty impls.
+//!
+//! Swapping in the real serde later is a one-line change in the root
+//! `Cargo.toml`; the derive call sites are already exactly what the real
+//! crate expects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for types that can be serialized (no-op in this stub).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (no-op in this stub).
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

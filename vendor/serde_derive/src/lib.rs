@@ -1,0 +1,63 @@
+//! Derive macros for the vendored serde stub.
+//!
+//! The stub's `Serialize`/`Deserialize` are marker traits, so the derives
+//! only need to find the type's name and emit an empty impl. Parsing is
+//! done by hand on the raw token stream (no `syn`/`quote` — the point of
+//! the vendor tree is to build with zero network access). All derived
+//! types in this workspace are non-generic structs and enums; the parser
+//! rejects generic items with a clear error rather than mis-expanding.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier following the first top-level `struct` or
+/// `enum` keyword, erroring out on generic items.
+fn item_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        match tok {
+            // Skip attributes (`#[...]` / doc comments).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(kw) if kw.to_string() == "struct" || kw.to_string() == "enum" => {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected type name, found {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "the vendored serde stub cannot derive for generic type `{name}`"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+            _ => {}
+        }
+    }
+    Err("expected a struct or enum".to_string())
+}
+
+fn expand(input: TokenStream, make_impl: impl Fn(&str) -> String) -> TokenStream {
+    match item_name(input) {
+        Ok(name) => make_impl(&name).parse().unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the stub `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derives the stub `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}
