@@ -1,0 +1,141 @@
+//! Aggregator engine throughput: slots/second for a standing mixed
+//! workload.
+//!
+//! One long-running `Aggregator` serves a steady stream — point and
+//! aggregate queries every slot plus a rolling population of location
+//! monitors — and each bench iteration is exactly one `step`. This seeds
+//! the perf trajectory for the engine's hot path (Algorithm 5 with the
+//! per-slot id→index map and shared-sensor sets built once).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_core::aggregator::{Aggregator, AggregatorBuilder, LocationMonitorSpec};
+use ps_core::model::SensorSnapshot;
+use ps_core::valuation::monitoring::{MonitoringContext, MonitoringValuation};
+use ps_core::valuation::quality::QualityModel;
+use ps_geo::{Point, Rect};
+use ps_sim::workload::{aggregate_queries, point_queries, BudgetScheme};
+use ps_stats::regression::DiurnalBasis;
+use ps_stats::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const WORLD: f64 = 40.0;
+
+fn monitoring_ctx() -> Arc<MonitoringContext> {
+    let times: Vec<f64> = (0..200).map(|i| i as f64 - 200.0).collect();
+    let values: Vec<f64> = times
+        .iter()
+        .map(|&t| 20.0 + 5.0 * (std::f64::consts::TAU * t / 50.0).sin())
+        .collect();
+    Arc::new(MonitoringContext {
+        basis: DiurnalBasis {
+            period: 50.0,
+            harmonics: 1,
+        },
+        history: TimeSeries::new(times, values),
+        fold: None,
+    })
+}
+
+fn random_sensors(rng: &mut StdRng, count: usize) -> Vec<SensorSnapshot> {
+    (0..count)
+        .map(|id| SensorSnapshot {
+            id,
+            loc: Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD)),
+            cost: rng.gen_range(5.0..15.0),
+            trust: rng.gen_range(0.6..1.0),
+            inaccuracy: rng.gen_range(0.0..0.2),
+        })
+        .collect()
+}
+
+/// One slot of standing workload: refresh one-shot queries, top the
+/// monitor population back up, step.
+fn drive_slot(
+    engine: &mut Aggregator<'static>,
+    rng: &mut StdRng,
+    ctx: &Arc<MonitoringContext>,
+    slot: usize,
+    points: usize,
+    aggregates: usize,
+    monitors: usize,
+) -> f64 {
+    let region = Rect::new(0.0, 0.0, WORLD, WORLD);
+    for spec in point_queries(rng, points, &region, BudgetScheme::Fixed(15.0)) {
+        engine.submit_point(spec);
+    }
+    for spec in aggregate_queries(rng, aggregates.max(1), &region, 10.0, 15.0) {
+        engine.submit_aggregate(spec);
+    }
+    while engine.location_monitors().len() < monitors {
+        let duration = rng.gen_range(5..20usize);
+        let desired: Vec<f64> = (slot..slot + duration)
+            .step_by(3)
+            .map(|t| t as f64)
+            .collect();
+        engine.submit_location_monitor(LocationMonitorSpec {
+            loc: Point::new(
+                rng.gen_range(0..WORLD as usize) as f64 + 0.5,
+                rng.gen_range(0..WORLD as usize) as f64 + 0.5,
+            ),
+            t1: slot,
+            t2: slot + duration,
+            alpha: 0.5,
+            theta_min: 0.2,
+            valuation: MonitoringValuation::new(ctx.clone(), duration as f64 * 12.0, desired),
+        });
+    }
+    let sensors = random_sensors(rng, 80);
+    let report = engine.step(slot, &sensors);
+    engine.clear_retired();
+    report.welfare
+}
+
+fn bench(c: &mut Criterion) {
+    let ctx = monitoring_ctx();
+    let mut group = c.benchmark_group("slot_engine");
+    group.sample_size(10);
+    // (points, aggregates, standing monitors) per slot.
+    for &(points, aggregates, monitors) in &[(30usize, 3usize, 10usize), (120, 8, 30)] {
+        group.bench_function(
+            BenchmarkId::new("step", format!("{points}p_{aggregates}a_{monitors}m")),
+            |b| {
+                let mut engine = AggregatorBuilder::new(QualityModel::new(5.0)).build();
+                let mut rng = StdRng::seed_from_u64(2013);
+                let mut slot = 0usize;
+                // Warm the engine into a steady monitor population.
+                for _ in 0..3 {
+                    drive_slot(
+                        &mut engine,
+                        &mut rng,
+                        &ctx,
+                        slot,
+                        points,
+                        aggregates,
+                        monitors,
+                    );
+                    slot += 1;
+                }
+                b.iter(|| {
+                    let welfare = drive_slot(
+                        &mut engine,
+                        &mut rng,
+                        &ctx,
+                        slot,
+                        points,
+                        aggregates,
+                        monitors,
+                    );
+                    slot += 1;
+                    black_box(welfare)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1659 @@
+//! The stateful aggregator engine: a long-running service around
+//! Algorithm 5.
+//!
+//! The paper's aggregator is not a batch of figure scripts — it is a
+//! service. Queries arrive and persist, continuous queries live across
+//! slots, and every tick the data-acquisition loop (Algorithm 5) runs
+//! against whatever sensors announced themselves. [`Aggregator`] owns
+//! that loop: query intake with internal [`QueryId`] minting, monitor
+//! lifecycle (activation, expiry, retired-monitor statistics), a
+//! cumulative [`Ledger`], and a single [`Aggregator::step`] that executes
+//! one time slot and returns a [`SlotReport`].
+//!
+//! # Builder knobs → paper equations
+//!
+//! | Builder knob | Paper element |
+//! |---|---|
+//! | [`AggregatorBuilder::new`] (quality model) | Eq. 4 reading quality `θ_{q,s}` (`d_max`) |
+//! | [`AggregatorBuilder::sensing_range`] | §4.4 sensing radius `r_s` for aggregate coverage `G_q` (Eq. 5) |
+//! | [`AggregatorBuilder::strategy`] = [`MixStrategy::Alg5`] | Algorithm 5: joint selection via Algorithm 1, payments by Eq. 11 |
+//! | [`AggregatorBuilder::strategy`] = [`MixStrategy::SequentialBaseline`] | §4.7 baseline: aggregates first, then point queries sequentially |
+//! | [`AggregatorBuilder::scheduler`] | §3.1 point schedulers (Eq. 9 exact / Local Search / baseline) for Algorithms 2–3 |
+//! | [`AggregatorBuilder::cost_weighting`] | Eq. 18 shared-cost weighting `w(k)` for region planning |
+//! | [`AggregatorBuilder::sensor_sharing`] | Algorithm 3's `A_{r,t}` free-riding on sensors bought by other queries |
+//!
+//! With no dedicated scheduler, point queries of every origin are fed
+//! *jointly* with the aggregates to Algorithm 1 (the full Algorithm 5
+//! mix). With a scheduler, point queries go through it instead — this is
+//! how the monitoring experiments (§4.5, §4.6) compare `Alg2-O`,
+//! `Alg2-LS`, and the desired-times-only baseline.
+//!
+//! # One slot in five lines
+//!
+//! ```rust
+//! use ps_core::aggregator::{AggregatorBuilder, PointSpec};
+//! use ps_core::model::SensorSnapshot;
+//! use ps_core::valuation::quality::QualityModel;
+//! use ps_geo::Point;
+//!
+//! let sensors = vec![SensorSnapshot {
+//!     id: 0, loc: Point::new(5.0, 5.0), cost: 10.0, trust: 1.0, inaccuracy: 0.0,
+//! }];
+//! let mut engine = AggregatorBuilder::new(QualityModel::new(5.0)).build();
+//! engine.submit_point(PointSpec { loc: Point::new(5.0, 5.0), budget: 12.0, theta_min: 0.2 });
+//! let report = engine.step(0, &sensors);
+//! assert_eq!(report.breakdown.point_satisfied, 1);
+//! assert!(report.welfare > 0.0);
+//! ```
+
+use crate::alloc::baseline::{baseline_select_for_query, BaselinePointScheduler};
+use crate::alloc::greedy::greedy_select;
+use crate::alloc::{PointAllocation, PointScheduler};
+use crate::model::{QueryId, SensorSnapshot, Slot};
+use crate::monitor::location::LocationMonitor;
+use crate::monitor::region::{sharing_weight, RegionMonitor, RegionPlan};
+use crate::payment::Ledger;
+use crate::query::{AggregateKind, AggregateQuery, PointQuery, QueryOrigin};
+use crate::valuation::aggregate::AggregateValuation;
+use crate::valuation::monitoring::MonitoringValuation;
+use crate::valuation::point::PointValuation;
+use crate::valuation::quality::QualityModel;
+use crate::valuation::region::RegionValuation;
+use crate::valuation::SetValuation;
+use ps_geo::{Point, Rect};
+use std::collections::{HashMap, HashSet};
+
+/// Per-monitor `(serving sensor, payment)` lists paired with the slot's
+/// region plans.
+type RegionSlotState<'a> = (&'a [Vec<(SensorSnapshot, f64)>], &'a [RegionPlan]);
+
+/// Per-query `(sensor index, payment)` lists paired with their query ids
+/// — who gets refunded when a region monitor contributes.
+type RefundSource<'a> = (&'a [Vec<(usize, f64)>], &'a [QueryId]);
+
+/// How the engine acquires data each slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MixStrategy {
+    /// Algorithm 5: monitors are translated into point queries, then all
+    /// queries are selected *jointly* by Algorithm 1 (or the configured
+    /// point scheduler), sharing sensors and splitting costs by Eq. 11.
+    #[default]
+    Alg5,
+    /// The §4.7 sequential baseline: aggregates are executed one by one
+    /// (buffering bought data), then point queries run through the
+    /// baseline scheduler; location monitors only sample at their desired
+    /// times.
+    SequentialBaseline,
+}
+
+/// Intake spec for an end-user point query (§2.2.1, Eq. 3). The engine
+/// mints the [`QueryId`].
+#[derive(Debug, Clone, Copy)]
+pub struct PointSpec {
+    /// Queried location `l_q`.
+    pub loc: Point,
+    /// Budget `B_q` (willingness to pay per unit of quality).
+    pub budget: f64,
+    /// Minimum acceptable reading quality `θ_min`.
+    pub theta_min: f64,
+}
+
+/// Intake spec for a spatial aggregate query (§2.2.2, Eq. 5).
+#[derive(Debug, Clone)]
+pub struct AggregateSpec {
+    /// Queried region `r_q`.
+    pub region: Rect,
+    /// Budget `B_q`.
+    pub budget: f64,
+    /// Requested aggregate.
+    pub kind: AggregateKind,
+}
+
+/// Intake spec for a location-monitoring query (§2.3.2, Eqs. 16–17).
+#[derive(Debug, Clone)]
+pub struct LocationMonitorSpec {
+    /// Monitored location.
+    pub loc: Point,
+    /// First active slot.
+    pub t1: Slot,
+    /// Last active slot (inclusive).
+    pub t2: Slot,
+    /// Opportunistic budget fraction α (0.5 in §4.5).
+    pub alpha: f64,
+    /// θ_min for the generated point queries.
+    pub theta_min: f64,
+    /// Eq. 16 valuation carrying the budget and desired times.
+    pub valuation: MonitoringValuation,
+}
+
+/// Intake spec for a region-monitoring query (§2.3.1, Eqs. 6–7).
+#[derive(Debug, Clone)]
+pub struct RegionMonitorSpec {
+    /// First active slot.
+    pub t1: Slot,
+    /// Last active slot (inclusive).
+    pub t2: Slot,
+    /// Opportunistic budget fraction α (0.5 in §4.6).
+    pub alpha: f64,
+    /// θ_min for the generated point queries.
+    pub theta_min: f64,
+    /// Eq. 7 valuation carrying the budget and the region.
+    pub valuation: RegionValuation,
+}
+
+/// Per-query-type results of one slot (the Fig. 10 metrics).
+#[derive(Debug, Clone, Default)]
+pub struct MixBreakdown {
+    /// End-user point queries issued this slot.
+    pub point_total: usize,
+    /// …of which answered with positive value.
+    pub point_satisfied: usize,
+    /// Σ quality-of-results (`v/B` = θ) over satisfied point queries.
+    pub point_quality_sum: f64,
+    /// Aggregate queries issued this slot.
+    pub aggregate_total: usize,
+    /// …of which answered with positive value.
+    pub aggregate_answered: usize,
+    /// Σ quality-of-results (`v/B`) over answered aggregates.
+    pub aggregate_quality_sum: f64,
+    /// Number of location monitors that achieved a sample this slot.
+    pub monitor_samples: usize,
+}
+
+impl MixBreakdown {
+    fn absorb(&mut self, other: &MixBreakdown) {
+        self.point_total += other.point_total;
+        self.point_satisfied += other.point_satisfied;
+        self.point_quality_sum += other.point_quality_sum;
+        self.aggregate_total += other.aggregate_total;
+        self.aggregate_answered += other.aggregate_answered;
+        self.aggregate_quality_sum += other.aggregate_quality_sum;
+        self.monitor_samples += other.monitor_samples;
+    }
+}
+
+/// The answer the engine returns for one end-user point query.
+#[derive(Debug, Clone, Copy)]
+pub struct PointResult {
+    /// The query (submission order is preserved in
+    /// [`SlotReport::point_results`]).
+    pub id: QueryId,
+    /// Achieved value `v_q` (0 when unanswered).
+    pub value: f64,
+    /// Total payment charged to the query.
+    pub paid: f64,
+    /// Reading quality θ of the serving sensor (0 when unanswered).
+    pub quality: f64,
+    /// Snapshot index of the serving sensor, when answered.
+    pub sensor: Option<usize>,
+}
+
+/// The answer the engine returns for one set-valued query (aggregate or
+/// custom valuation).
+#[derive(Debug, Clone)]
+pub struct SetQueryResult {
+    /// The query.
+    pub id: QueryId,
+    /// Achieved value `v_q(S_q)`.
+    pub value: f64,
+    /// Total payment charged to the query.
+    pub paid: f64,
+    /// Snapshot indices of the sensors acquired for it.
+    pub sensors: Vec<usize>,
+}
+
+/// A continuous query that left the engine (its window `[t1, t2]`
+/// elapsed). The full monitor state is retained so callers can audit
+/// results; call [`Aggregator::clear_retired`] in long-running services.
+#[derive(Debug, Clone)]
+pub enum RetiredMonitor {
+    /// A finished location-monitoring query.
+    Location(Box<LocationMonitor>),
+    /// A finished region-monitoring query.
+    Region(Box<RegionMonitor>),
+}
+
+impl RetiredMonitor {
+    /// The monitor's query identifier.
+    pub fn id(&self) -> QueryId {
+        match self {
+            RetiredMonitor::Location(m) => m.id,
+            RetiredMonitor::Region(m) => m.id,
+        }
+    }
+
+    /// Final quality-of-results metric (`v/B`).
+    pub fn quality_of_results(&self) -> f64 {
+        match self {
+            RetiredMonitor::Location(m) => m.quality_of_results(),
+            RetiredMonitor::Region(m) => m.quality_of_results(),
+        }
+    }
+
+    /// Final accumulated value.
+    pub fn value(&self) -> f64 {
+        match self {
+            RetiredMonitor::Location(m) => m.value(),
+            RetiredMonitor::Region(m) => m.value(),
+        }
+    }
+
+    /// Total budget spent over the monitor's lifetime.
+    pub fn spent(&self) -> f64 {
+        match self {
+            RetiredMonitor::Location(m) => m.spent(),
+            RetiredMonitor::Region(m) => m.spent(),
+        }
+    }
+}
+
+/// Cumulative engine statistics since construction.
+#[derive(Debug, Clone, Default)]
+pub struct Totals {
+    /// Number of slots stepped.
+    pub slots: usize,
+    /// Σ per-slot welfare (Eq. 2 total utility).
+    pub welfare: f64,
+    /// Summed per-type breakdowns.
+    pub breakdown: MixBreakdown,
+    /// Monitors retired so far.
+    pub monitors_retired: usize,
+}
+
+/// Everything one [`Aggregator::step`] produced.
+#[derive(Debug, Clone)]
+pub struct SlotReport {
+    /// The slot that was executed.
+    pub slot: Slot,
+    /// This slot's total utility: value created minus sensor costs.
+    pub welfare: f64,
+    /// This slot's per-type breakdown.
+    pub breakdown: MixBreakdown,
+    /// This slot's money flows (also absorbed into the cumulative
+    /// [`Aggregator::ledger`]).
+    pub ledger: Ledger,
+    /// Snapshot indices of sensors that provided measurements.
+    pub sensors_used: Vec<usize>,
+    /// Per-query answers for this slot's end-user point queries, in
+    /// submission order.
+    pub point_results: Vec<PointResult>,
+    /// Per-query answers for this slot's aggregate queries, in submission
+    /// order.
+    pub aggregate_results: Vec<SetQueryResult>,
+    /// Per-query answers for this slot's custom set valuations, in
+    /// submission order.
+    pub custom_results: Vec<SetQueryResult>,
+    /// Cumulative statistics after this slot.
+    pub totals: Totals,
+}
+
+/// Configures and builds an [`Aggregator`].
+///
+/// The lifetime parameter bounds a borrowed [`PointScheduler`] (or custom
+/// valuations submitted later); owned schedulers give `'static` and can be
+/// elided.
+pub struct AggregatorBuilder<'s> {
+    quality: QualityModel,
+    sensing_range: f64,
+    strategy: MixStrategy,
+    scheduler: Option<Box<dyn PointScheduler + 's>>,
+    use_cost_weighting: bool,
+    share_sensors: bool,
+    next_query_id: u64,
+}
+
+impl<'s> AggregatorBuilder<'s> {
+    /// Starts a builder around the Eq. 4 quality model. Defaults:
+    /// sensing range 10 (§4.4), [`MixStrategy::Alg5`], joint Algorithm 1
+    /// selection (no dedicated scheduler), Eq. 18 cost weighting on,
+    /// `A_{r,t}` sensor sharing on, query ids minted from 1.
+    pub fn new(quality: QualityModel) -> Self {
+        Self {
+            quality,
+            sensing_range: 10.0,
+            strategy: MixStrategy::Alg5,
+            scheduler: None,
+            use_cost_weighting: true,
+            share_sensors: true,
+            next_query_id: 0,
+        }
+    }
+
+    /// Sensing radius `r_s` used for aggregate coverage (Eq. 5).
+    pub fn sensing_range(mut self, r: f64) -> Self {
+        self.sensing_range = r;
+        self
+    }
+
+    /// Selects Algorithm 5 or the §4.7 sequential baseline.
+    pub fn strategy(mut self, s: MixStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Routes point queries (end-user and monitor-generated) through a
+    /// dedicated [`PointScheduler`] instead of the joint Algorithm 1
+    /// selection. Aggregates and custom valuations then run in a separate
+    /// Algorithm 1 stage of their own; sensors that stage buys are free
+    /// for the point stage (their data is buffered), so no sensor is
+    /// charged twice in one slot.
+    pub fn scheduler(mut self, s: impl PointScheduler + 's) -> Self {
+        self.scheduler = Some(Box::new(s));
+        self
+    }
+
+    /// Toggles the Eq. 18 cost weighting `w(k)` in region planning.
+    pub fn cost_weighting(mut self, on: bool) -> Self {
+        self.use_cost_weighting = on;
+        self
+    }
+
+    /// Toggles Algorithm 3's `A_{r,t}` sharing (region monitors
+    /// free-riding on sensors bought by other queries).
+    pub fn sensor_sharing(mut self, on: bool) -> Self {
+        self.share_sensors = on;
+        self
+    }
+
+    /// Seeds the id counter: the next minted id is `n + 1`.
+    pub fn next_query_id(mut self, n: u64) -> Self {
+        self.next_query_id = n;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Aggregator<'s> {
+        Aggregator {
+            quality: self.quality,
+            sensing_range: self.sensing_range,
+            strategy: self.strategy,
+            scheduler: self.scheduler,
+            use_cost_weighting: self.use_cost_weighting,
+            share_sensors: self.share_sensors,
+            next_query_id: self.next_query_id,
+            pending_points: Vec::new(),
+            pending_aggregates: Vec::new(),
+            pending_customs: Vec::new(),
+            location_monitors: Vec::new(),
+            region_monitors: Vec::new(),
+            retired: Vec::new(),
+            ledger: Ledger::new(),
+            totals: Totals::default(),
+        }
+    }
+}
+
+/// The stateful aggregator service (see the [module docs](self)).
+///
+/// Submit queries at any slot; each [`Aggregator::step`] consumes the
+/// pending one-shot queries, runs the continuous ones, and retires
+/// monitors whose window has elapsed.
+pub struct Aggregator<'s> {
+    quality: QualityModel,
+    sensing_range: f64,
+    strategy: MixStrategy,
+    scheduler: Option<Box<dyn PointScheduler + 's>>,
+    use_cost_weighting: bool,
+    share_sensors: bool,
+    next_query_id: u64,
+    pending_points: Vec<PointQuery>,
+    pending_aggregates: Vec<AggregateQuery>,
+    pending_customs: Vec<(QueryId, Box<dyn SetValuation + 's>)>,
+    location_monitors: Vec<LocationMonitor>,
+    region_monitors: Vec<RegionMonitor>,
+    retired: Vec<RetiredMonitor>,
+    ledger: Ledger,
+    totals: Totals,
+}
+
+impl<'s> Aggregator<'s> {
+    fn mint(&mut self) -> QueryId {
+        self.next_query_id += 1;
+        QueryId(self.next_query_id)
+    }
+
+    // ── Query intake ──────────────────────────────────────────────────
+
+    /// Submits an end-user point query for the next slot.
+    pub fn submit_point(&mut self, spec: PointSpec) -> QueryId {
+        let id = self.mint();
+        self.pending_points.push(PointQuery {
+            id,
+            loc: spec.loc,
+            budget: spec.budget,
+            offset: 0.0,
+            theta_min: spec.theta_min,
+            origin: QueryOrigin::EndUser,
+        });
+        id
+    }
+
+    /// Submits a spatial aggregate query for the next slot.
+    pub fn submit_aggregate(&mut self, spec: AggregateSpec) -> QueryId {
+        let id = self.mint();
+        self.pending_aggregates.push(AggregateQuery {
+            id,
+            region: spec.region,
+            budget: spec.budget,
+            kind: spec.kind,
+        });
+        id
+    }
+
+    /// Submits a location-monitoring query; it activates at `spec.t1` and
+    /// retires after `spec.t2`.
+    pub fn submit_location_monitor(&mut self, spec: LocationMonitorSpec) -> QueryId {
+        let id = self.mint();
+        self.location_monitors.push(LocationMonitor::new(
+            id,
+            spec.loc,
+            spec.t1,
+            spec.t2,
+            spec.alpha,
+            spec.theta_min,
+            spec.valuation,
+        ));
+        id
+    }
+
+    /// Submits a region-monitoring query; it activates at `spec.t1` and
+    /// retires after `spec.t2`.
+    pub fn submit_region_monitor(&mut self, spec: RegionMonitorSpec) -> QueryId {
+        let id = self.mint();
+        self.region_monitors.push(RegionMonitor::new(
+            id,
+            spec.t1,
+            spec.t2,
+            spec.alpha,
+            spec.theta_min,
+            spec.valuation,
+        ));
+        id
+    }
+
+    /// Submits an arbitrary black-box [`SetValuation`] for the next slot
+    /// (the paper treats `v_q(·)` as opaque; Algorithm 1 schedules it
+    /// jointly with everything else).
+    pub fn submit_valuation(&mut self, v: impl SetValuation + 's) -> QueryId {
+        let id = self.mint();
+        self.pending_customs.push((id, Box::new(v)));
+        id
+    }
+
+    /// Inserts a pre-built point query, keeping its id (state restoration
+    /// and the deprecated free-function shims).
+    pub fn adopt_point_query(&mut self, q: PointQuery) {
+        self.pending_points.push(q);
+    }
+
+    /// Inserts a pre-built aggregate query, keeping its id.
+    pub fn adopt_aggregate_query(&mut self, q: AggregateQuery) {
+        self.pending_aggregates.push(q);
+    }
+
+    /// Inserts a pre-built location monitor, keeping its id and state.
+    pub fn adopt_location_monitor(&mut self, m: LocationMonitor) {
+        self.location_monitors.push(m);
+    }
+
+    /// Inserts a pre-built region monitor, keeping its id and state.
+    pub fn adopt_region_monitor(&mut self, m: RegionMonitor) {
+        self.region_monitors.push(m);
+    }
+
+    // ── Introspection ─────────────────────────────────────────────────
+
+    /// Live location monitors, in submission order.
+    pub fn location_monitors(&self) -> &[LocationMonitor] {
+        &self.location_monitors
+    }
+
+    /// Live region monitors, in submission order.
+    pub fn region_monitors(&self) -> &[RegionMonitor] {
+        &self.region_monitors
+    }
+
+    /// Monitors whose window has elapsed, in retirement order.
+    pub fn retired_monitors(&self) -> &[RetiredMonitor] {
+        &self.retired
+    }
+
+    /// Drops retained retired-monitor state (long-running services).
+    pub fn clear_retired(&mut self) {
+        self.retired.clear();
+    }
+
+    /// Cumulative money flows across all slots stepped so far.
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Cumulative statistics across all slots stepped so far.
+    pub fn totals(&self) -> &Totals {
+        &self.totals
+    }
+
+    /// Current value of the id counter (the next minted id is this +1).
+    pub fn next_query_id(&self) -> u64 {
+        self.next_query_id
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> MixStrategy {
+        self.strategy
+    }
+
+    /// The configured Eq. 4 quality model.
+    pub fn quality(&self) -> &QualityModel {
+        &self.quality
+    }
+
+    /// The configured sensing range.
+    pub fn sensing_range(&self) -> f64 {
+        self.sensing_range
+    }
+
+    // ── The tick ──────────────────────────────────────────────────────
+
+    /// Runs one time slot against the announced sensors: consumes the
+    /// pending one-shot queries, translates monitors into point queries
+    /// (Algorithms 2–4), selects and pays sensors, applies monitor
+    /// results and the Algorithm 5 payment adjustment, and retires
+    /// monitors whose window ended at `slot`.
+    pub fn step(&mut self, slot: Slot, sensors: &[SensorSnapshot]) -> SlotReport {
+        let points = std::mem::take(&mut self.pending_points);
+        let aggregates = std::mem::take(&mut self.pending_aggregates);
+        let customs = std::mem::take(&mut self.pending_customs);
+
+        let mut report = match (&self.scheduler, self.strategy) {
+            (Some(_), _) => self.step_scheduled(slot, sensors, points, aggregates, customs),
+            (None, MixStrategy::Alg5) => self.step_alg5(slot, sensors, points, aggregates, customs),
+            (None, MixStrategy::SequentialBaseline) => {
+                self.step_baseline(slot, sensors, points, aggregates, customs)
+            }
+        };
+
+        self.ledger.absorb(&report.ledger);
+        self.totals.slots += 1;
+        self.totals.welfare += report.welfare;
+        self.totals.breakdown.absorb(&report.breakdown);
+
+        // Retire monitors that can never be active again.
+        let retired = &mut self.retired;
+        let before = retired.len();
+        self.location_monitors.retain(|m| {
+            let live = m.t2 > slot;
+            if !live {
+                retired.push(RetiredMonitor::Location(Box::new(m.clone())));
+            }
+            live
+        });
+        self.region_monitors.retain(|m| {
+            let live = m.t2 > slot;
+            if !live {
+                retired.push(RetiredMonitor::Region(Box::new(m.clone())));
+            }
+            live
+        });
+        // Increment rather than read `retired.len()`: `clear_retired`
+        // drops the retained state but must not reset the running count.
+        self.totals.monitors_retired += self.retired.len() - before;
+
+        report.totals = self.totals.clone();
+        report
+    }
+
+    /// Eq. 18 weighted sensor costs for region planning (raw costs when
+    /// weighting is off or no region monitor is active).
+    fn weighted_costs(&self, t: Slot, sensors: &[SensorSnapshot]) -> Vec<f64> {
+        if !self.use_cost_weighting || self.region_monitors.is_empty() {
+            return sensors.iter().map(|s| s.cost).collect();
+        }
+        sensors
+            .iter()
+            .map(|s| {
+                let k = self
+                    .region_monitors
+                    .iter()
+                    .filter(|m| m.is_active(t) && m.region.contains(s.loc))
+                    .count();
+                s.cost * sharing_weight(k)
+            })
+            .collect()
+    }
+
+    /// Applies each active region monitor's slot results and, when
+    /// sharing is on, lets it free-ride on `candidates` (sensors bought
+    /// for other queries, Algorithm 3's `A_{r,t}`), charging its
+    /// contribution and refunding the original payers (Algorithm 5's
+    /// payment adjustment). Returns the monitors' welfare delta.
+    ///
+    /// `rm` pairs the per-monitor satisfied lists with the slot plans;
+    /// `refund_src` pairs the per-query payment lists with their query
+    /// ids.
+    fn apply_region_sharing(
+        &mut self,
+        t: Slot,
+        sensors: &[SensorSnapshot],
+        candidates: &[SensorSnapshot],
+        rm: RegionSlotState<'_>,
+        refund_src: RefundSource<'_>,
+        ledger: &mut Ledger,
+    ) -> f64 {
+        let (rm_satisfied, rm_plans) = rm;
+        let (per_query_payments, ids) = refund_src;
+        let mut welfare = 0.0;
+        for (mi, m) in self.region_monitors.iter_mut().enumerate() {
+            if !m.is_active(t) {
+                continue;
+            }
+            let before = m.value();
+            let shared: Vec<SensorSnapshot> = if self.share_sensors {
+                let served: HashSet<usize> = rm_satisfied[mi].iter().map(|(s, _)| s.id).collect();
+                candidates
+                    .iter()
+                    .filter(|s| m.region.contains(s.loc) && !served.contains(&s.id))
+                    .copied()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let contributions = m.apply_results(&rm_satisfied[mi], &rm_plans[mi], &shared);
+            for (sensor_id, contribution) in contributions {
+                ledger.charge(m.id, contribution);
+                refund_proportionally(
+                    ledger,
+                    per_query_payments,
+                    ids,
+                    sensors,
+                    sensor_id,
+                    contribution,
+                );
+            }
+            welfare += m.value() - before;
+        }
+        welfare
+    }
+
+    /// Algorithm 5 with joint Algorithm 1 selection over every query type.
+    fn step_alg5(
+        &mut self,
+        t: Slot,
+        sensors: &[SensorSnapshot],
+        points: Vec<PointQuery>,
+        aggregates: Vec<AggregateQuery>,
+        mut customs: Vec<(QueryId, Box<dyn SetValuation + 's>)>,
+    ) -> SlotReport {
+        // ── Stage 1: point-query creation for continuous queries ──────
+        let mut lm_queries: Vec<(usize, PointQuery)> = Vec::new();
+        for (mi, m) in self.location_monitors.iter().enumerate() {
+            self.next_query_id += 1;
+            if let Some(pq) = m.create_point_query(t, QueryId(self.next_query_id), mi) {
+                lm_queries.push((mi, pq));
+            }
+        }
+        let weighted = self.weighted_costs(t, sensors);
+        let mut next_id = self.next_query_id;
+        let mut make_id = || {
+            next_id += 1;
+            QueryId(next_id)
+        };
+        let mut rm_plans: Vec<RegionPlan> = Vec::new();
+        for (mi, m) in self.region_monitors.iter().enumerate() {
+            rm_plans.push(m.plan(t, sensors, &weighted, mi, &mut make_id));
+        }
+        self.next_query_id = next_id;
+
+        // ── Stage 2: joint sensor selection (Algorithm 1) ─────────────
+        let mut agg_vals: Vec<AggregateValuation> = aggregates
+            .iter()
+            .map(|q| AggregateValuation::new(q, self.sensing_range))
+            .collect();
+        #[derive(Clone, Copy)]
+        enum PointKind {
+            EndUser,
+            Location(usize),
+            Region { monitor: usize },
+        }
+        let mut point_vals: Vec<PointValuation> = Vec::new();
+        let mut point_meta: Vec<PointKind> = Vec::new();
+        for q in &points {
+            point_vals.push(PointValuation::new(*q, self.quality));
+            point_meta.push(PointKind::EndUser);
+        }
+        for (mi, q) in &lm_queries {
+            point_vals.push(PointValuation::new(*q, self.quality));
+            point_meta.push(PointKind::Location(*mi));
+        }
+        for (mi, plan) in rm_plans.iter().enumerate() {
+            for planned in &plan.queries {
+                point_vals.push(PointValuation::new(planned.query, self.quality));
+                point_meta.push(PointKind::Region { monitor: mi });
+            }
+        }
+
+        let na = agg_vals.len();
+        let nc = customs.len();
+        // Valuation order (and payment indices): aggregates, customs,
+        // then point queries of all origins.
+        let mut ids: Vec<QueryId> = Vec::with_capacity(na + nc + point_vals.len());
+        ids.extend(aggregates.iter().map(|q| q.id));
+        ids.extend(customs.iter().map(|(id, _)| *id));
+        ids.extend(point_vals.iter().map(|v| v.query().id));
+        let mut vals: Vec<&mut dyn SetValuation> = Vec::with_capacity(ids.len());
+        for v in &mut agg_vals {
+            vals.push(v);
+        }
+        for (_, v) in &mut customs {
+            vals.push(v.as_mut());
+        }
+        for v in &mut point_vals {
+            vals.push(v);
+        }
+        let selection = greedy_select(&mut vals, sensors);
+        drop(vals);
+
+        // Stable-id → snapshot-index map, built once per slot.
+        let index_of: HashMap<usize, usize> =
+            sensors.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+
+        let mut ledger = Ledger::new();
+        let mut breakdown = MixBreakdown {
+            point_total: points.len(),
+            aggregate_total: aggregates.len(),
+            ..MixBreakdown::default()
+        };
+        let mut welfare = -selection.total_cost;
+        let paid_of = |idx: usize| -> f64 {
+            selection.per_query_payments[idx]
+                .iter()
+                .map(|&(_, p)| p)
+                .sum()
+        };
+
+        // Aggregates.
+        let mut aggregate_results = Vec::with_capacity(na);
+        for (ai, v) in agg_vals.iter().enumerate() {
+            let value = v.current_value();
+            welfare += value;
+            if value > 0.0 {
+                breakdown.aggregate_answered += 1;
+                breakdown.aggregate_quality_sum += value / v.max_value();
+            }
+            for &(si, pay) in &selection.per_query_payments[ai] {
+                ledger.record(aggregates[ai].id, sensors[si].id, pay);
+            }
+            aggregate_results.push(SetQueryResult {
+                id: aggregates[ai].id,
+                value,
+                paid: paid_of(ai),
+                sensors: selection.per_query_payments[ai]
+                    .iter()
+                    .map(|&(si, _)| si)
+                    .collect(),
+            });
+        }
+
+        // Custom valuations.
+        let mut custom_results = Vec::with_capacity(nc);
+        for (ci, (id, v)) in customs.iter().enumerate() {
+            let idx = na + ci;
+            let value = v.current_value();
+            welfare += value;
+            for &(si, pay) in &selection.per_query_payments[idx] {
+                ledger.record(*id, sensors[si].id, pay);
+            }
+            custom_results.push(SetQueryResult {
+                id: *id,
+                value,
+                paid: paid_of(idx),
+                sensors: selection.per_query_payments[idx]
+                    .iter()
+                    .map(|&(si, _)| si)
+                    .collect(),
+            });
+        }
+
+        // Point queries of all three origins.
+        let mut point_results = Vec::with_capacity(points.len());
+        let mut lm_results: Vec<Option<(f64, f64)>> = vec![None; self.location_monitors.len()];
+        let mut rm_satisfied: Vec<Vec<(SensorSnapshot, f64)>> =
+            vec![Vec::new(); self.region_monitors.len()];
+        for (pi, v) in point_vals.iter().enumerate() {
+            let idx = na + nc + pi;
+            let value = v.current_value();
+            let paid = paid_of(idx);
+            for &(si, pay) in &selection.per_query_payments[idx] {
+                ledger.record(v.query().id, sensors[si].id, pay);
+            }
+            match point_meta[pi] {
+                PointKind::EndUser => {
+                    welfare += value;
+                    if value > 0.0 {
+                        breakdown.point_satisfied += 1;
+                        breakdown.point_quality_sum += value / v.max_value();
+                    }
+                    point_results.push(PointResult {
+                        id: v.query().id,
+                        value,
+                        paid,
+                        quality: v.best_quality(),
+                        sensor: v.best_sensor().map(|stable| index_of[&stable]),
+                    });
+                }
+                PointKind::Location(mi) => {
+                    // Welfare counted through the monitor's own valuation.
+                    if value > 0.0 {
+                        lm_results[mi] = Some((v.best_quality(), paid));
+                    }
+                }
+                PointKind::Region { monitor } => {
+                    if value > 0.0 {
+                        let stable = v.best_sensor().expect("positive value");
+                        let serving = index_of[&stable];
+                        rm_satisfied[monitor].push((sensors[serving], paid));
+                    }
+                }
+            }
+        }
+
+        // ── Stage 3: apply monitor results + payment adjustment ───────
+        for (mi, m) in self.location_monitors.iter_mut().enumerate() {
+            if !m.is_active(t) {
+                continue;
+            }
+            let before = m.value();
+            m.apply_result(t, lm_results[mi]);
+            if lm_results[mi].is_some() {
+                breakdown.monitor_samples += 1;
+            }
+            welfare += m.value() - before;
+        }
+
+        let selected_snapshots: Vec<SensorSnapshot> =
+            selection.selected.iter().map(|&si| sensors[si]).collect();
+        welfare += self.apply_region_sharing(
+            t,
+            sensors,
+            &selected_snapshots,
+            (&rm_satisfied, &rm_plans),
+            (&selection.per_query_payments, &ids),
+            &mut ledger,
+        );
+
+        SlotReport {
+            slot: t,
+            welfare,
+            breakdown,
+            ledger,
+            sensors_used: selection.selected,
+            point_results,
+            aggregate_results,
+            custom_results,
+            totals: Totals::default(),
+        }
+    }
+
+    /// The §4.7 sequential baseline: aggregates (and custom valuations)
+    /// one by one with data buffering, then all point queries through the
+    /// baseline point scheduler with the bought sensors free.
+    fn step_baseline(
+        &mut self,
+        t: Slot,
+        sensors: &[SensorSnapshot],
+        points: Vec<PointQuery>,
+        aggregates: Vec<AggregateQuery>,
+        mut customs: Vec<(QueryId, Box<dyn SetValuation + 's>)>,
+    ) -> SlotReport {
+        let mut ledger = Ledger::new();
+        let mut breakdown = MixBreakdown {
+            point_total: points.len(),
+            aggregate_total: aggregates.len(),
+            ..MixBreakdown::default()
+        };
+        let mut already = vec![false; sensors.len()];
+        let mut welfare = 0.0;
+        let mut sensors_used: Vec<usize> = Vec::new();
+
+        // Stage A: set-valued queries one by one.
+        let mut aggregate_results = Vec::with_capacity(aggregates.len());
+        for q in &aggregates {
+            let mut v = AggregateValuation::new(q, self.sensing_range);
+            let out = baseline_select_for_query(&mut v, sensors, &mut already);
+            welfare += out.value - out.cost;
+            if out.value > 0.0 {
+                breakdown.aggregate_answered += 1;
+                breakdown.aggregate_quality_sum += out.value / q.budget;
+            }
+            for &si in &out.newly_selected {
+                ledger.record(q.id, sensors[si].id, sensors[si].cost);
+                sensors_used.push(si);
+            }
+            aggregate_results.push(SetQueryResult {
+                id: q.id,
+                value: out.value,
+                paid: out.cost,
+                sensors: out.newly_selected,
+            });
+        }
+        let mut custom_results = Vec::with_capacity(customs.len());
+        for (id, v) in &mut customs {
+            let out = baseline_select_for_query(v.as_mut(), sensors, &mut already);
+            welfare += out.value - out.cost;
+            for &si in &out.newly_selected {
+                ledger.record(*id, sensors[si].id, sensors[si].cost);
+                sensors_used.push(si);
+            }
+            custom_results.push(SetQueryResult {
+                id: *id,
+                value: out.value,
+                paid: out.cost,
+                sensors: out.newly_selected,
+            });
+        }
+
+        // Stage B: point queries — end-user, monitors at desired times,
+        // and region plans (unweighted, no sharing).
+        let n_points = points.len();
+        let mut queries: Vec<PointQuery> = points;
+        for (mi, m) in self.location_monitors.iter().enumerate() {
+            self.next_query_id += 1;
+            if let Some(pq) = m.create_point_query_baseline(t, QueryId(self.next_query_id), mi) {
+                queries.push(pq);
+            }
+        }
+        let raw_costs: Vec<f64> = sensors.iter().map(|s| s.cost).collect();
+        let mut next_id = self.next_query_id;
+        let mut make_id = || {
+            next_id += 1;
+            QueryId(next_id)
+        };
+        let mut rm_plans: Vec<RegionPlan> = Vec::new();
+        for (mi, m) in self.region_monitors.iter().enumerate() {
+            let plan = m.plan(t, sensors, &raw_costs, mi, &mut make_id);
+            for pq in &plan.queries {
+                queries.push(pq.query);
+            }
+            rm_plans.push(plan);
+        }
+        self.next_query_id = next_id;
+
+        let alloc = BaselinePointScheduler::new().schedule_with_preselected(
+            &queries,
+            sensors,
+            &self.quality,
+            &mut already,
+        );
+
+        let mut point_results = Vec::with_capacity(n_points);
+        let mut rm_satisfied: Vec<Vec<(SensorSnapshot, f64)>> =
+            vec![Vec::new(); self.region_monitors.len()];
+        for (qi, q) in queries.iter().enumerate() {
+            let a = alloc.assignments[qi];
+            if let Some(a) = a {
+                if a.payment > 0.0 {
+                    ledger.record(q.id, sensors[a.sensor].id, a.payment);
+                }
+            }
+            match q.origin {
+                QueryOrigin::EndUser => {
+                    let (value, paid, quality, sensor) = match a {
+                        Some(a) => (a.value, a.payment, a.quality, Some(a.sensor)),
+                        None => (0.0, 0.0, 0.0, None),
+                    };
+                    welfare += value;
+                    if value > 0.0 {
+                        breakdown.point_satisfied += 1;
+                        breakdown.point_quality_sum += value / q.budget;
+                    }
+                    point_results.push(PointResult {
+                        id: q.id,
+                        value,
+                        paid,
+                        quality,
+                        sensor,
+                    });
+                }
+                QueryOrigin::LocationMonitor { monitor } => {
+                    let Some(a) = a else { continue };
+                    let m = &mut self.location_monitors[monitor];
+                    let before = m.value();
+                    m.apply_result(t, Some((a.quality, a.payment)));
+                    breakdown.monitor_samples += 1;
+                    welfare += m.value() - before;
+                }
+                QueryOrigin::RegionMonitor { monitor, .. } => {
+                    if let Some(a) = a {
+                        if a.value > 0.0 {
+                            rm_satisfied[monitor].push((sensors[a.sensor], a.payment));
+                        }
+                    }
+                }
+            }
+        }
+        welfare -= alloc.total_sensor_cost;
+        sensors_used.extend(alloc.sensors_used.iter().copied());
+
+        // The baseline never free-rides: no shared candidates.
+        welfare += self.apply_region_sharing(
+            t,
+            sensors,
+            &[],
+            (&rm_satisfied, &rm_plans),
+            (&[], &[]),
+            &mut ledger,
+        );
+
+        SlotReport {
+            slot: t,
+            welfare,
+            breakdown,
+            ledger,
+            sensors_used,
+            point_results,
+            aggregate_results,
+            custom_results,
+            totals: Totals::default(),
+        }
+    }
+
+    /// The dedicated-scheduler path (§4.5/§4.6): monitors are translated
+    /// into point queries exactly as in Algorithms 2–4, but the combined
+    /// point workload runs through the configured [`PointScheduler`].
+    /// Set-valued queries run in a separate Algorithm 1 stage.
+    fn step_scheduled(
+        &mut self,
+        t: Slot,
+        sensors: &[SensorSnapshot],
+        points: Vec<PointQuery>,
+        aggregates: Vec<AggregateQuery>,
+        mut customs: Vec<(QueryId, Box<dyn SetValuation + 's>)>,
+    ) -> SlotReport {
+        let baseline_mode = self.strategy == MixStrategy::SequentialBaseline;
+        let mut ledger = Ledger::new();
+        let mut breakdown = MixBreakdown {
+            point_total: points.len(),
+            aggregate_total: aggregates.len(),
+            ..MixBreakdown::default()
+        };
+        let mut welfare = 0.0;
+        let mut sensors_used: Vec<usize> = Vec::new();
+
+        // Set-valued queries: their own Algorithm 1 stage.
+        let mut aggregate_results = Vec::with_capacity(aggregates.len());
+        let mut custom_results = Vec::with_capacity(customs.len());
+        if !aggregates.is_empty() || !customs.is_empty() {
+            let mut agg_vals: Vec<AggregateValuation> = aggregates
+                .iter()
+                .map(|q| AggregateValuation::new(q, self.sensing_range))
+                .collect();
+            let na = agg_vals.len();
+            let mut ids: Vec<QueryId> = aggregates.iter().map(|q| q.id).collect();
+            ids.extend(customs.iter().map(|(id, _)| *id));
+            let mut vals: Vec<&mut dyn SetValuation> = Vec::with_capacity(ids.len());
+            for v in &mut agg_vals {
+                vals.push(v);
+            }
+            for (_, v) in &mut customs {
+                vals.push(v.as_mut());
+            }
+            let selection = greedy_select(&mut vals, sensors);
+            drop(vals);
+            welfare += selection.welfare;
+            sensors_used.extend(selection.selected.iter().copied());
+            for (idx, &id) in ids.iter().enumerate() {
+                let value = if idx < na {
+                    agg_vals[idx].current_value()
+                } else {
+                    customs[idx - na].1.current_value()
+                };
+                let mut paid = 0.0;
+                for &(si, pay) in &selection.per_query_payments[idx] {
+                    ledger.record(id, sensors[si].id, pay);
+                    paid += pay;
+                }
+                let result = SetQueryResult {
+                    id,
+                    value,
+                    paid,
+                    sensors: selection.per_query_payments[idx]
+                        .iter()
+                        .map(|&(si, _)| si)
+                        .collect(),
+                };
+                if idx < na {
+                    if value > 0.0 {
+                        breakdown.aggregate_answered += 1;
+                        breakdown.aggregate_quality_sum += value / agg_vals[idx].max_value();
+                    }
+                    aggregate_results.push(result);
+                } else {
+                    custom_results.push(result);
+                }
+            }
+        }
+
+        // Stage 1: monitor point-query creation.
+        let n_points = points.len();
+        let mut queries: Vec<PointQuery> = points;
+        for (mi, m) in self.location_monitors.iter().enumerate() {
+            self.next_query_id += 1;
+            let id = QueryId(self.next_query_id);
+            let pq = if baseline_mode {
+                m.create_point_query_baseline(t, id, mi)
+            } else {
+                m.create_point_query(t, id, mi)
+            };
+            if let Some(pq) = pq {
+                queries.push(pq);
+            }
+        }
+        let weighted = self.weighted_costs(t, sensors);
+        let mut next_id = self.next_query_id;
+        let mut make_id = || {
+            next_id += 1;
+            QueryId(next_id)
+        };
+        let mut rm_plans: Vec<RegionPlan> = Vec::new();
+        for (mi, m) in self.region_monitors.iter().enumerate() {
+            let plan = m.plan(t, sensors, &weighted, mi, &mut make_id);
+            for pq in &plan.queries {
+                queries.push(pq.query);
+            }
+            rm_plans.push(plan);
+        }
+        self.next_query_id = next_id;
+
+        // Stage 2: the configured point scheduler. Sensors the set-valued
+        // stage already bought are free here (their data is buffered, as
+        // in the §4.7 baseline) — the scheduler sees them at cost 0, so
+        // they are neither re-charged nor double-counted in welfare.
+        let scheduler = self.scheduler.as_deref().expect("scheduled path");
+        let prebought: HashSet<usize> = sensors_used.iter().copied().collect();
+        let alloc: PointAllocation = if prebought.is_empty() {
+            scheduler.schedule(&queries, sensors, &self.quality)
+        } else {
+            let discounted: Vec<SensorSnapshot> = sensors
+                .iter()
+                .enumerate()
+                .map(|(si, s)| {
+                    let mut s = *s;
+                    if prebought.contains(&si) {
+                        s.cost = 0.0;
+                    }
+                    s
+                })
+                .collect();
+            scheduler.schedule(&queries, &discounted, &self.quality)
+        };
+        welfare -= alloc.total_sensor_cost;
+
+        // Stage 3: route results.
+        let mut point_results = Vec::with_capacity(n_points);
+        let mut rm_satisfied: Vec<Vec<(SensorSnapshot, f64)>> =
+            vec![Vec::new(); self.region_monitors.len()];
+        for (qi, q) in queries.iter().enumerate() {
+            let a = alloc.assignments[qi];
+            if let Some(a) = a {
+                if a.payment > 0.0 {
+                    ledger.record(q.id, sensors[a.sensor].id, a.payment);
+                }
+            }
+            match q.origin {
+                QueryOrigin::EndUser => {
+                    let (value, paid, quality, sensor) = match a {
+                        Some(a) => (a.value, a.payment, a.quality, Some(a.sensor)),
+                        None => (0.0, 0.0, 0.0, None),
+                    };
+                    welfare += value;
+                    if value > 0.0 {
+                        breakdown.point_satisfied += 1;
+                        breakdown.point_quality_sum += value / q.budget;
+                    }
+                    point_results.push(PointResult {
+                        id: q.id,
+                        value,
+                        paid,
+                        quality,
+                        sensor,
+                    });
+                }
+                QueryOrigin::LocationMonitor { monitor } => {
+                    let m = &mut self.location_monitors[monitor];
+                    let before = m.value();
+                    match a {
+                        Some(a) if a.value > 0.0 => {
+                            m.apply_result(t, Some((a.quality, a.payment)));
+                            breakdown.monitor_samples += 1;
+                        }
+                        _ => m.apply_result(t, None),
+                    }
+                    welfare += m.value() - before;
+                }
+                QueryOrigin::RegionMonitor { monitor, .. } => {
+                    if let Some(a) = a {
+                        if a.value > 0.0 {
+                            rm_satisfied[monitor].push((sensors[a.sensor], a.payment));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Region monitors: apply + optional A_{r,t} free-riding with the
+        // Algorithm 5 payment adjustment. Only sensors the point stage
+        // actually paid for are sharing candidates — a contribution must
+        // have payers to refund (pre-bought sensors ride free already).
+        let per_query_payments: Vec<Vec<(usize, f64)>> = alloc
+            .assignments
+            .iter()
+            .map(|a| match a {
+                Some(a) if a.payment > 0.0 => vec![(a.sensor, a.payment)],
+                _ => Vec::new(),
+            })
+            .collect();
+        let query_ids: Vec<QueryId> = queries.iter().map(|q| q.id).collect();
+        let paid: HashSet<usize> = per_query_payments
+            .iter()
+            .flatten()
+            .map(|&(si, _)| si)
+            .collect();
+        let candidates: Vec<SensorSnapshot> = alloc
+            .sensors_used
+            .iter()
+            .filter(|si| paid.contains(si))
+            .map(|&si| sensors[si])
+            .collect();
+        welfare += self.apply_region_sharing(
+            t,
+            sensors,
+            &candidates,
+            (&rm_satisfied, &rm_plans),
+            (&per_query_payments, &query_ids),
+            &mut ledger,
+        );
+        sensors_used.extend(
+            alloc
+                .sensors_used
+                .iter()
+                .filter(|si| !prebought.contains(si))
+                .copied(),
+        );
+
+        SlotReport {
+            slot: t,
+            welfare,
+            breakdown,
+            ledger,
+            sensors_used,
+            point_results,
+            aggregate_results,
+            custom_results,
+            totals: Totals::default(),
+        }
+    }
+}
+
+/// Splits `amount` back to the queries that paid for `sensor_id`,
+/// proportionally to their payments. `ids[i]` is the query behind
+/// `per_query_payments[i]`.
+fn refund_proportionally(
+    ledger: &mut Ledger,
+    per_query_payments: &[Vec<(usize, f64)>],
+    ids: &[QueryId],
+    sensors: &[SensorSnapshot],
+    sensor_id: usize,
+    amount: f64,
+) {
+    let mut payers: Vec<(QueryId, f64)> = Vec::new();
+    for (qi, pays) in per_query_payments.iter().enumerate() {
+        for &(si, p) in pays {
+            if sensors[si].id == sensor_id && p > 0.0 {
+                payers.push((ids[qi], p));
+            }
+        }
+    }
+    let total: f64 = payers.iter().map(|&(_, p)| p).sum();
+    if total <= 1e-12 {
+        return;
+    }
+    for (qid, p) in payers {
+        ledger.refund(qid, amount * p / total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::optimal::OptimalScheduler;
+    use crate::valuation::monitoring::MonitoringContext;
+    use ps_gp::kernel::SquaredExponential;
+    use ps_stats::regression::DiurnalBasis;
+    use ps_stats::TimeSeries;
+    use std::sync::Arc;
+
+    fn quality() -> QualityModel {
+        QualityModel::new(5.0)
+    }
+
+    fn sensor(id: usize, x: f64, y: f64) -> SensorSnapshot {
+        SensorSnapshot {
+            id,
+            loc: Point::new(x, y),
+            cost: 10.0,
+            trust: 1.0,
+            inaccuracy: 0.0,
+        }
+    }
+
+    fn point_spec(x: f64, y: f64, budget: f64) -> PointSpec {
+        PointSpec {
+            loc: Point::new(x, y),
+            budget,
+            theta_min: 0.2,
+        }
+    }
+
+    fn monitoring_ctx() -> Arc<MonitoringContext> {
+        let times: Vec<f64> = (0..100).map(|i| i as f64 - 100.0).collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| 20.0 + 5.0 * (std::f64::consts::TAU * t / 50.0).sin())
+            .collect();
+        Arc::new(MonitoringContext {
+            basis: DiurnalBasis {
+                period: 50.0,
+                harmonics: 1,
+            },
+            history: TimeSeries::new(times, values),
+            fold: None,
+        })
+    }
+
+    fn location_spec(loc: Point, budget: f64) -> LocationMonitorSpec {
+        LocationMonitorSpec {
+            loc,
+            t1: 0,
+            t2: 10,
+            alpha: 0.5,
+            theta_min: 0.2,
+            valuation: MonitoringValuation::new(monitoring_ctx(), budget, vec![0.0, 3.0, 6.0]),
+        }
+    }
+
+    fn region_spec(region: Rect, budget: f64) -> RegionMonitorSpec {
+        RegionMonitorSpec {
+            t1: 0,
+            t2: 10,
+            alpha: 0.5,
+            theta_min: 0.2,
+            valuation: RegionValuation::new(
+                budget,
+                region,
+                &SquaredExponential::new(2.0, 2.0),
+                0.1,
+            ),
+        }
+    }
+
+    #[test]
+    fn minted_ids_are_unique_and_monotone() {
+        let mut engine = AggregatorBuilder::new(quality()).next_query_id(100).build();
+        let a = engine.submit_point(point_spec(1.0, 1.0, 10.0));
+        let b = engine.submit_aggregate(AggregateSpec {
+            region: Rect::new(0.0, 0.0, 5.0, 5.0),
+            budget: 20.0,
+            kind: AggregateKind::Average,
+        });
+        let c = engine.submit_location_monitor(location_spec(Point::new(1.0, 1.0), 50.0));
+        assert_eq!(a, QueryId(101));
+        assert_eq!(b, QueryId(102));
+        assert_eq!(c, QueryId(103));
+        assert_eq!(engine.next_query_id(), 103);
+    }
+
+    #[test]
+    fn shared_point_queries_split_one_sensor() {
+        let sensors = vec![sensor(0, 5.0, 5.0), sensor(1, 12.0, 5.0)];
+        let mut engine = AggregatorBuilder::new(quality()).build();
+        let q1 = engine.submit_point(point_spec(5.0, 5.0, 12.0));
+        let q2 = engine.submit_point(point_spec(5.0, 5.0, 12.0));
+        let report = engine.step(0, &sensors);
+        assert_eq!(report.breakdown.point_satisfied, 2);
+        assert_eq!(report.sensors_used.len(), 1);
+        assert!(report.welfare > 0.0);
+        // Both queries split the 10-cost sensor.
+        let paid: f64 = report.ledger.query_payment(q1) + report.ledger.query_payment(q2);
+        assert!((paid - 10.0).abs() < 1e-9);
+        assert_eq!(report.point_results.len(), 2);
+        assert_eq!(report.point_results[0].id, q1);
+        assert_eq!(report.point_results[0].sensor, Some(0));
+    }
+
+    #[test]
+    fn pending_queries_are_consumed_by_exactly_one_step() {
+        let sensors = vec![sensor(0, 5.0, 5.0)];
+        let mut engine = AggregatorBuilder::new(quality()).build();
+        engine.submit_point(point_spec(5.0, 5.0, 20.0));
+        let first = engine.step(0, &sensors);
+        assert_eq!(first.breakdown.point_total, 1);
+        let second = engine.step(1, &sensors);
+        assert_eq!(second.breakdown.point_total, 0);
+        assert_eq!(second.welfare, 0.0);
+    }
+
+    #[test]
+    fn monitors_activate_sample_and_retire() {
+        let sensors = vec![sensor(0, 5.0, 5.0)];
+        let mut engine = AggregatorBuilder::new(quality()).build();
+        let mut spec = location_spec(Point::new(5.0, 5.0), 100.0);
+        spec.t2 = 3;
+        let id = engine.submit_location_monitor(spec);
+        for t in 0..=3 {
+            engine.step(t, &sensors);
+        }
+        assert!(engine.location_monitors().is_empty(), "monitor must retire");
+        assert_eq!(engine.retired_monitors().len(), 1);
+        let retired = &engine.retired_monitors()[0];
+        assert_eq!(retired.id(), id);
+        assert!(retired.value() > 0.0);
+        assert!(engine.totals().breakdown.monitor_samples >= 1);
+        assert_eq!(engine.totals().monitors_retired, 1);
+    }
+
+    #[test]
+    fn cumulative_ledger_matches_slot_ledgers() {
+        let sensors: Vec<SensorSnapshot> = (0..4)
+            .map(|i| sensor(i, 2.0 + 4.0 * i as f64, 5.0))
+            .collect();
+        let mut engine = AggregatorBuilder::new(quality()).build();
+        let mut paid = 0.0;
+        for t in 0..3 {
+            for i in 0..4 {
+                engine.submit_point(point_spec(2.0 + 4.0 * i as f64, 5.0, 25.0));
+            }
+            let report = engine.step(t, &sensors);
+            // Per-slot invariant: each used sensor recovers its cost.
+            report
+                .ledger
+                .verify_cost_recovery(|_| 10.0, 1e-6)
+                .unwrap_or_else(|e| panic!("slot {t}: {e}"));
+            paid += report.ledger.total_payments();
+        }
+        // Cumulative ledger = sum of the slot ledgers, still balanced.
+        assert!((engine.ledger().total_payments() - paid).abs() < 1e-9);
+        assert!((engine.ledger().total_receipts() - engine.ledger().total_payments()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_contributions_keep_the_ledger_balanced() {
+        let region = Rect::new(0.0, 0.0, 8.0, 8.0);
+        let sensors = vec![sensor(0, 4.0, 4.0), sensor(1, 2.0, 6.0)];
+        let mut engine = AggregatorBuilder::new(quality()).build();
+        engine.submit_region_monitor(region_spec(region, 80.0));
+        engine.submit_region_monitor(region_spec(region, 80.0));
+        for t in 0..3 {
+            let report = engine.step(t, &sensors);
+            assert!(
+                (report.ledger.total_receipts() - report.ledger.total_payments()).abs() < 1e-6,
+                "slot {t}: receipts {} != payments {}",
+                report.ledger.total_receipts(),
+                report.ledger.total_payments()
+            );
+            report
+                .ledger
+                .verify_cost_recovery(|_| 10.0, 1e-6)
+                .expect("cost recovery with sharing contributions");
+        }
+        let total_value: f64 = engine.region_monitors().iter().map(|m| m.value()).sum();
+        assert!(total_value > 0.0);
+    }
+
+    #[test]
+    fn scheduler_path_matches_direct_scheduling() {
+        let sensors: Vec<SensorSnapshot> = (0..3)
+            .map(|i| sensor(i, 2.0 + 4.0 * i as f64, 5.0))
+            .collect();
+        let specs: Vec<PointSpec> = (0..5)
+            .map(|i| point_spec(2.0 + 4.0 * (i % 3) as f64, 5.0, 18.0))
+            .collect();
+        let mut engine = AggregatorBuilder::new(quality())
+            .scheduler(OptimalScheduler::new())
+            .build();
+        let queries: Vec<PointQuery> = specs
+            .iter()
+            .map(|s| {
+                let id = engine.submit_point(*s);
+                PointQuery {
+                    id,
+                    loc: s.loc,
+                    budget: s.budget,
+                    offset: 0.0,
+                    theta_min: s.theta_min,
+                    origin: QueryOrigin::EndUser,
+                }
+            })
+            .collect();
+        let report = engine.step(0, &sensors);
+        let direct = OptimalScheduler::new().schedule(&queries, &sensors, &quality());
+        assert!((report.welfare - direct.welfare).abs() < 1e-9);
+        assert_eq!(report.breakdown.point_satisfied, direct.satisfied_count());
+        assert_eq!(report.sensors_used.len(), direct.sensors_used.len());
+    }
+
+    #[test]
+    fn scheduler_path_does_not_double_charge_aggregate_bought_sensors() {
+        // One sensor serves both an aggregate (set-valued stage) and a
+        // co-located point query (scheduler stage): the point stage must
+        // treat it as already bought — one receipt, one cost in welfare.
+        let sensors = vec![sensor(0, 5.0, 5.0)];
+        let mut engine = AggregatorBuilder::new(quality())
+            .scheduler(OptimalScheduler::new())
+            .sensing_range(10.0)
+            .build();
+        engine.submit_aggregate(AggregateSpec {
+            region: Rect::new(0.0, 0.0, 10.0, 10.0),
+            budget: 50.0,
+            kind: AggregateKind::Average,
+        });
+        engine.submit_point(point_spec(5.0, 5.0, 20.0));
+        let report = engine.step(0, &sensors);
+        report
+            .ledger
+            .verify_cost_recovery(|_| 10.0, 1e-6)
+            .expect("sensor charged exactly once");
+        assert_eq!(report.sensors_used, vec![0], "no duplicate usage entry");
+        assert_eq!(report.breakdown.point_satisfied, 1);
+        assert_eq!(report.point_results[0].paid, 0.0, "buffered data is free");
+        // Welfare: aggregate value + point value − one sensor cost.
+        let expected = report.aggregate_results[0].value + report.point_results[0].value - 10.0;
+        assert!((report.welfare - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_retired_keeps_the_cumulative_count() {
+        let sensors = vec![sensor(0, 5.0, 5.0)];
+        let mut engine = AggregatorBuilder::new(quality()).build();
+        let mut short = location_spec(Point::new(5.0, 5.0), 50.0);
+        short.t2 = 0;
+        engine.submit_location_monitor(short);
+        engine.step(0, &sensors);
+        assert_eq!(engine.totals().monitors_retired, 1);
+        engine.clear_retired();
+        let mut short2 = location_spec(Point::new(5.0, 5.0), 50.0);
+        short2.t1 = 1;
+        short2.t2 = 1;
+        engine.submit_location_monitor(short2);
+        engine.step(1, &sensors);
+        assert_eq!(
+            engine.totals().monitors_retired,
+            2,
+            "clear_retired must not reset the running count"
+        );
+    }
+
+    #[test]
+    fn custom_valuation_is_scheduled_jointly() {
+        use crate::valuation::FnValuation;
+        let sensors = vec![sensor(0, 2.0, 2.0), sensor(1, 8.0, 8.0)];
+        let mut engine = AggregatorBuilder::new(quality()).build();
+        // Pays 15 per distinct sensor committed, up to two.
+        let id = engine.submit_valuation(FnValuation::new(
+            |set: &[SensorSnapshot]| 15.0 * set.len().min(2) as f64,
+            30.0,
+        ));
+        let report = engine.step(0, &sensors);
+        assert_eq!(report.custom_results.len(), 1);
+        let r = &report.custom_results[0];
+        assert_eq!(r.id, id);
+        assert_eq!(r.sensors.len(), 2);
+        assert!((r.value - 30.0).abs() < 1e-9);
+        assert!((r.paid - 20.0).abs() < 1e-9, "pays both sensor costs");
+        assert!((report.welfare - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alg5_engine_beats_baseline_engine_on_a_shared_slot() {
+        let sensors = vec![
+            sensor(0, 5.0, 5.0),
+            sensor(1, 12.0, 5.0),
+            sensor(2, 5.0, 12.0),
+        ];
+        let run = |strategy: MixStrategy| -> SlotReport {
+            let mut engine = AggregatorBuilder::new(quality()).strategy(strategy).build();
+            for _ in 0..6 {
+                engine.submit_point(point_spec(5.0, 5.0, 7.0));
+            }
+            engine.submit_aggregate(AggregateSpec {
+                region: Rect::new(0.0, 0.0, 15.0, 15.0),
+                budget: 60.0,
+                kind: AggregateKind::Average,
+            });
+            engine.step(0, &sensors)
+        };
+        let alg5 = run(MixStrategy::Alg5);
+        let baseline = run(MixStrategy::SequentialBaseline);
+        assert!(
+            alg5.welfare >= baseline.welfare - 1e-9,
+            "alg5 {} below baseline {}",
+            alg5.welfare,
+            baseline.welfare
+        );
+        assert!(alg5.breakdown.point_satisfied >= baseline.breakdown.point_satisfied);
+        assert!(alg5.breakdown.point_satisfied > 0);
+    }
+
+    #[test]
+    fn totals_accumulate_across_slots() {
+        let sensors = vec![sensor(0, 5.0, 5.0)];
+        let mut engine = AggregatorBuilder::new(quality()).build();
+        let mut welfare = 0.0;
+        for t in 0..4 {
+            engine.submit_point(point_spec(5.0, 5.0, 20.0));
+            welfare += engine.step(t, &sensors).welfare;
+        }
+        assert_eq!(engine.totals().slots, 4);
+        assert!((engine.totals().welfare - welfare).abs() < 1e-9);
+        assert_eq!(engine.totals().breakdown.point_total, 4);
+    }
+}

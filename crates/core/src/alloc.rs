@@ -86,6 +86,28 @@ pub trait PointScheduler {
     ) -> PointAllocation;
 }
 
+impl<T: PointScheduler + ?Sized> PointScheduler for &T {
+    fn schedule(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+    ) -> PointAllocation {
+        (**self).schedule(queries, sensors, quality)
+    }
+}
+
+impl<T: PointScheduler + ?Sized> PointScheduler for Box<T> {
+    fn schedule(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+    ) -> PointAllocation {
+        (**self).schedule(queries, sensors, quality)
+    }
+}
+
 /// Queries grouped by queried location: the clients of the
 /// facility-location formulation.
 pub(crate) struct LocationGroups {

@@ -26,12 +26,19 @@
 //! | baselines (§4.3, §4.4, §4.7) | [`alloc::baseline`] |
 //! | location monitoring (Alg. 2) | [`monitor::location`] |
 //! | region monitoring (Algs. 3 + 4, Eq. 18) | [`monitor::region`] |
-//! | query-mix orchestration (Alg. 5) | [`mix`] |
+//! | query-mix orchestration (Alg. 5) | [`aggregator`] |
 //! | proportionate cost sharing (Eq. 11) | [`payment`] |
+//!
+//! The public entry point is the stateful [`aggregator::Aggregator`]
+//! engine: builder-configured, owning query intake, monitor lifecycle,
+//! and a cumulative ledger, with one [`aggregator::Aggregator::step`]
+//! per time slot. The free functions in [`mix`] are deprecated shims
+//! kept for one release.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregator;
 pub mod alloc;
 pub mod cost;
 pub mod mix;
@@ -41,6 +48,7 @@ pub mod payment;
 pub mod query;
 pub mod valuation;
 
+pub use aggregator::{Aggregator, AggregatorBuilder, MixStrategy, SlotReport};
 pub use model::{QueryId, SensorSnapshot, Slot};
 pub use query::{AggregateQuery, PointQuery, QueryOrigin, TrajectoryQuery};
 pub use valuation::quality::QualityModel;

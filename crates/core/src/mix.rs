@@ -1,29 +1,16 @@
-//! Algorithm 5: data acquisition for the query mix, plus the per-type
-//! slot drivers used by the monitoring experiments (§4.5, §4.6) and the
-//! baseline mix of §4.7.
+//! Deprecated free-function slot drivers, kept as thin shims over the
+//! stateful [`crate::aggregator::Aggregator`] engine.
 //!
-//! One call = one time slot. The four stages of Algorithm 5:
-//!
-//! 1. **Point-query creation** — Algorithms 2 and 3 translate active
-//!    monitors into point queries.
-//! 2. **Sensor selection** — all queries (aggregates + every point query)
-//!    are fed jointly to Algorithm 1, which shares sensors across them and
-//!    computes proportionate payments.
-//! 3. **Payment adjustment** — region monitors contribute toward shared
-//!    sensors from their α-budget; those contributions are refunded to the
-//!    queries that originally paid.
-//! 4. **Data acquisition & accounting** — selected sensors measure, the
-//!    ledger charges queries and pays sensors.
-//!
-//! # Example
-//!
-//! One slot with two sensors and two end-user point queries that share a
-//! location (and therefore a sensor); no aggregates or monitors:
+//! These functions were the original public API: one call = one time
+//! slot, with the caller hand-rolling id minting, monitor lifecycle, and
+//! welfare accounting across 8–9 positional arguments. The engine owns
+//! all of that now — build one with
+//! [`crate::aggregator::AggregatorBuilder`] and call
+//! [`crate::aggregator::Aggregator::step`] each slot:
 //!
 //! ```rust
-//! use ps_core::mix::run_mix_alg5;
-//! use ps_core::model::{QueryId, SensorSnapshot};
-//! use ps_core::query::{PointQuery, QueryOrigin};
+//! use ps_core::aggregator::{AggregatorBuilder, PointSpec};
+//! use ps_core::model::SensorSnapshot;
 //! use ps_core::valuation::quality::QualityModel;
 //! use ps_geo::Point;
 //!
@@ -31,65 +18,50 @@
 //!     SensorSnapshot { id: 0, loc: Point::new(5.0, 5.0), cost: 10.0, trust: 1.0, inaccuracy: 0.0 },
 //!     SensorSnapshot { id: 1, loc: Point::new(12.0, 5.0), cost: 10.0, trust: 0.9, inaccuracy: 0.1 },
 //! ];
-//! let queries: Vec<PointQuery> = (0..2)
-//!     .map(|i| PointQuery {
-//!         id: QueryId(i),
-//!         loc: Point::new(5.0, 5.0),
-//!         budget: 12.0,
-//!         offset: 0.0,
-//!         theta_min: 0.2,
-//!         origin: QueryOrigin::EndUser,
-//!     })
-//!     .collect();
-//!
-//! let mut next_query_id = 100;
-//! let outcome = run_mix_alg5(
-//!     0,                       // slot
-//!     &sensors,
-//!     &QualityModel::new(5.0), // Eq. 4, d_max = 5
-//!     10.0,                    // sensing range for aggregates
-//!     &queries,
-//!     &[],                     // no aggregate queries
-//!     &mut [],                 // no location monitors
-//!     &mut [],                 // no region monitors
-//!     &mut next_query_id,
-//! );
+//! let mut engine = AggregatorBuilder::new(QualityModel::new(5.0)).build();
+//! for _ in 0..2 {
+//!     engine.submit_point(PointSpec { loc: Point::new(5.0, 5.0), budget: 12.0, theta_min: 0.2 });
+//! }
+//! let report = engine.step(0, &sensors);
 //! // Both co-located queries are satisfied by the same (cheapest) sensor.
-//! assert_eq!(outcome.breakdown.point_satisfied, 2);
-//! assert_eq!(outcome.sensors_used.len(), 1);
-//! assert!(outcome.welfare > 0.0);
+//! assert_eq!(report.breakdown.point_satisfied, 2);
+//! assert_eq!(report.sensors_used.len(), 1);
+//! assert!(report.welfare > 0.0);
 //! ```
+//!
+//! The shims reproduce the historical behaviour exactly, with one
+//! bookkeeping fix: a region monitor's sharing contribution is now a
+//! [`crate::payment::Ledger::charge`] (payment without a second sensor
+//! receipt) instead of inflating the sensor's receipts past its cost, so
+//! the returned ledger is budget-balanced and cost-recovering even when
+//! region monitors free-ride.
 
-use crate::alloc::baseline::{baseline_select_for_query, BaselinePointScheduler};
-use crate::alloc::greedy::greedy_select;
-use crate::alloc::{PointAllocation, PointScheduler};
-use crate::model::{QueryId, SensorSnapshot, Slot};
+use crate::aggregator::{Aggregator, AggregatorBuilder, MixStrategy, RetiredMonitor, SlotReport};
+use crate::alloc::PointScheduler;
+use crate::model::{SensorSnapshot, Slot};
 use crate::monitor::location::LocationMonitor;
-use crate::monitor::region::{sharing_weight, RegionMonitor, RegionPlan};
+use crate::monitor::region::RegionMonitor;
 use crate::payment::Ledger;
-use crate::query::{AggregateQuery, PointQuery, QueryOrigin};
-use crate::valuation::aggregate::AggregateValuation;
-use crate::valuation::point::PointValuation;
+use crate::query::{AggregateQuery, PointQuery};
 use crate::valuation::quality::QualityModel;
-use crate::valuation::SetValuation;
 
-/// Per-query-type results of one mixed slot.
-#[derive(Debug, Clone, Default)]
-pub struct MixBreakdown {
-    /// End-user point queries issued this slot.
-    pub point_total: usize,
-    /// …of which answered with positive value.
-    pub point_satisfied: usize,
-    /// Σ quality-of-results (`v/B` = θ) over satisfied point queries.
-    pub point_quality_sum: f64,
-    /// Aggregate queries issued this slot.
-    pub aggregate_total: usize,
-    /// …of which answered with positive value.
-    pub aggregate_answered: usize,
-    /// Σ quality-of-results (`v/B`) over answered aggregates.
-    pub aggregate_quality_sum: f64,
-    /// Number of location monitors that achieved a sample this slot.
-    pub monitor_samples: usize,
+pub use crate::aggregator::MixBreakdown;
+
+/// The per-slot environment the deprecated shims operate in. The
+/// historical free functions took these as 3–4 leading positional
+/// arguments; grouping them keeps the shims honest about being one
+/// bundle of slot state (and under clippy's argument limit without any
+/// `#[allow]`).
+#[derive(Clone, Copy)]
+pub struct SlotContext<'a> {
+    /// The slot to execute.
+    pub t: Slot,
+    /// Sensors announced this slot.
+    pub sensors: &'a [SensorSnapshot],
+    /// Eq. 4 quality model.
+    pub quality: &'a QualityModel,
+    /// Sensing radius `r_s` for aggregate coverage (Eq. 5).
+    pub sensing_range: f64,
 }
 
 /// Outcome of one mixed slot.
@@ -105,347 +77,6 @@ pub struct MixOutcome {
     pub sensors_used: Vec<usize>,
 }
 
-/// Runs one slot of Algorithm 5.
-///
-/// `next_query_id` mints identifiers for monitor-generated point queries.
-#[allow(clippy::too_many_arguments)] // mirrors Algorithm 5's parameter list
-pub fn run_mix_alg5(
-    t: Slot,
-    sensors: &[SensorSnapshot],
-    quality: &QualityModel,
-    sensing_range: f64,
-    end_user_points: &[PointQuery],
-    aggregates: &[AggregateQuery],
-    location_monitors: &mut [LocationMonitor],
-    region_monitors: &mut [RegionMonitor],
-    next_query_id: &mut u64,
-) -> MixOutcome {
-    let mut make_id = || {
-        *next_query_id += 1;
-        QueryId(*next_query_id)
-    };
-
-    // ── Stage 1: point-query creation for continuous queries ──────────
-    let mut lm_queries: Vec<(usize, PointQuery)> = Vec::new();
-    for (mi, m) in location_monitors.iter().enumerate() {
-        if let Some(pq) = m.create_point_query(t, make_id(), mi) {
-            lm_queries.push((mi, pq));
-        }
-    }
-
-    // Eq. 18 cost weighting for region planning.
-    let weighted: Vec<f64> = sensors
-        .iter()
-        .map(|s| {
-            let k = region_monitors
-                .iter()
-                .filter(|m| m.is_active(t) && m.region.contains(s.loc))
-                .count();
-            s.cost * sharing_weight(k)
-        })
-        .collect();
-    let mut rm_plans: Vec<RegionPlan> = Vec::new();
-    for (mi, m) in region_monitors.iter().enumerate() {
-        rm_plans.push(m.plan(t, sensors, &weighted, mi, &mut make_id));
-    }
-
-    // ── Stage 2: joint sensor selection (Algorithm 1) ──────────────────
-    let mut agg_vals: Vec<AggregateValuation> = aggregates
-        .iter()
-        .map(|q| AggregateValuation::new(q, sensing_range))
-        .collect();
-    #[derive(Clone, Copy)]
-    enum PointKind {
-        EndUser,
-        Location(usize),
-        Region { monitor: usize },
-    }
-    let mut point_vals: Vec<PointValuation> = Vec::new();
-    let mut point_meta: Vec<PointKind> = Vec::new();
-    for q in end_user_points {
-        point_vals.push(PointValuation::new(*q, *quality));
-        point_meta.push(PointKind::EndUser);
-    }
-    for (mi, q) in &lm_queries {
-        point_vals.push(PointValuation::new(*q, *quality));
-        point_meta.push(PointKind::Location(*mi));
-    }
-    for (mi, plan) in rm_plans.iter().enumerate() {
-        for planned in &plan.queries {
-            point_vals.push(PointValuation::new(planned.query, *quality));
-            point_meta.push(PointKind::Region { monitor: mi });
-        }
-    }
-
-    let na = agg_vals.len();
-    let mut vals: Vec<&mut dyn SetValuation> = Vec::with_capacity(na + point_vals.len());
-    for v in &mut agg_vals {
-        vals.push(v);
-    }
-    for v in &mut point_vals {
-        vals.push(v);
-    }
-    let selection = greedy_select(&mut vals, sensors);
-    drop(vals);
-
-    // Stable-id → snapshot-index map for routing results.
-    let by_id = |stable: usize| -> usize {
-        sensors
-            .iter()
-            .position(|s| s.id == stable)
-            .expect("serving sensor is in the snapshot")
-    };
-
-    let mut ledger = Ledger::new();
-    let mut breakdown = MixBreakdown {
-        point_total: end_user_points.len(),
-        aggregate_total: aggregates.len(),
-        ..MixBreakdown::default()
-    };
-    let mut welfare = -selection.total_cost;
-
-    // Aggregates.
-    for (ai, v) in agg_vals.iter().enumerate() {
-        let value = v.current_value();
-        welfare += value;
-        if value > 0.0 {
-            breakdown.aggregate_answered += 1;
-            breakdown.aggregate_quality_sum += value / v.max_value();
-        }
-        for &(si, pay) in &selection.per_query_payments[ai] {
-            ledger.record(aggregates[ai].id, sensors[si].id, pay);
-        }
-    }
-
-    // Point queries of all three origins.
-    let mut lm_results: Vec<Option<(f64, f64)>> = vec![None; location_monitors.len()];
-    let mut rm_satisfied: Vec<Vec<(SensorSnapshot, f64)>> = vec![Vec::new(); region_monitors.len()];
-    for (pi, v) in point_vals.iter().enumerate() {
-        let idx = na + pi;
-        let value = v.current_value();
-        let paid: f64 = selection.per_query_payments[idx]
-            .iter()
-            .map(|&(_, p)| p)
-            .sum();
-        for &(si, pay) in &selection.per_query_payments[idx] {
-            ledger.record(v.query().id, sensors[si].id, pay);
-        }
-        match point_meta[pi] {
-            PointKind::EndUser => {
-                welfare += value;
-                if value > 0.0 {
-                    breakdown.point_satisfied += 1;
-                    breakdown.point_quality_sum += value / v.max_value();
-                }
-            }
-            PointKind::Location(mi) => {
-                // Welfare counted through the monitor's own valuation below.
-                if value > 0.0 {
-                    lm_results[mi] = Some((v.best_quality(), paid));
-                }
-            }
-            PointKind::Region { monitor, .. } => {
-                if value > 0.0 {
-                    let serving = by_id(v.best_sensor().expect("positive value"));
-                    rm_satisfied[monitor].push((sensors[serving], paid));
-                }
-            }
-        }
-    }
-
-    // ── Stage 3: apply monitor results + payment adjustment ───────────
-    for (mi, m) in location_monitors.iter_mut().enumerate() {
-        if !m.is_active(t) {
-            continue;
-        }
-        let before = m.value();
-        m.apply_result(t, lm_results[mi]);
-        if lm_results[mi].is_some() {
-            breakdown.monitor_samples += 1;
-        }
-        welfare += m.value() - before;
-    }
-
-    for (mi, m) in region_monitors.iter_mut().enumerate() {
-        if !m.is_active(t) {
-            continue;
-        }
-        let before = m.value();
-        // A_{r,t}: sensors selected for other queries inside this region,
-        // excluding those already serving this monitor's queries.
-        let served: Vec<usize> = rm_satisfied[mi].iter().map(|(s, _)| s.id).collect();
-        let shared: Vec<SensorSnapshot> = selection
-            .selected
-            .iter()
-            .map(|&si| sensors[si])
-            .filter(|s| m.region.contains(s.loc) && !served.contains(&s.id))
-            .collect();
-        let contributions = m.apply_results(&rm_satisfied[mi], &rm_plans[mi], &shared);
-        // Payment adjustment: contributions refund the queries that paid
-        // for those sensors, proportionally to what they paid.
-        for (sensor_id, contribution) in contributions {
-            ledger.record(m.id, sensor_id, contribution);
-            refund_proportionally(
-                &mut ledger,
-                &selection.per_query_payments,
-                &point_vals,
-                &agg_vals,
-                aggregates,
-                sensors,
-                na,
-                sensor_id,
-                contribution,
-            );
-        }
-        welfare += m.value() - before;
-    }
-
-    MixOutcome {
-        welfare,
-        breakdown,
-        ledger,
-        sensors_used: selection.selected,
-    }
-}
-
-/// Splits `amount` back to the queries that paid for `sensor_id`,
-/// proportionally to their payments.
-#[allow(clippy::too_many_arguments)]
-fn refund_proportionally(
-    ledger: &mut Ledger,
-    per_query_payments: &[Vec<(usize, f64)>],
-    point_vals: &[PointValuation],
-    agg_vals: &[AggregateValuation],
-    aggregates: &[AggregateQuery],
-    sensors: &[SensorSnapshot],
-    na: usize,
-    sensor_id: usize,
-    amount: f64,
-) {
-    let _ = agg_vals;
-    let mut payers: Vec<(QueryId, f64)> = Vec::new();
-    for (qi, pays) in per_query_payments.iter().enumerate() {
-        for &(si, p) in pays {
-            if sensors[si].id == sensor_id && p > 0.0 {
-                let qid = if qi < na {
-                    aggregates[qi].id
-                } else {
-                    point_vals[qi - na].query().id
-                };
-                payers.push((qid, p));
-            }
-        }
-    }
-    let total: f64 = payers.iter().map(|&(_, p)| p).sum();
-    if total <= 1e-12 {
-        return;
-    }
-    for (qid, p) in payers {
-        ledger.refund(qid, amount * p / total);
-    }
-}
-
-/// Baseline for the query mix (§4.7): aggregates first (sequential, data
-/// buffering), then all point queries — end-user plus the monitors'
-/// desired-time queries — through the baseline point scheduler, with
-/// sensors bought by the aggregate stage free.
-#[allow(clippy::too_many_arguments)] // mirrors the §4.7 baseline's inputs
-pub fn run_mix_baseline(
-    t: Slot,
-    sensors: &[SensorSnapshot],
-    quality: &QualityModel,
-    sensing_range: f64,
-    end_user_points: &[PointQuery],
-    aggregates: &[AggregateQuery],
-    location_monitors: &mut [LocationMonitor],
-    next_query_id: &mut u64,
-) -> MixOutcome {
-    let mut ledger = Ledger::new();
-    let mut breakdown = MixBreakdown {
-        point_total: end_user_points.len(),
-        aggregate_total: aggregates.len(),
-        ..MixBreakdown::default()
-    };
-    let mut already = vec![false; sensors.len()];
-    let mut welfare = 0.0;
-    let mut sensors_used: Vec<usize> = Vec::new();
-
-    // Stage A: aggregates one by one.
-    for q in aggregates {
-        let mut v = AggregateValuation::new(q, sensing_range);
-        let out = baseline_select_for_query(&mut v, sensors, &mut already);
-        welfare += out.value - out.cost;
-        if out.value > 0.0 {
-            breakdown.aggregate_answered += 1;
-            breakdown.aggregate_quality_sum += out.value / q.budget;
-        }
-        for &si in &out.newly_selected {
-            ledger.record(q.id, sensors[si].id, sensors[si].cost);
-            sensors_used.push(si);
-        }
-    }
-
-    // Stage B: point queries (end user + monitors at desired times).
-    let mut make_id = || {
-        *next_query_id += 1;
-        QueryId(*next_query_id)
-    };
-    let mut queries: Vec<PointQuery> = end_user_points.to_vec();
-    let mut lm_slots: Vec<(usize, usize)> = Vec::new(); // (query idx, monitor idx)
-    for (mi, m) in location_monitors.iter().enumerate() {
-        if let Some(pq) = m.create_point_query_baseline(t, make_id(), mi) {
-            lm_slots.push((queries.len(), mi));
-            queries.push(pq);
-        }
-    }
-    let alloc = BaselinePointScheduler::new().schedule_with_preselected(
-        &queries,
-        sensors,
-        quality,
-        &mut already,
-    );
-
-    for (qi, q) in queries.iter().enumerate() {
-        let Some(a) = alloc.assignments[qi] else {
-            if let QueryOrigin::LocationMonitor { .. } = q.origin {
-                // monitor slot missed; nothing to record
-            }
-            continue;
-        };
-        if a.payment > 0.0 {
-            ledger.record(q.id, sensors[a.sensor].id, a.payment);
-        }
-        match q.origin {
-            QueryOrigin::EndUser => {
-                welfare += a.value;
-                if a.value > 0.0 {
-                    breakdown.point_satisfied += 1;
-                    breakdown.point_quality_sum += a.value / q.budget;
-                }
-            }
-            QueryOrigin::LocationMonitor { monitor } => {
-                let m = &mut location_monitors[monitor];
-                let before = m.value();
-                m.apply_result(t, Some((a.quality, a.payment)));
-                breakdown.monitor_samples += 1;
-                welfare += m.value() - before;
-            }
-            QueryOrigin::RegionMonitor { .. } => {
-                unreachable!("baseline mix has no region monitors")
-            }
-        }
-    }
-    welfare -= alloc.total_sensor_cost;
-    sensors_used.extend(alloc.sensors_used.iter().copied());
-
-    MixOutcome {
-        welfare,
-        breakdown,
-        ledger,
-        sensors_used,
-    }
-}
-
 /// Welfare and sensor usage of one monitoring slot.
 #[derive(Debug, Clone)]
 pub struct SlotOutcome {
@@ -456,143 +87,193 @@ pub struct SlotOutcome {
     pub sensors_used: Vec<usize>,
 }
 
+/// Copies post-step monitor state (live or retired) back into the
+/// caller's slices, matching by query id.
+fn write_back(
+    engine: &Aggregator,
+    location_monitors: &mut [LocationMonitor],
+    region_monitors: &mut [RegionMonitor],
+) {
+    for m in location_monitors.iter_mut() {
+        if let Some(src) = engine.location_monitors().iter().find(|em| em.id == m.id) {
+            *m = src.clone();
+        } else if let Some(RetiredMonitor::Location(src)) =
+            engine.retired_monitors().iter().find(|r| r.id() == m.id)
+        {
+            *m = src.as_ref().clone();
+        }
+    }
+    for m in region_monitors.iter_mut() {
+        if let Some(src) = engine.region_monitors().iter().find(|em| em.id == m.id) {
+            *m = src.clone();
+        } else if let Some(RetiredMonitor::Region(src)) =
+            engine.retired_monitors().iter().find(|r| r.id() == m.id)
+        {
+            *m = src.as_ref().clone();
+        }
+    }
+}
+
+fn mix_outcome(report: SlotReport) -> MixOutcome {
+    MixOutcome {
+        welfare: report.welfare,
+        breakdown: report.breakdown,
+        ledger: report.ledger,
+        sensors_used: report.sensors_used,
+    }
+}
+
+/// Runs one slot of Algorithm 5.
+///
+/// `next_query_id` mints identifiers for monitor-generated point queries.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `aggregator::Aggregator` once and call `step` per slot"
+)]
+pub fn run_mix_alg5(
+    ctx: &SlotContext<'_>,
+    end_user_points: &[PointQuery],
+    aggregates: &[AggregateQuery],
+    location_monitors: &mut [LocationMonitor],
+    region_monitors: &mut [RegionMonitor],
+    next_query_id: &mut u64,
+) -> MixOutcome {
+    let mut engine = AggregatorBuilder::new(*ctx.quality)
+        .sensing_range(ctx.sensing_range)
+        .next_query_id(*next_query_id)
+        .build();
+    for q in end_user_points {
+        engine.adopt_point_query(*q);
+    }
+    for q in aggregates {
+        engine.adopt_aggregate_query(q.clone());
+    }
+    for m in location_monitors.iter() {
+        engine.adopt_location_monitor(m.clone());
+    }
+    for m in region_monitors.iter() {
+        engine.adopt_region_monitor(m.clone());
+    }
+    let report = engine.step(ctx.t, ctx.sensors);
+    write_back(&engine, location_monitors, region_monitors);
+    *next_query_id = engine.next_query_id();
+    mix_outcome(report)
+}
+
+/// Baseline for the query mix (§4.7): aggregates first (sequential, data
+/// buffering), then all point queries — end-user plus the monitors'
+/// desired-time queries — through the baseline point scheduler, with
+/// sensors bought by the aggregate stage free.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `aggregator::Aggregator` with `MixStrategy::SequentialBaseline`"
+)]
+pub fn run_mix_baseline(
+    ctx: &SlotContext<'_>,
+    end_user_points: &[PointQuery],
+    aggregates: &[AggregateQuery],
+    location_monitors: &mut [LocationMonitor],
+    next_query_id: &mut u64,
+) -> MixOutcome {
+    let mut engine = AggregatorBuilder::new(*ctx.quality)
+        .sensing_range(ctx.sensing_range)
+        .strategy(MixStrategy::SequentialBaseline)
+        .next_query_id(*next_query_id)
+        .build();
+    for q in end_user_points {
+        engine.adopt_point_query(*q);
+    }
+    for q in aggregates {
+        engine.adopt_aggregate_query(q.clone());
+    }
+    for m in location_monitors.iter() {
+        engine.adopt_location_monitor(m.clone());
+    }
+    let report = engine.step(ctx.t, ctx.sensors);
+    write_back(&engine, location_monitors, &mut []);
+    *next_query_id = engine.next_query_id();
+    mix_outcome(report)
+}
+
 /// One slot of the region-monitoring experiment (§4.6): plans all active
 /// monitors, schedules the planned point queries with `scheduler`, applies
 /// results, and (when `share_sensors` is set) lets monitors free-ride on
 /// sensors selected for other monitors.
-#[allow(clippy::too_many_arguments)] // mirrors Algorithm 3's parameter list
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `aggregator::Aggregator` with a `scheduler` and the \
+            `cost_weighting`/`sensor_sharing` knobs"
+)]
 pub fn run_region_slot(
-    t: Slot,
-    sensors: &[SensorSnapshot],
-    quality: &QualityModel,
+    ctx: &SlotContext<'_>,
     monitors: &mut [RegionMonitor],
     scheduler: &dyn PointScheduler,
     use_cost_weighting: bool,
     share_sensors: bool,
     next_query_id: &mut u64,
 ) -> SlotOutcome {
-    let mut make_id = || {
-        *next_query_id += 1;
-        QueryId(*next_query_id)
-    };
-    let weighted: Vec<f64> = sensors
-        .iter()
-        .map(|s| {
-            if !use_cost_weighting {
-                return s.cost;
-            }
-            let k = monitors
-                .iter()
-                .filter(|m| m.is_active(t) && m.region.contains(s.loc))
-                .count();
-            s.cost * sharing_weight(k)
-        })
-        .collect();
-
-    let mut plans: Vec<RegionPlan> = Vec::new();
-    let mut queries: Vec<PointQuery> = Vec::new();
-    let mut owners: Vec<usize> = Vec::new();
-    for (mi, m) in monitors.iter().enumerate() {
-        let plan = m.plan(t, sensors, &weighted, mi, &mut make_id);
-        for pq in &plan.queries {
-            queries.push(pq.query);
-            owners.push(mi);
-        }
-        plans.push(plan);
+    let mut engine = AggregatorBuilder::new(*ctx.quality)
+        .scheduler(scheduler)
+        .cost_weighting(use_cost_weighting)
+        .sensor_sharing(share_sensors)
+        .next_query_id(*next_query_id)
+        .build();
+    for m in monitors.iter() {
+        engine.adopt_region_monitor(m.clone());
     }
-
-    let alloc: PointAllocation = scheduler.schedule(&queries, sensors, quality);
-
-    let mut satisfied: Vec<Vec<(SensorSnapshot, f64)>> = vec![Vec::new(); monitors.len()];
-    for (qi, a) in alloc.assignments.iter().enumerate() {
-        if let Some(a) = a {
-            if a.value > 0.0 {
-                satisfied[owners[qi]].push((sensors[a.sensor], a.payment));
-            }
-        }
-    }
-
-    let mut welfare = -alloc.total_sensor_cost;
-    for (mi, m) in monitors.iter_mut().enumerate() {
-        if !m.is_active(t) {
-            continue;
-        }
-        let before = m.value();
-        let shared: Vec<SensorSnapshot> = if share_sensors {
-            let own: Vec<usize> = satisfied[mi].iter().map(|(s, _)| s.id).collect();
-            alloc
-                .sensors_used
-                .iter()
-                .map(|&si| sensors[si])
-                .filter(|s| m.region.contains(s.loc) && !own.contains(&s.id))
-                .collect()
-        } else {
-            Vec::new()
-        };
-        m.apply_results(&satisfied[mi], &plans[mi], &shared);
-        welfare += m.value() - before;
-    }
+    let report = engine.step(ctx.t, ctx.sensors);
+    write_back(&engine, &mut [], monitors);
+    *next_query_id = engine.next_query_id();
     SlotOutcome {
-        welfare,
-        sensors_used: alloc.sensors_used,
+        welfare: report.welfare,
+        sensors_used: report.sensors_used,
     }
 }
 
 /// One slot of the location-monitoring experiment (§4.5): Algorithm 2
 /// against the chosen point scheduler (`Alg2-O`, `Alg2-LS`) or the
 /// desired-times-only baseline.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `aggregator::Aggregator` with a `scheduler` \
+            (baseline mode = `MixStrategy::SequentialBaseline`)"
+)]
 pub fn run_location_slot(
-    t: Slot,
-    sensors: &[SensorSnapshot],
-    quality: &QualityModel,
+    ctx: &SlotContext<'_>,
     monitors: &mut [LocationMonitor],
     scheduler: &dyn PointScheduler,
     baseline_mode: bool,
     next_query_id: &mut u64,
 ) -> SlotOutcome {
-    let mut make_id = || {
-        *next_query_id += 1;
-        QueryId(*next_query_id)
-    };
-    let mut queries: Vec<PointQuery> = Vec::new();
-    let mut owners: Vec<usize> = Vec::new();
-    for (mi, m) in monitors.iter().enumerate() {
-        let pq = if baseline_mode {
-            m.create_point_query_baseline(t, make_id(), mi)
+    let mut engine = AggregatorBuilder::new(*ctx.quality)
+        .scheduler(scheduler)
+        .strategy(if baseline_mode {
+            MixStrategy::SequentialBaseline
         } else {
-            m.create_point_query(t, make_id(), mi)
-        };
-        if let Some(pq) = pq {
-            owners.push(mi);
-            queries.push(pq);
-        }
+            MixStrategy::Alg5
+        })
+        .next_query_id(*next_query_id)
+        .build();
+    for m in monitors.iter() {
+        engine.adopt_location_monitor(m.clone());
     }
-
-    let alloc = scheduler.schedule(&queries, sensors, quality);
-
-    let mut welfare = -alloc.total_sensor_cost;
-    for (qi, a) in alloc.assignments.iter().enumerate() {
-        let mi = owners[qi];
-        let m = &mut monitors[mi];
-        let before = m.value();
-        match a {
-            Some(a) if a.value > 0.0 => m.apply_result(t, Some((a.quality, a.payment))),
-            _ => m.apply_result(t, None),
-        }
-        welfare += m.value() - before;
-    }
+    let report = engine.step(ctx.t, ctx.sensors);
+    write_back(&engine, monitors, &mut []);
+    *next_query_id = engine.next_query_id();
     SlotOutcome {
-        welfare,
-        sensors_used: alloc.sensors_used,
+        welfare: report.welfare,
+        sensors_used: report.sensors_used,
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::aggregator::{AggregateSpec, LocationMonitorSpec, PointSpec, RegionMonitorSpec};
     use crate::alloc::optimal::OptimalScheduler;
     use crate::model::QueryId;
-    use crate::query::AggregateKind;
+    use crate::query::{AggregateKind, QueryOrigin};
     use crate::valuation::monitoring::{MonitoringContext, MonitoringValuation};
     use crate::valuation::region::RegionValuation;
     use ps_geo::{Point, Rect};
@@ -603,6 +284,19 @@ mod tests {
 
     fn quality() -> QualityModel {
         QualityModel::new(5.0)
+    }
+
+    fn ctx<'a>(
+        t: Slot,
+        sensors: &'a [SensorSnapshot],
+        quality: &'a QualityModel,
+    ) -> SlotContext<'a> {
+        SlotContext {
+            t,
+            sensors,
+            quality,
+            sensing_range: 10.0,
+        }
     }
 
     fn sensor(id: usize, x: f64, y: f64) -> SensorSnapshot {
@@ -635,21 +329,24 @@ mod tests {
         }
     }
 
-    fn location_monitor(id: u64, loc: Point, budget: f64) -> LocationMonitor {
+    fn monitoring_ctx() -> Arc<MonitoringContext> {
         let times: Vec<f64> = (0..100).map(|i| i as f64 - 100.0).collect();
         let values: Vec<f64> = times
             .iter()
             .map(|&t| 20.0 + 5.0 * (std::f64::consts::TAU * t / 50.0).sin())
             .collect();
-        let ctx = Arc::new(MonitoringContext {
+        Arc::new(MonitoringContext {
             basis: DiurnalBasis {
                 period: 50.0,
                 harmonics: 1,
             },
             history: TimeSeries::new(times, values),
             fold: None,
-        });
-        let valuation = MonitoringValuation::new(ctx, budget, vec![0.0, 3.0, 6.0]);
+        })
+    }
+
+    fn location_monitor(id: u64, loc: Point, budget: f64) -> LocationMonitor {
+        let valuation = MonitoringValuation::new(monitoring_ctx(), budget, vec![0.0, 3.0, 6.0]);
         LocationMonitor::new(QueryId(id), loc, 0, 10, 0.5, 0.2, valuation)
     }
 
@@ -669,27 +366,10 @@ mod tests {
         let points: Vec<PointQuery> = (0..6).map(|i| point(i, 5.0, 5.0, 7.0)).collect();
         let aggs = vec![aggregate(100, Rect::new(0.0, 0.0, 15.0, 15.0), 60.0)];
         let mut next_id = 1000u64;
-        let alg5 = run_mix_alg5(
-            0,
-            &sensors,
-            &quality(),
-            10.0,
-            &points,
-            &aggs,
-            &mut [],
-            &mut [],
-            &mut next_id,
-        );
-        let baseline = run_mix_baseline(
-            0,
-            &sensors,
-            &quality(),
-            10.0,
-            &points,
-            &aggs,
-            &mut [],
-            &mut next_id,
-        );
+        let q = quality();
+        let c = ctx(0, &sensors, &q);
+        let alg5 = run_mix_alg5(&c, &points, &aggs, &mut [], &mut [], &mut next_id);
+        let baseline = run_mix_baseline(&c, &points, &aggs, &mut [], &mut next_id);
         assert!(
             alg5.welfare >= baseline.welfare - 1e-9,
             "alg5 {} below baseline {}",
@@ -713,11 +393,9 @@ mod tests {
             .collect();
         let aggs = vec![aggregate(200, Rect::new(0.0, 0.0, 16.0, 10.0), 80.0)];
         let mut next_id = 1000u64;
+        let q = quality();
         let out = run_mix_alg5(
-            0,
-            &sensors,
-            &quality(),
-            10.0,
+            &ctx(0, &sensors, &q),
             &points,
             &aggs,
             &mut [],
@@ -737,11 +415,9 @@ mod tests {
         let mut next_id = 0u64;
         // Slot 0 is a desired time → a full-value point query is created
         // and answered by the co-located sensor.
+        let q = quality();
         let out = run_mix_alg5(
-            0,
-            &sensors,
-            &quality(),
-            10.0,
+            &ctx(0, &sensors, &q),
             &[],
             &[],
             &mut monitors,
@@ -762,11 +438,9 @@ mod tests {
             region_monitor(2, region, 80.0),
         ];
         let mut next_id = 0u64;
+        let q = quality();
         let out = run_mix_alg5(
-            0,
-            &sensors,
-            &quality(),
-            10.0,
+            &ctx(0, &sensors, &q),
             &[],
             &[],
             &mut [],
@@ -777,6 +451,11 @@ mod tests {
         // so one monitor's sensor is shared by the other).
         assert!(monitors[0].value() > 0.0 || monitors[1].value() > 0.0);
         assert!(out.welfare.is_finite());
+        // Sharing contributions must not break the money invariants.
+        assert!((out.ledger.total_receipts() - out.ledger.total_payments()).abs() < 1e-6);
+        out.ledger
+            .verify_cost_recovery(|_| 10.0, 1e-6)
+            .expect("contributions must not inflate receipts");
     }
 
     #[test]
@@ -787,25 +466,11 @@ mod tests {
         let mut base_monitors = vec![location_monitor(1, Point::new(5.0, 5.0), 100.0)];
         let mut id_a = 0u64;
         let mut id_b = 5000u64;
+        let q = quality();
         for t in 0..10 {
-            run_location_slot(
-                t,
-                &sensors,
-                &quality(),
-                &mut alg2_monitors,
-                &scheduler,
-                false,
-                &mut id_a,
-            );
-            run_location_slot(
-                t,
-                &sensors,
-                &quality(),
-                &mut base_monitors,
-                &scheduler,
-                true,
-                &mut id_b,
-            );
+            let c = ctx(t, &sensors, &q);
+            run_location_slot(&c, &mut alg2_monitors, &scheduler, false, &mut id_a);
+            run_location_slot(&c, &mut base_monitors, &scheduler, true, &mut id_b);
         }
         // Alg 2 samples opportunistically as well → at least as many
         // samples and at least as much utility.
@@ -821,11 +486,10 @@ mod tests {
         let scheduler = OptimalScheduler::new();
         let mut next_id = 0u64;
         let mut total = 0.0;
+        let q = quality();
         for t in 0..5 {
             let out = run_region_slot(
-                t,
-                &sensors,
-                &quality(),
+                &ctx(t, &sensors, &q),
                 &mut monitors,
                 &scheduler,
                 true,
@@ -836,5 +500,129 @@ mod tests {
         }
         assert!(monitors[0].value() > 0.0);
         assert!(total.is_finite());
+    }
+
+    /// The shims must be *exactly* the engine: same welfare, breakdown,
+    /// monitor state, and id counter on a mixed slot.
+    #[test]
+    fn shim_equals_engine_on_a_mixed_slot() {
+        let sensors: Vec<SensorSnapshot> = (0..4)
+            .map(|i| sensor(i, 2.0 + 4.0 * i as f64, 5.0))
+            .collect();
+        let points: Vec<PointQuery> = (0..5)
+            .map(|i| point(i, 2.0 + 4.0 * (i % 4) as f64, 5.0, 18.0))
+            .collect();
+        let aggs = vec![aggregate(50, Rect::new(0.0, 0.0, 16.0, 10.0), 70.0)];
+        let mut shim_monitors = vec![location_monitor(60, Point::new(6.0, 5.0), 90.0)];
+        let mut next_id = 100u64;
+        let q = quality();
+        let shim = run_mix_alg5(
+            &ctx(0, &sensors, &q),
+            &points,
+            &aggs,
+            &mut shim_monitors,
+            &mut [],
+            &mut next_id,
+        );
+
+        let mut engine = AggregatorBuilder::new(quality())
+            .sensing_range(10.0)
+            .next_query_id(100)
+            .build();
+        for q in &points {
+            engine.adopt_point_query(*q);
+        }
+        for q in &aggs {
+            engine.adopt_aggregate_query(q.clone());
+        }
+        engine.adopt_location_monitor(location_monitor(60, Point::new(6.0, 5.0), 90.0));
+        let report = engine.step(0, &sensors);
+
+        assert_eq!(shim.welfare, report.welfare);
+        assert_eq!(
+            shim.breakdown.point_satisfied,
+            report.breakdown.point_satisfied
+        );
+        assert_eq!(shim.sensors_used, report.sensors_used);
+        assert_eq!(next_id, engine.next_query_id());
+        assert_eq!(
+            shim_monitors[0].sampled_times(),
+            engine.location_monitors()[0].sampled_times()
+        );
+        assert_eq!(shim.ledger.total_payments(), report.ledger.total_payments());
+    }
+
+    /// Spec-based intake produces the same slot as adopted pre-minted
+    /// queries (ids aside).
+    #[test]
+    fn spec_intake_matches_adopted_queries() {
+        let sensors: Vec<SensorSnapshot> = (0..3)
+            .map(|i| sensor(i, 3.0 + 3.0 * i as f64, 4.0))
+            .collect();
+        let mut by_spec = AggregatorBuilder::new(quality()).build();
+        by_spec.submit_point(PointSpec {
+            loc: Point::new(3.0, 4.0),
+            budget: 15.0,
+            theta_min: 0.2,
+        });
+        by_spec.submit_aggregate(AggregateSpec {
+            region: Rect::new(0.0, 0.0, 12.0, 8.0),
+            budget: 40.0,
+            kind: AggregateKind::Average,
+        });
+        by_spec.submit_location_monitor(LocationMonitorSpec {
+            loc: Point::new(6.0, 4.0),
+            t1: 0,
+            t2: 10,
+            alpha: 0.5,
+            theta_min: 0.2,
+            valuation: MonitoringValuation::new(monitoring_ctx(), 80.0, vec![0.0, 4.0]),
+        });
+        by_spec.submit_region_monitor(RegionMonitorSpec {
+            t1: 0,
+            t2: 10,
+            alpha: 0.5,
+            theta_min: 0.2,
+            valuation: RegionValuation::new(
+                60.0,
+                Rect::new(0.0, 0.0, 9.0, 8.0),
+                &SquaredExponential::new(2.0, 2.0),
+                0.1,
+            ),
+        });
+        let spec_report = by_spec.step(0, &sensors);
+
+        let mut adopted = AggregatorBuilder::new(quality()).build();
+        adopted.adopt_point_query(point(1, 3.0, 4.0, 15.0));
+        adopted.adopt_aggregate_query(aggregate(2, Rect::new(0.0, 0.0, 12.0, 8.0), 40.0));
+        adopted.adopt_location_monitor(LocationMonitor::new(
+            QueryId(3),
+            Point::new(6.0, 4.0),
+            0,
+            10,
+            0.5,
+            0.2,
+            MonitoringValuation::new(monitoring_ctx(), 80.0, vec![0.0, 4.0]),
+        ));
+        adopted.adopt_region_monitor(RegionMonitor::new(
+            QueryId(4),
+            0,
+            10,
+            0.5,
+            0.2,
+            RegionValuation::new(
+                60.0,
+                Rect::new(0.0, 0.0, 9.0, 8.0),
+                &SquaredExponential::new(2.0, 2.0),
+                0.1,
+            ),
+        ));
+        let adopted_report = adopted.step(0, &sensors);
+        assert!((spec_report.welfare - adopted_report.welfare).abs() < 1e-9);
+        assert_eq!(
+            spec_report.breakdown.point_satisfied,
+            adopted_report.breakdown.point_satisfied
+        );
+        assert_eq!(spec_report.sensors_used, adopted_report.sensors_used);
     }
 }

@@ -42,6 +42,28 @@ impl Ledger {
         *self.payments.entry(query).or_insert(0.0) -= amount;
     }
 
+    /// Records a payment by `query` that is *not* a sensor receipt — a
+    /// region monitor's sharing contribution, which reimburses the
+    /// queries that already paid the sensor (via [`Ledger::refund`])
+    /// rather than paying the sensor twice. Pairing `charge` with equal
+    /// refunds keeps `total_payments == total_receipts` and preserves the
+    /// §2.1 cost-recovery invariant.
+    pub fn charge(&mut self, query: QueryId, amount: f64) {
+        assert!(amount >= 0.0, "negative charge {amount}");
+        *self.payments.entry(query).or_insert(0.0) += amount;
+    }
+
+    /// Adds every flow of `other` into this ledger (the engine's
+    /// cumulative ledger absorbing one slot's flows).
+    pub fn absorb(&mut self, other: &Ledger) {
+        for (&sensor, &amount) in &other.receipts {
+            *self.receipts.entry(sensor).or_insert(0.0) += amount;
+        }
+        for (&query, &amount) in &other.payments {
+            *self.payments.entry(query).or_insert(0.0) += amount;
+        }
+    }
+
     /// Total received by `sensor`.
     pub fn sensor_receipt(&self, sensor: usize) -> f64 {
         self.receipts.get(&sensor).copied().unwrap_or(0.0)
@@ -125,6 +147,33 @@ mod tests {
     #[should_panic(expected = "negative payment")]
     fn negative_payment_rejected() {
         Ledger::new().record(QueryId(1), 0, -1.0);
+    }
+
+    #[test]
+    fn charge_plus_refund_conserves_totals() {
+        let mut l = Ledger::new();
+        l.record(QueryId(1), 7, 10.0);
+        // Query 2 contributes 4 toward sensor 7; query 1 is refunded.
+        l.charge(QueryId(2), 4.0);
+        l.refund(QueryId(1), 4.0);
+        assert_eq!(l.sensor_receipt(7), 10.0);
+        assert_eq!(l.total_payments(), 10.0);
+        assert_eq!(l.query_payment(QueryId(1)), 6.0);
+        assert_eq!(l.query_payment(QueryId(2)), 4.0);
+    }
+
+    #[test]
+    fn absorb_merges_flows() {
+        let mut a = Ledger::new();
+        a.record(QueryId(1), 7, 4.0);
+        let mut b = Ledger::new();
+        b.record(QueryId(1), 7, 6.0);
+        b.record(QueryId(2), 8, 2.0);
+        a.absorb(&b);
+        assert_eq!(a.sensor_receipt(7), 10.0);
+        assert_eq!(a.query_payment(QueryId(1)), 10.0);
+        assert_eq!(a.query_payment(QueryId(2)), 2.0);
+        assert_eq!(a.total_receipts(), 12.0);
     }
 
     #[test]

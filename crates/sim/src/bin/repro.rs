@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! repro [--scale full|test|bench] [fig2 fig3 … | all]
+//! repro [--scale full|test|bench|smoke] [fig2 fig3 … | all]
 //! ```
 //!
 //! Prints each figure's series as an aligned table and writes
@@ -26,14 +26,15 @@ fn main() {
                     "full" => Scale::full(),
                     "test" => Scale::test(),
                     "bench" => Scale::bench(),
+                    "smoke" => Scale::smoke(),
                     other => {
-                        eprintln!("unknown scale '{other}' (full|test|bench)");
+                        eprintln!("unknown scale '{other}' (full|test|bench|smoke)");
                         std::process::exit(2);
                     }
                 };
             }
             "--help" | "-h" => {
-                println!("usage: repro [--scale full|test|bench] [fig2 … fig10 trust | all]");
+                println!("usage: repro [--scale full|test|bench|smoke] [fig2 … fig10 trust | all]");
                 return;
             }
             "all" => wanted.extend(ExperimentId::ALL),

@@ -58,6 +58,18 @@ impl Scale {
         }
     }
 
+    /// The smallest sane configuration: CI runs `repro --scale smoke all`
+    /// on every PR so the experiment drivers are *executed*, not just
+    /// compiled.
+    pub fn smoke() -> Self {
+        Self {
+            slots: 3,
+            query_factor: 0.05,
+            sensor_factor: 0.3,
+            seed: 2013,
+        }
+    }
+
     /// Scales a query count, keeping at least 1.
     pub fn queries(&self, full: usize) -> usize {
         ((full as f64 * self.query_factor).round() as usize).max(1)

@@ -13,11 +13,10 @@ use crate::config::Scale;
 use crate::metrics::FigureTable;
 use crate::sensors::{SensorPool, SensorPoolConfig};
 use crate::workload::{point_queries, spawn_region_monitor, BudgetScheme};
+use ps_core::aggregator::AggregatorBuilder;
 use ps_core::alloc::egalitarian::EgalitarianScheduler;
 use ps_core::alloc::optimal::OptimalScheduler;
 use ps_core::alloc::PointScheduler;
-use ps_core::mix::run_region_slot;
-use ps_core::monitor::region::RegionMonitor;
 use ps_data::intel::{IntelConfig, IntelFieldDataset};
 use ps_geo::Rect;
 use ps_gp::hyper::{fit_rbf, HyperGrid};
@@ -88,38 +87,27 @@ fn run_region_variant(scale: &Scale, budget_factor: f64, variant: RegionVariant,
         &SensorPoolConfig::paper_default(scale.slots, seed),
     );
     let quality = ps_core::valuation::quality::QualityModel::new(2.0);
-    let scheduler = OptimalScheduler::new();
+    let mut engine = AggregatorBuilder::new(quality)
+        .scheduler(OptimalScheduler::new())
+        .cost_weighting(variant.weighting)
+        .sensor_sharing(variant.sharing)
+        .build();
 
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
-    let mut monitors: Vec<RegionMonitor> = Vec::new();
-    let mut next_id = 0u64;
-    let mut welfare = 0.0;
     for slot in 0..scale.slots {
-        monitors.retain(|m| m.is_active(slot) || m.is_active(slot + 1));
-        monitors.push(spawn_region_monitor(
+        engine.submit_region_monitor(spawn_region_monitor(
             &mut rng,
             slot,
             &bounds,
             &fitted.kernel,
             fitted.noise_variance,
             budget_factor,
-            &mut next_id,
         ));
         let sensors = pool.snapshots(slot, &trace, &bounds);
-        let out = run_region_slot(
-            slot,
-            &sensors,
-            &quality,
-            &mut monitors,
-            &scheduler,
-            variant.weighting,
-            variant.sharing,
-            &mut next_id,
-        );
-        welfare += out.welfare;
-        pool.record_measurements(slot, out.sensors_used.iter().map(|&si| sensors[si].id));
+        let report = engine.step(slot, &sensors);
+        pool.record_measurements(slot, report.sensors_used.iter().map(|&si| sensors[si].id));
     }
-    welfare / scale.slots as f64
+    engine.totals().welfare / scale.slots as f64
 }
 
 /// Region-monitoring mechanism ablation: average utility per slot for the
@@ -193,30 +181,31 @@ pub fn ablation_objective(scale: &Scale) -> Vec<FigureTable> {
                 &SensorPoolConfig::paper_default(scale.slots, scale.seed ^ 0x66),
             );
             let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(500 + xi as u64));
-            let mut next_id = 0u64;
-            let mut welfare = 0.0;
-            let mut satisfied = 0usize;
-            let mut issued = 0usize;
+            let mut engine = AggregatorBuilder::new(setting.quality)
+                .scheduler(scheduler)
+                .build();
             for slot in 0..scale.slots {
                 let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
-                let queries = point_queries(
+                for spec in point_queries(
                     &mut rng,
                     scale.queries(300),
                     &setting.working_region,
                     BudgetScheme::Fixed(b),
-                    &mut next_id,
+                ) {
+                    engine.submit_point(spec);
+                }
+                let report = engine.step(slot, &sensors);
+                pool.record_measurements(
+                    slot,
+                    report.sensors_used.iter().map(|&si| sensors[si].id),
                 );
-                let alloc = scheduler.schedule(&queries, &sensors, &setting.quality);
-                welfare += alloc.welfare;
-                satisfied += alloc.satisfied_count();
-                issued += queries.len();
-                pool.record_measurements(slot, alloc.sensors_used.iter().map(|&si| sensors[si].id));
             }
-            utilities.push(welfare / scale.slots as f64);
-            satisfactions.push(if issued == 0 {
+            let totals = engine.totals();
+            utilities.push(totals.welfare / scale.slots as f64);
+            satisfactions.push(if totals.breakdown.point_total == 0 {
                 0.0
             } else {
-                satisfied as f64 / issued as f64
+                totals.breakdown.point_satisfied as f64 / totals.breakdown.point_total as f64
             });
         }
         rows.push((utilities, satisfactions));

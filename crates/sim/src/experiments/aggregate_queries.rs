@@ -5,10 +5,7 @@ use crate::config::Scale;
 use crate::metrics::FigureTable;
 use crate::sensors::{SensorPool, SensorPoolConfig};
 use crate::workload::aggregate_queries;
-use ps_core::alloc::baseline::baseline_select_for_query;
-use ps_core::alloc::greedy::greedy_select;
-use ps_core::valuation::aggregate::AggregateValuation;
-use ps_core::valuation::SetValuation;
+use ps_core::aggregator::{AggregatorBuilder, MixStrategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,69 +37,41 @@ fn run_aggregate_simulation(
     algo: AggAlgo,
     workload_seed: u64,
 ) -> AggRunResult {
+    let mut engine = AggregatorBuilder::new(setting.quality)
+        .sensing_range(SENSING_RANGE)
+        .strategy(match algo {
+            AggAlgo::Greedy => MixStrategy::Alg5,
+            AggAlgo::Baseline => MixStrategy::SequentialBaseline,
+        })
+        .build();
     let mut pool = SensorPool::new(setting.num_agents, pool_cfg);
     let mut rng = StdRng::seed_from_u64(workload_seed);
-    let mut next_id = 0u64;
-    let mut welfare_total = 0.0;
-    let mut quality_sum = 0.0;
-    let mut issued = 0usize;
 
     for slot in 0..scale.slots {
         let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
-        let queries = aggregate_queries(
+        for spec in aggregate_queries(
             &mut rng,
             mean_count,
             &setting.working_region,
             SENSING_RANGE,
             budget_factor,
-            &mut next_id,
-        );
-        let mut valuations: Vec<AggregateValuation> = queries
-            .iter()
-            .map(|q| AggregateValuation::new(q, SENSING_RANGE))
-            .collect();
-
-        let mut used: Vec<usize> = Vec::new();
-        match algo {
-            AggAlgo::Greedy => {
-                let mut vals: Vec<&mut dyn SetValuation> = valuations
-                    .iter_mut()
-                    .map(|v| v as &mut dyn SetValuation)
-                    .collect();
-                let out = greedy_select(&mut vals, &sensors);
-                welfare_total += out.welfare;
-                used.extend(out.selected.iter().copied());
-            }
-            AggAlgo::Baseline => {
-                let mut already = vec![false; sensors.len()];
-                let mut slot_welfare = 0.0;
-                for v in &mut valuations {
-                    let out = baseline_select_for_query(v, &sensors, &mut already);
-                    slot_welfare += out.value - out.cost;
-                    used.extend(out.newly_selected.iter().copied());
-                }
-                welfare_total += slot_welfare;
-            }
+        ) {
+            engine.submit_aggregate(spec);
         }
-        // Quality averaged over *all* issued queries (unanswered count as
-        // zero), matching the baseline's collapse to ~0 at small budgets
-        // in Fig. 7(b).
-        issued += queries.len();
-        for (v, q) in valuations.iter().zip(&queries) {
-            let value = v.current_value();
-            if value > 0.0 {
-                quality_sum += value / q.budget;
-            }
-        }
-        pool.record_measurements(slot, used.into_iter().map(|si| sensors[si].id));
+        let report = engine.step(slot, &sensors);
+        pool.record_measurements(slot, report.sensors_used.iter().map(|&si| sensors[si].id));
     }
 
+    // Quality averaged over *all* issued queries (unanswered count as
+    // zero), matching the baseline's collapse to ~0 at small budgets in
+    // Fig. 7(b).
+    let totals = engine.totals();
     AggRunResult {
-        avg_utility: welfare_total / scale.slots as f64,
-        avg_quality: if issued == 0 {
+        avg_utility: totals.welfare / scale.slots as f64,
+        avg_quality: if totals.breakdown.aggregate_total == 0 {
             0.0
         } else {
-            quality_sum / issued as f64
+            totals.breakdown.aggregate_quality_sum / totals.breakdown.aggregate_total as f64
         },
     }
 }

@@ -7,8 +7,7 @@ use crate::config::Scale;
 use crate::metrics::FigureTable;
 use crate::sensors::{SensorPool, SensorPoolConfig};
 use crate::workload::{aggregate_queries, point_queries, spawn_location_monitors, BudgetScheme};
-use ps_core::mix::{run_mix_alg5, run_mix_baseline};
-use ps_core::monitor::location::LocationMonitor;
+use ps_core::aggregator::{AggregatorBuilder, MixStrategy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,14 +39,13 @@ fn run_mix_simulation(scale: &Scale, budget_factor: f64, algo: MixAlgo, seed: u6
     let pool_cfg = SensorPoolConfig::privacy_energy(lifetime, seed ^ 0x4444);
     let mut pool = SensorPool::new(setting.num_agents, &pool_cfg);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(41));
-    let mut monitors: Vec<LocationMonitor> = Vec::new();
-    let mut finished_quality: Vec<f64> = Vec::new();
-    let mut next_id = 0u64;
-    let mut welfare_total = 0.0;
-    let mut point_quality_sum = 0.0;
-    let mut point_issued = 0usize;
-    let mut agg_quality_sum = 0.0;
-    let mut agg_issued = 0usize;
+    let mut engine = AggregatorBuilder::new(setting.quality)
+        .sensing_range(SENSING_RANGE)
+        .strategy(match algo {
+            MixAlgo::Alg5 => MixStrategy::Alg5,
+            MixAlgo::Baseline => MixStrategy::SequentialBaseline,
+        })
+        .build();
 
     let points_per_slot = scale.queries(300);
     let agg_mean = scale.queries(30);
@@ -55,90 +53,69 @@ fn run_mix_simulation(scale: &Scale, budget_factor: f64, algo: MixAlgo, seed: u6
     let monitor_spawn = scale.queries(5);
 
     for slot in 0..scale.slots {
-        let mut keep = Vec::new();
-        for m in monitors.drain(..) {
-            if m.is_active(slot) {
-                keep.push(m);
-            } else {
-                finished_quality.push(m.quality_of_results());
-            }
-        }
-        monitors = keep;
-        monitors.extend(spawn_location_monitors(
+        for spec in spawn_location_monitors(
             &mut rng,
             slot,
-            monitors.len(),
+            engine.location_monitors().len(),
             max_monitors,
             monitor_spawn,
             &setting.working_region,
             &ctx,
             budget_factor,
-            &mut next_id,
-        ));
+        ) {
+            engine.submit_location_monitor(spec);
+        }
 
         let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
-        let points = point_queries(
+        for spec in point_queries(
             &mut rng,
             points_per_slot,
             &setting.working_region,
             BudgetScheme::Fixed(budget_factor),
-            &mut next_id,
-        );
-        let aggs = aggregate_queries(
+        ) {
+            engine.submit_point(spec);
+        }
+        for spec in aggregate_queries(
             &mut rng,
             agg_mean,
             &setting.working_region,
             SENSING_RANGE,
             budget_factor,
-            &mut next_id,
-        );
+        ) {
+            engine.submit_aggregate(spec);
+        }
 
-        let outcome = match algo {
-            MixAlgo::Alg5 => run_mix_alg5(
-                slot,
-                &sensors,
-                &setting.quality,
-                SENSING_RANGE,
-                &points,
-                &aggs,
-                &mut monitors,
-                &mut [],
-                &mut next_id,
-            ),
-            MixAlgo::Baseline => run_mix_baseline(
-                slot,
-                &sensors,
-                &setting.quality,
-                SENSING_RANGE,
-                &points,
-                &aggs,
-                &mut monitors,
-                &mut next_id,
-            ),
-        };
-        welfare_total += outcome.welfare;
-        // Qualities average over all *issued* queries: an unanswered query
-        // contributes 0, which is what collapses the baseline's curves at
-        // small budgets in Fig. 10(b–d).
-        point_quality_sum += outcome.breakdown.point_quality_sum;
-        point_issued += outcome.breakdown.point_total;
-        agg_quality_sum += outcome.breakdown.aggregate_quality_sum;
-        agg_issued += outcome.breakdown.aggregate_total;
-        pool.record_measurements(slot, outcome.sensors_used.iter().map(|&si| sensors[si].id));
+        let report = engine.step(slot, &sensors);
+        pool.record_measurements(slot, report.sensors_used.iter().map(|&si| sensors[si].id));
     }
-    finished_quality.extend(monitors.iter().map(|m| m.quality_of_results()));
+
+    // Qualities average over all *issued* queries: an unanswered query
+    // contributes 0, which is what collapses the baseline's curves at
+    // small budgets in Fig. 10(b–d).
+    let totals = engine.totals().clone();
+    let finished_quality: Vec<f64> = engine
+        .retired_monitors()
+        .iter()
+        .map(|m| m.quality_of_results())
+        .chain(
+            engine
+                .location_monitors()
+                .iter()
+                .map(|m| m.quality_of_results()),
+        )
+        .collect();
 
     MixRunResult {
-        avg_utility: welfare_total / scale.slots as f64,
-        point_quality: if point_issued == 0 {
+        avg_utility: totals.welfare / scale.slots as f64,
+        point_quality: if totals.breakdown.point_total == 0 {
             0.0
         } else {
-            point_quality_sum / point_issued as f64
+            totals.breakdown.point_quality_sum / totals.breakdown.point_total as f64
         },
-        aggregate_quality: if agg_issued == 0 {
+        aggregate_quality: if totals.breakdown.aggregate_total == 0 {
             0.0
         } else {
-            agg_quality_sum / agg_issued as f64
+            totals.breakdown.aggregate_quality_sum / totals.breakdown.aggregate_total as f64
         },
         monitor_quality: if finished_quality.is_empty() {
             0.0

@@ -5,13 +5,11 @@ use crate::config::Scale;
 use crate::metrics::FigureTable;
 use crate::sensors::{SensorPool, SensorPoolConfig};
 use crate::workload::{spawn_location_monitors, spawn_region_monitor};
+use ps_core::aggregator::{Aggregator, AggregatorBuilder, MixStrategy};
 use ps_core::alloc::baseline::BaselinePointScheduler;
 use ps_core::alloc::local_search::LocalSearchScheduler;
 use ps_core::alloc::optimal::OptimalScheduler;
 use ps_core::alloc::PointScheduler;
-use ps_core::mix::{run_location_slot, run_region_slot};
-use ps_core::monitor::location::LocationMonitor;
-use ps_core::monitor::region::RegionMonitor;
 use ps_core::valuation::monitoring::MonitoringContext;
 use ps_core::valuation::quality::QualityModel;
 use ps_data::intel::{IntelConfig, IntelFieldDataset};
@@ -84,6 +82,33 @@ struct MonitorRunResult {
     avg_quality: f64,
 }
 
+/// Average quality-of-results over every monitor the engine ever ran
+/// (retired ones plus those still live at the end of the horizon).
+fn monitor_quality(engine: &Aggregator) -> f64 {
+    let qualities: Vec<f64> = engine
+        .retired_monitors()
+        .iter()
+        .map(|m| m.quality_of_results())
+        .chain(
+            engine
+                .location_monitors()
+                .iter()
+                .map(|m| m.quality_of_results()),
+        )
+        .chain(
+            engine
+                .region_monitors()
+                .iter()
+                .map(|m| m.quality_of_results()),
+        )
+        .collect();
+    if qualities.is_empty() {
+        0.0
+    } else {
+        qualities.iter().sum::<f64>() / qualities.len() as f64
+    }
+}
+
 fn run_location_simulation(
     scale: &Scale,
     budget_factor: f64,
@@ -94,61 +119,41 @@ fn run_location_simulation(
     let ctx = ozone_context(scale);
     let pool_cfg = SensorPoolConfig::paper_default(scale.slots, seed ^ 0x1111);
     let mut pool = SensorPool::new(setting.num_agents, &pool_cfg);
-    let scheduler = algo.scheduler();
+    let mut engine = AggregatorBuilder::new(setting.quality)
+        .scheduler(algo.scheduler())
+        .strategy(if algo.baseline_mode() {
+            MixStrategy::SequentialBaseline
+        } else {
+            MixStrategy::Alg5
+        })
+        .build();
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(17));
-    let mut monitors: Vec<LocationMonitor> = Vec::new();
-    let mut finished_quality: Vec<f64> = Vec::new();
-    let mut next_id = 0u64;
-    let mut welfare_total = 0.0;
     let max_concurrent = scale.queries(100);
     let spawn_mean = scale.queries(5);
 
     for slot in 0..scale.slots {
-        // Retire expired monitors, recording their result quality.
-        let mut keep = Vec::new();
-        for m in monitors.drain(..) {
-            if m.is_active(slot) {
-                keep.push(m);
-            } else {
-                finished_quality.push(m.quality_of_results());
-            }
-        }
-        monitors = keep;
-        // Spawn new ones.
-        monitors.extend(spawn_location_monitors(
+        // The engine retires expired monitors itself; spawn under the cap.
+        for spec in spawn_location_monitors(
             &mut rng,
             slot,
-            monitors.len(),
+            engine.location_monitors().len(),
             max_concurrent,
             spawn_mean,
             &setting.working_region,
             &ctx,
             budget_factor,
-            &mut next_id,
-        ));
+        ) {
+            engine.submit_location_monitor(spec);
+        }
 
         let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
-        let out = run_location_slot(
-            slot,
-            &sensors,
-            &setting.quality,
-            &mut monitors,
-            scheduler.as_ref(),
-            algo.baseline_mode(),
-            &mut next_id,
-        );
-        welfare_total += out.welfare;
-        pool.record_measurements(slot, out.sensors_used.iter().map(|&si| sensors[si].id));
+        let report = engine.step(slot, &sensors);
+        pool.record_measurements(slot, report.sensors_used.iter().map(|&si| sensors[si].id));
     }
-    finished_quality.extend(monitors.iter().map(|m| m.quality_of_results()));
 
     MonitorRunResult {
-        avg_utility: welfare_total / scale.slots as f64,
-        avg_quality: if finished_quality.is_empty() {
-            0.0
-        } else {
-            finished_quality.iter().sum::<f64>() / finished_quality.len() as f64
-        },
+        avg_utility: engine.totals().welfare / scale.slots as f64,
+        avg_quality: monitor_quality(&engine),
     }
 }
 
@@ -252,63 +257,42 @@ fn run_region_simulation(
     let mut pool = SensorPool::new(num_agents, &pool_cfg);
     let quality = QualityModel::new(2.0); // r_s = 2 (§4.6)
 
-    let optimal = OptimalScheduler::new();
-    let baseline = BaselinePointScheduler::new();
-    let (scheduler, weighting, sharing): (&dyn PointScheduler, bool, bool) = match algo {
-        RegionAlgo::Alg3 => (&optimal, true, true),
-        RegionAlgo::Baseline => (&baseline, false, false),
+    let scheduler: Box<dyn PointScheduler> = match algo {
+        RegionAlgo::Alg3 => Box::new(OptimalScheduler::new()),
+        RegionAlgo::Baseline => Box::new(BaselinePointScheduler::new()),
     };
+    let (weighting, sharing) = match algo {
+        RegionAlgo::Alg3 => (true, true),
+        RegionAlgo::Baseline => (false, false),
+    };
+    let mut engine = AggregatorBuilder::new(quality)
+        .scheduler(scheduler)
+        .cost_weighting(weighting)
+        .sensor_sharing(sharing)
+        .build();
 
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(29));
-    let mut monitors: Vec<RegionMonitor> = Vec::new();
-    let mut finished_quality: Vec<f64> = Vec::new();
-    let mut next_id = 0u64;
-    let mut welfare_total = 0.0;
 
     for slot in 0..scale.slots {
-        let mut keep = Vec::new();
-        for m in monitors.drain(..) {
-            if m.is_active(slot) {
-                keep.push(m);
-            } else {
-                finished_quality.push(m.quality_of_results());
-            }
-        }
-        monitors = keep;
-        // One new region query per slot (§4.6).
-        monitors.push(spawn_region_monitor(
+        // One new region query per slot (§4.6); the engine retires
+        // expired ones at the end of each step.
+        engine.submit_region_monitor(spawn_region_monitor(
             &mut rng,
             slot,
             &bounds,
             &fitted.kernel,
             fitted.noise_variance,
             budget_factor,
-            &mut next_id,
         ));
 
         let sensors = pool.snapshots(slot, &trace, &bounds);
-        let out = run_region_slot(
-            slot,
-            &sensors,
-            &quality,
-            &mut monitors,
-            scheduler,
-            weighting,
-            sharing,
-            &mut next_id,
-        );
-        welfare_total += out.welfare;
-        pool.record_measurements(slot, out.sensors_used.iter().map(|&si| sensors[si].id));
+        let report = engine.step(slot, &sensors);
+        pool.record_measurements(slot, report.sensors_used.iter().map(|&si| sensors[si].id));
     }
-    finished_quality.extend(monitors.iter().map(|m| m.quality_of_results()));
 
     MonitorRunResult {
-        avg_utility: welfare_total / scale.slots as f64,
-        avg_quality: if finished_quality.is_empty() {
-            0.0
-        } else {
-            finished_quality.iter().sum::<f64>() / finished_quality.len() as f64
-        },
+        avg_utility: engine.totals().welfare / scale.slots as f64,
+        avg_quality: monitor_quality(&engine),
     }
 }
 

@@ -5,6 +5,7 @@ use crate::config::Scale;
 use crate::metrics::FigureTable;
 use crate::sensors::{SensorPool, SensorPoolConfig, TrustAssignment};
 use crate::workload::{point_queries, BudgetScheme};
+use ps_core::aggregator::AggregatorBuilder;
 use ps_core::alloc::baseline::BaselinePointScheduler;
 use ps_core::alloc::local_search::LocalSearchScheduler;
 use ps_core::alloc::optimal::OptimalScheduler;
@@ -114,9 +115,10 @@ pub struct PointRunResult {
     pub satisfaction: f64,
 }
 
-/// Runs one point-query simulation: `scale.slots` slots, regenerating
-/// queries per slot, scheduling with `algo`, and updating sensor
-/// lifetimes/privacy histories with the chosen sensors.
+/// Runs one point-query simulation: a single [`AggregatorBuilder`]-built
+/// engine serves `scale.slots` slots, consuming freshly generated query
+/// specs each slot and updating sensor lifetimes/privacy histories with
+/// the chosen sensors.
 pub fn run_point_simulation(
     setting: &PointSetting,
     scale: &Scale,
@@ -126,36 +128,28 @@ pub fn run_point_simulation(
     algo: PointAlgo,
     workload_seed: u64,
 ) -> PointRunResult {
-    let scheduler = algo.scheduler();
+    let mut engine = AggregatorBuilder::new(setting.quality)
+        .scheduler(algo.scheduler())
+        .build();
     let mut pool = SensorPool::new(setting.num_agents, pool_cfg);
     let mut rng = StdRng::seed_from_u64(workload_seed);
-    let mut next_id = 0u64;
-    let mut welfare_total = 0.0;
-    let mut satisfied_total = 0usize;
-    let mut issued_total = 0usize;
 
     for slot in 0..scale.slots {
         let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
-        let queries = point_queries(
-            &mut rng,
-            queries_per_slot,
-            &setting.working_region,
-            budgets,
-            &mut next_id,
-        );
-        let alloc = scheduler.schedule(&queries, &sensors, &setting.quality);
-        welfare_total += alloc.welfare;
-        satisfied_total += alloc.satisfied_count();
-        issued_total += queries.len();
-        pool.record_measurements(slot, alloc.sensors_used.iter().map(|&si| sensors[si].id));
+        for spec in point_queries(&mut rng, queries_per_slot, &setting.working_region, budgets) {
+            engine.submit_point(spec);
+        }
+        let report = engine.step(slot, &sensors);
+        pool.record_measurements(slot, report.sensors_used.iter().map(|&si| sensors[si].id));
     }
 
+    let totals = engine.totals();
     PointRunResult {
-        avg_utility: welfare_total / scale.slots as f64,
-        satisfaction: if issued_total == 0 {
+        avg_utility: totals.welfare / scale.slots as f64,
+        satisfaction: if totals.breakdown.point_total == 0 {
             0.0
         } else {
-            satisfied_total as f64 / issued_total as f64
+            totals.breakdown.point_satisfied as f64 / totals.breakdown.point_total as f64
         },
     }
 }

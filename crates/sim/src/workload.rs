@@ -1,11 +1,16 @@
 //! Query workload generators matching §4's experimental setups.
+//!
+//! Every generator returns engine *specs* —
+//! [`ps_core::aggregator::PointSpec`] and friends — that an
+//! [`ps_core::aggregator::Aggregator`] consumes through its `submit_*`
+//! intake (which mints the query ids). No identifiers are pre-minted
+//! here.
 
 use crate::config::THETA_MIN;
-use ps_core::model::QueryId;
-use ps_core::monitor::location::LocationMonitor;
-use ps_core::monitor::region::RegionMonitor;
-use ps_core::query::{AggregateKind, AggregateQuery, PointQuery, QueryOrigin};
-use ps_core::valuation::monitoring::{MonitoringContext, MonitoringValuation};
+use ps_core::aggregator::{AggregateSpec, LocationMonitorSpec, PointSpec, RegionMonitorSpec};
+use ps_core::query::AggregateKind;
+use ps_core::valuation::monitoring::MonitoringContext;
+use ps_core::valuation::monitoring::MonitoringValuation;
 use ps_core::valuation::region::RegionValuation;
 use ps_geo::{Point, Rect};
 use ps_gp::kernel::SquaredExponential;
@@ -50,19 +55,12 @@ pub fn point_queries(
     count: usize,
     working_region: &Rect,
     budgets: BudgetScheme,
-    next_id: &mut u64,
-) -> Vec<PointQuery> {
+) -> Vec<PointSpec> {
     (0..count)
-        .map(|_| {
-            *next_id += 1;
-            PointQuery {
-                id: QueryId(*next_id),
-                loc: random_cell_center(rng, working_region),
-                budget: budgets.draw(rng),
-                offset: 0.0,
-                theta_min: THETA_MIN,
-                origin: QueryOrigin::EndUser,
-            }
+        .map(|_| PointSpec {
+            loc: random_cell_center(rng, working_region),
+            budget: budgets.draw(rng),
+            theta_min: THETA_MIN,
         })
         .collect()
 }
@@ -76,16 +74,13 @@ pub fn aggregate_queries(
     working_region: &Rect,
     sensing_range: f64,
     budget_factor: f64,
-    next_id: &mut u64,
-) -> Vec<AggregateQuery> {
+) -> Vec<AggregateSpec> {
     let count = rng.gen_range((mean_count / 2).max(1)..=mean_count + mean_count / 2);
     (0..count)
         .map(|_| {
-            *next_id += 1;
             let region = random_subregion(rng, working_region, 10.0, 40.0);
             let budget = region.area() / (1.5 * sensing_range) * budget_factor;
-            AggregateQuery {
-                id: QueryId(*next_id),
+            AggregateSpec {
                 region,
                 budget,
                 kind: AggregateKind::Average,
@@ -120,29 +115,25 @@ pub fn spawn_location_monitors(
     working_region: &Rect,
     ctx: &Arc<MonitoringContext>,
     budget_factor: f64,
-    next_id: &mut u64,
-) -> Vec<LocationMonitor> {
+) -> Vec<LocationMonitorSpec> {
     let headroom = max_concurrent.saturating_sub(active_now);
     let want = rng.gen_range(0..=spawn_mean * 2).min(headroom);
     (0..want)
         .map(|_| {
-            *next_id += 1;
             let duration = rng.gen_range(5..=20usize);
             let t2 = t + duration;
             let candidates: Vec<f64> = (t..=t2).map(|s| s as f64).collect();
             let k = (duration / 3).max(1);
             let desired = select_desired_times(ctx, &candidates, k);
             let budget = duration as f64 * budget_factor;
-            let valuation = MonitoringValuation::new(ctx.clone(), budget, desired);
-            LocationMonitor::new(
-                QueryId(*next_id),
-                random_cell_center(rng, working_region),
-                t,
+            LocationMonitorSpec {
+                loc: random_cell_center(rng, working_region),
+                t1: t,
                 t2,
-                0.5,
-                THETA_MIN,
-                valuation,
-            )
+                alpha: 0.5,
+                theta_min: THETA_MIN,
+                valuation: MonitoringValuation::new(ctx.clone(), budget, desired),
+            }
         })
         .collect()
 }
@@ -192,27 +183,24 @@ pub fn spawn_region_monitor(
     kernel: &SquaredExponential,
     noise_variance: f64,
     budget_factor: f64,
-    next_id: &mut u64,
-) -> RegionMonitor {
-    *next_id += 1;
+) -> RegionMonitorSpec {
     let duration = rng.gen_range(5..=20usize);
     let region = random_subregion(rng, bounds, 4.0, 10.0);
     let r_s = 2.0f64;
     let budget = region.area() / (3.0 * std::f64::consts::PI * r_s * r_s) * budget_factor;
-    let valuation = RegionValuation::new(budget, region, kernel, noise_variance);
-    RegionMonitor::new(
-        QueryId(*next_id),
-        t,
-        t + duration,
-        0.5,
-        THETA_MIN,
-        valuation,
-    )
+    RegionMonitorSpec {
+        t1: t,
+        t2: t + duration,
+        alpha: 0.5,
+        theta_min: THETA_MIN,
+        valuation: RegionValuation::new(budget, region, kernel, noise_variance),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ps_core::valuation::SetValuation;
     use ps_stats::regression::DiurnalBasis;
     use ps_stats::TimeSeries;
     use rand::SeedableRng;
@@ -237,8 +225,7 @@ mod tests {
     #[test]
     fn point_queries_land_on_cell_centers_inside_region() {
         let region = Rect::new(15.0, 15.0, 65.0, 65.0);
-        let mut id = 0;
-        let qs = point_queries(&mut rng(), 100, &region, BudgetScheme::Fixed(15.0), &mut id);
+        let qs = point_queries(&mut rng(), 100, &region, BudgetScheme::Fixed(15.0));
         assert_eq!(qs.len(), 100);
         for q in &qs {
             assert!(region.contains(q.loc));
@@ -246,23 +233,16 @@ mod tests {
             assert_eq!(q.loc.y.fract(), 0.5);
             assert_eq!(q.budget, 15.0);
         }
-        // ids unique
-        let mut ids: Vec<u64> = qs.iter().map(|q| q.id.0).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), 100);
     }
 
     #[test]
     fn uniform_budgets_spread_around_mean() {
         let region = Rect::new(0.0, 0.0, 50.0, 50.0);
-        let mut id = 0;
         let qs = point_queries(
             &mut rng(),
             500,
             &region,
             BudgetScheme::UniformAroundMean(20.0),
-            &mut id,
         );
         let min = qs.iter().map(|q| q.budget).fold(f64::INFINITY, f64::min);
         let max = qs.iter().map(|q| q.budget).fold(0.0, f64::max);
@@ -273,8 +253,7 @@ mod tests {
     #[test]
     fn aggregate_budget_follows_area_formula() {
         let region = Rect::new(0.0, 0.0, 100.0, 100.0);
-        let mut id = 0;
-        let qs = aggregate_queries(&mut rng(), 30, &region, 10.0, 20.0, &mut id);
+        let qs = aggregate_queries(&mut rng(), 30, &region, 10.0, 20.0);
         for q in &qs {
             let expected = q.region.area() / 15.0 * 20.0;
             assert!((q.budget - expected).abs() < 1e-9);
@@ -286,12 +265,11 @@ mod tests {
     fn location_monitor_spawner_respects_cap() {
         let region = Rect::new(0.0, 0.0, 100.0, 100.0);
         let c = ctx();
-        let mut id = 0;
-        let ms = spawn_location_monitors(&mut rng(), 0, 98, 100, 5, &region, &c, 10.0, &mut id);
+        let ms = spawn_location_monitors(&mut rng(), 0, 98, 100, 5, &region, &c, 10.0);
         assert!(ms.len() <= 2);
         for m in &ms {
             assert!(m.t2 - m.t1 >= 5 && m.t2 - m.t1 <= 20);
-            assert!(m.budget() > 0.0);
+            assert!(m.valuation.budget() > 0.0);
         }
     }
 
@@ -299,11 +277,11 @@ mod tests {
     fn region_monitor_budget_formula() {
         let bounds = Rect::new(0.0, 0.0, 20.0, 15.0);
         let kernel = SquaredExponential::new(2.0, 2.0);
-        let mut id = 0;
-        let m = spawn_region_monitor(&mut rng(), 3, &bounds, &kernel, 0.1, 15.0, &mut id);
-        let expected = m.region.area() / (3.0 * std::f64::consts::PI * 4.0) * 15.0;
-        assert!((m.remaining_budget() - expected).abs() < 1e-9);
-        assert!(m.is_active(3));
-        assert!(bounds.contains_rect(&m.region));
+        let m = spawn_region_monitor(&mut rng(), 3, &bounds, &kernel, 0.1, 15.0);
+        let region = *m.valuation.region();
+        let expected = region.area() / (3.0 * std::f64::consts::PI * 4.0) * 15.0;
+        assert!((m.valuation.max_value() - expected).abs() < 1e-9);
+        assert!(m.t1 <= 3 && m.t2 > 3);
+        assert!(bounds.contains_rect(&region));
     }
 }

@@ -8,13 +8,11 @@
 //! slot, commuters ask for CO₂ at street corners (point queries), a news
 //! site wants district-wide averages (aggregate queries), and a clinic
 //! continuously monitors the level outside its door (location monitoring).
-//! Algorithm 5 schedules everything jointly, sharing sensors across query
-//! types; the baseline executes queries sequentially. Watch the utility
-//! gap.
+//! Two `Aggregator` engines serve identical workloads: one runs
+//! Algorithm 5 (joint selection, sensor sharing), the other the
+//! sequential baseline. Watch the utility gap.
 
-use ps_core::mix::{run_mix_alg5, run_mix_baseline};
-use ps_core::model::QueryId;
-use ps_core::monitor::location::LocationMonitor;
+use ps_core::aggregator::{Aggregator, AggregatorBuilder, LocationMonitorSpec, MixStrategy};
 use ps_core::valuation::monitoring::{MonitoringContext, MonitoringValuation};
 use ps_core::valuation::quality::QualityModel;
 use ps_data::ozone::{OzoneConfig, OzoneTrace};
@@ -39,7 +37,6 @@ fn main() {
         seed: 7,
     }
     .generate(SLOTS);
-    let quality = QualityModel::new(5.0);
 
     // The clinic's CO₂ history: a diurnal pattern from past days.
     let ozone = OzoneTrace::generate(
@@ -60,20 +57,19 @@ fn main() {
     });
 
     // Two identical worlds so the comparison is apples to apples.
-    let mut alg5_world = World::new(&ctx);
-    let mut base_world = World::new(&ctx);
+    let mut alg5_world = World::new(&ctx, MixStrategy::Alg5);
+    let mut base_world = World::new(&ctx, MixStrategy::SequentialBaseline);
 
     println!("slot |   Alg5 utility | Baseline utility | Alg5 pts | Base pts");
     println!("-----+----------------+------------------+----------+---------");
-    let (mut alg5_total, mut base_total) = (0.0, 0.0);
     for slot in 0..SLOTS {
-        let (a_u, a_pts) = alg5_world.step(slot, &trace, &city, &quality, true);
-        let (b_u, b_pts) = base_world.step(slot, &trace, &city, &quality, false);
-        alg5_total += a_u;
-        base_total += b_u;
+        let (a_u, a_pts) = alg5_world.step(slot, &trace, &city);
+        let (b_u, b_pts) = base_world.step(slot, &trace, &city);
         println!("{slot:>4} | {a_u:>14.1} | {b_u:>16.1} | {a_pts:>8} | {b_pts:>8}");
     }
     println!("-----+----------------+------------------+----------+---------");
+    let alg5_total = alg5_world.engine.totals().welfare;
+    let base_total = base_world.engine.totals().welfare;
     println!(
         "total utility: Alg5 {alg5_total:.1} vs Baseline {base_total:.1}  ({:.1}× better)",
         if base_total.abs() > 1e-9 {
@@ -82,42 +78,54 @@ fn main() {
             f64::INFINITY
         }
     );
+    // The clinic monitor ran through slot SLOTS-1, so it retired at the
+    // final step; its full state lives in the retired list.
+    let (a_samples, a_quality) = clinic_stats(&alg5_world.engine);
+    let (b_samples, b_quality) = clinic_stats(&base_world.engine);
     println!(
-        "clinic monitor: Alg5 sampled {} times (quality {:.2}), baseline {} times (quality {:.2})",
-        alg5_world.monitors[0].sampled_times().len(),
-        alg5_world.monitors[0].quality_of_results(),
-        base_world.monitors[0].sampled_times().len(),
-        base_world.monitors[0].quality_of_results(),
+        "clinic monitor: Alg5 sampled {a_samples} times (quality {a_quality:.2}), \
+         baseline {b_samples} times (quality {b_quality:.2})",
     );
 }
 
+fn clinic_stats(engine: &Aggregator) -> (usize, f64) {
+    use ps_core::aggregator::RetiredMonitor;
+    match engine.retired_monitors().first() {
+        Some(RetiredMonitor::Location(m)) => (m.sampled_times().len(), m.quality_of_results()),
+        _ => {
+            let m = &engine.location_monitors()[0];
+            (m.sampled_times().len(), m.quality_of_results())
+        }
+    }
+}
+
 struct World {
+    engine: Aggregator<'static>,
     pool: SensorPool,
-    monitors: Vec<LocationMonitor>,
     rng: StdRng,
-    next_id: u64,
 }
 
 impl World {
-    fn new(ctx: &Arc<MonitoringContext>) -> Self {
+    fn new(ctx: &Arc<MonitoringContext>, strategy: MixStrategy) -> Self {
+        let mut engine = AggregatorBuilder::new(QualityModel::new(5.0))
+            .sensing_range(8.0)
+            .strategy(strategy)
+            .build();
         // The clinic monitors (20, 20) for the whole run, sampling every
         // 4th slot by preference.
         let desired: Vec<f64> = (0..SLOTS).step_by(4).map(|t| t as f64).collect();
-        let valuation = MonitoringValuation::new(ctx.clone(), 120.0, desired);
-        let monitor = LocationMonitor::new(
-            QueryId(9_000),
-            Point::new(20.5, 20.5),
-            0,
-            SLOTS - 1,
-            0.5,
-            0.2,
-            valuation,
-        );
+        engine.submit_location_monitor(LocationMonitorSpec {
+            loc: Point::new(20.5, 20.5),
+            t1: 0,
+            t2: SLOTS - 1,
+            alpha: 0.5,
+            theta_min: 0.2,
+            valuation: MonitoringValuation::new(ctx.clone(), 120.0, desired),
+        });
         Self {
+            engine,
             pool: SensorPool::new(80, &SensorPoolConfig::paper_default(SLOTS, 99)),
-            monitors: vec![monitor],
             rng: StdRng::seed_from_u64(1234),
-            next_id: 0,
         }
     }
 
@@ -126,44 +134,17 @@ impl World {
         slot: usize,
         trace: &ps_mobility::MobilityTrace,
         city: &Rect,
-        quality: &QualityModel,
-        use_alg5: bool,
     ) -> (f64, usize) {
         let sensors = self.pool.snapshots(slot, trace, city);
-        let points = point_queries(
-            &mut self.rng,
-            25,
-            city,
-            BudgetScheme::Fixed(14.0),
-            &mut self.next_id,
-        );
-        let aggs = aggregate_queries(&mut self.rng, 3, city, 8.0, 12.0, &mut self.next_id);
-        let outcome = if use_alg5 {
-            run_mix_alg5(
-                slot,
-                &sensors,
-                quality,
-                8.0,
-                &points,
-                &aggs,
-                &mut self.monitors,
-                &mut [],
-                &mut self.next_id,
-            )
-        } else {
-            run_mix_baseline(
-                slot,
-                &sensors,
-                quality,
-                8.0,
-                &points,
-                &aggs,
-                &mut self.monitors,
-                &mut self.next_id,
-            )
-        };
+        for spec in point_queries(&mut self.rng, 25, city, BudgetScheme::Fixed(14.0)) {
+            self.engine.submit_point(spec);
+        }
+        for spec in aggregate_queries(&mut self.rng, 3, city, 8.0, 12.0) {
+            self.engine.submit_aggregate(spec);
+        }
+        let report = self.engine.step(slot, &sensors);
         self.pool
-            .record_measurements(slot, outcome.sensors_used.iter().map(|&si| sensors[si].id));
-        (outcome.welfare, outcome.breakdown.point_satisfied)
+            .record_measurements(slot, report.sensors_used.iter().map(|&si| sensors[si].id));
+        (report.welfare, report.breakdown.point_satisfied)
     }
 }

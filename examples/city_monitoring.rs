@@ -7,13 +7,12 @@
 //! An environmental agency monitors a district for 15 slots. The
 //! phenomenon is modelled as a GP whose hyperparameters are *learned* from
 //! a handful of fixed calibration stations (the Intel-Lab substitute);
-//! mobile participants then get selected slot by slot via Algorithms 3+4,
-//! maximizing the expected reduction in field variance per franc spent.
+//! an `Aggregator` engine then selects mobile participants slot by slot
+//! via Algorithms 3+4, maximizing the expected reduction in field
+//! variance per franc spent.
 
+use ps_core::aggregator::{AggregatorBuilder, RegionMonitorSpec, RetiredMonitor};
 use ps_core::alloc::optimal::OptimalScheduler;
-use ps_core::mix::run_region_slot;
-use ps_core::model::QueryId;
-use ps_core::monitor::region::RegionMonitor;
 use ps_core::valuation::quality::QualityModel;
 use ps_core::valuation::region::RegionValuation;
 use ps_data::intel::{IntelConfig, IntelFieldDataset};
@@ -41,18 +40,22 @@ fn main() {
         fitted.log_marginal_likelihood
     );
 
+    // The engine: Eq. 18 cost weighting and A_{r,t} sharing on, exact
+    // point scheduling, r_s = 2 (§4.6).
+    let mut engine = AggregatorBuilder::new(QualityModel::new(2.0))
+        .scheduler(OptimalScheduler::new())
+        .build();
+
     // The monitored district and its budgeted query.
     let district = Rect::new(4.0, 3.0, 16.0, 12.0);
     let budget = district.area() / (3.0 * std::f64::consts::PI * 4.0) * 20.0;
-    let valuation = RegionValuation::new(budget, district, &fitted.kernel, fitted.noise_variance);
-    let mut monitors = vec![RegionMonitor::new(
-        QueryId(1),
-        0,
-        SLOTS - 1,
-        0.5,
-        0.2,
-        valuation,
-    )];
+    engine.submit_region_monitor(RegionMonitorSpec {
+        t1: 0,
+        t2: SLOTS - 1,
+        alpha: 0.5,
+        theta_min: 0.2,
+        valuation: RegionValuation::new(budget, district, &fitted.kernel, fitted.noise_variance),
+    });
     println!(
         "monitoring {}×{} district for {SLOTS} slots, budget {budget:.1}\n",
         district.width(),
@@ -70,40 +73,32 @@ fn main() {
     }
     .generate(SLOTS);
     let mut pool = SensorPool::new(30, &SensorPoolConfig::paper_default(SLOTS, 5));
-    let quality = QualityModel::new(2.0);
-    let scheduler = OptimalScheduler::new();
-    let mut next_id = 100u64;
 
     println!("slot | slot utility | cumulative value | spent | quality (v/B)");
     println!("-----+--------------+------------------+-------+--------------");
     for slot in 0..SLOTS {
         let sensors = pool.snapshots(slot, &trace, &bounds);
-        let out = run_region_slot(
-            slot,
-            &sensors,
-            &quality,
-            &mut monitors,
-            &scheduler,
-            true,
-            true,
-            &mut next_id,
-        );
-        pool.record_measurements(slot, out.sensors_used.iter().map(|&si| sensors[si].id));
-        let m = &monitors[0];
+        let report = engine.step(slot, &sensors);
+        pool.record_measurements(slot, report.sensors_used.iter().map(|&si| sensors[si].id));
+        // The monitor is live until the final slot retires it.
+        let (value, spent, quality) = match engine.region_monitors().first() {
+            Some(m) => (m.value(), m.spent(), m.quality_of_results()),
+            None => match &engine.retired_monitors()[0] {
+                RetiredMonitor::Region(m) => (m.value(), m.spent(), m.quality_of_results()),
+                RetiredMonitor::Location(_) => unreachable!("only a region monitor was submitted"),
+            },
+        };
         println!(
-            "{slot:>4} | {:>12.2} | {:>16.2} | {:>5.1} | {:>12.3}",
-            out.welfare,
-            m.value(),
-            m.spent(),
-            m.quality_of_results()
+            "{slot:>4} | {:>12.2} | {value:>16.2} | {spent:>5.1} | {quality:>12.3}",
+            report.welfare,
         );
     }
-    let m = &monitors[0];
+    let retired = &engine.retired_monitors()[0];
     println!(
         "\nfinal: value {:.2} for {:.2} spent → net utility {:.2} (quality {:.2}, may exceed 1)",
-        m.value(),
-        m.spent(),
-        m.utility(),
-        m.quality_of_results()
+        retired.value(),
+        retired.spent(),
+        retired.value() - retired.spent(),
+        retired.quality_of_results()
     );
 }

@@ -1,5 +1,5 @@
 //! Bring your own valuation: the aggregator treats `v_q(·)` as a black
-//! box, so applications can plug arbitrary set functions into Algorithm 1.
+//! box, so applications can submit arbitrary set functions to the engine.
 //!
 //! ```text
 //! cargo run --release --example custom_valuation
@@ -8,16 +8,14 @@
 //! Here an application values *spatial diversity*: it pays for sensor
 //! readings spread across quadrants of its region of interest (one reading
 //! per quadrant is enough), with a quality bonus. This function is neither
-//! coverage nor any of the paper's examples — Algorithm 1 schedules it
-//! anyway, jointly with a plain point query that competes for the same
-//! sensors.
+//! coverage nor any of the paper's examples — the engine's Algorithm 1
+//! stage schedules it anyway, jointly with a plain point query that
+//! competes for the same sensors.
 
-use ps_core::alloc::greedy::greedy_select;
-use ps_core::model::{QueryId, SensorSnapshot};
-use ps_core::query::{PointQuery, QueryOrigin};
-use ps_core::valuation::point::PointValuation;
+use ps_core::aggregator::{AggregatorBuilder, PointSpec};
+use ps_core::model::SensorSnapshot;
 use ps_core::valuation::quality::QualityModel;
-use ps_core::valuation::{FnValuation, SetValuation};
+use ps_core::valuation::FnValuation;
 use ps_geo::{Point, Rect};
 
 fn main() {
@@ -41,21 +39,6 @@ fn main() {
             set.iter().map(|s| s.intrinsic_quality()).sum::<f64>() / set.len() as f64;
         budget_per_quadrant * covered * avg_quality
     };
-    let mut custom = FnValuation::new(diversity, 4.0 * budget_per_quadrant);
-
-    // A competing plain point query near the north-east quadrant.
-    let quality_model = QualityModel::new(6.0);
-    let mut point = PointValuation::new(
-        PointQuery {
-            id: QueryId(42),
-            loc: Point::new(15.5, 15.5),
-            budget: 20.0,
-            offset: 0.0,
-            theta_min: 0.2,
-            origin: QueryOrigin::EndUser,
-        },
-        quality_model,
-    );
 
     // Tonight's participants.
     let sensors = vec![
@@ -66,40 +49,43 @@ fn main() {
         sensor(4, 15.5, 15.0, 0.70), // cheap quadrant duplicate
     ];
 
-    let mut vals: Vec<&mut dyn SetValuation> = vec![&mut custom, &mut point];
-    let outcome = greedy_select(&mut vals, &sensors);
+    // The engine schedules the custom valuation and a competing plain
+    // point query (near the north-east quadrant) in one joint stage.
+    let mut engine = AggregatorBuilder::new(QualityModel::new(6.0)).build();
+    let diversity_id =
+        engine.submit_valuation(FnValuation::new(diversity, 4.0 * budget_per_quadrant));
+    let point_id = engine.submit_point(PointSpec {
+        loc: Point::new(15.5, 15.5),
+        budget: 20.0,
+        theta_min: 0.2,
+    });
+    let report = engine.step(0, &sensors);
 
     println!("Algorithm 1 over a custom diversity valuation + a point query");
     println!(
         "selected sensors: {:?}",
-        outcome
-            .selected
+        report
+            .sensors_used
             .iter()
             .map(|&si| sensors[si].id)
             .collect::<Vec<_>>()
     );
+    let diversity_result = &report.custom_results[0];
+    assert_eq!(diversity_result.id, diversity_id);
     println!(
-        "diversity application: value {:.2} (of max {:.2}), paid {:.2}",
-        outcome.per_query_value[0],
-        custom.max_value(),
-        outcome.per_query_payments[0]
-            .iter()
-            .map(|&(_, p)| p)
-            .sum::<f64>()
+        "diversity application: value {:.2} (of max {:.2}), paid {:.2} across {} sensors",
+        diversity_result.value,
+        4.0 * budget_per_quadrant,
+        diversity_result.paid,
+        diversity_result.sensors.len()
     );
+    let point_result = &report.point_results[0];
+    assert_eq!(point_result.id, point_id);
     println!(
         "point query:           value {:.2}, paid {:.2}",
-        outcome.per_query_value[1],
-        outcome.per_query_payments[1]
-            .iter()
-            .map(|&(_, p)| p)
-            .sum::<f64>()
+        point_result.value, point_result.paid
     );
-    println!("total welfare: {:.2}", outcome.welfare);
-    println!(
-        "quadrants covered by committed set: {}",
-        custom.committed().len()
-    );
+    println!("total welfare: {:.2}", report.welfare);
     println!(
         "\nNote how sensor 3 serves BOTH queries (NE quadrant + point),\n\
          splitting its cost by Eq. 11 — the sharing the paper is about."

@@ -1,4 +1,4 @@
-//! Quickstart: schedule one slot of point queries with the exact solver.
+//! Quickstart: one aggregator engine, one slot of point queries.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -6,14 +6,13 @@
 //!
 //! Five participants announce locations and prices; three applications ask
 //! for the phenomenon at nearby spots with different budgets. The
-//! aggregator solves the Eq. 9 welfare maximization, shares sensors across
-//! queries, and charges each query proportionally to the value it gets
-//! (Eq. 11).
+//! `Aggregator` engine solves the Eq. 9 welfare maximization with the
+//! exact scheduler, shares sensors across queries, and charges each query
+//! proportionally to the value it gets (Eq. 11).
 
+use ps_core::aggregator::{AggregatorBuilder, PointSpec};
 use ps_core::alloc::optimal::OptimalScheduler;
-use ps_core::alloc::PointScheduler;
-use ps_core::model::{QueryId, SensorSnapshot};
-use ps_core::query::{PointQuery, QueryOrigin};
+use ps_core::model::SensorSnapshot;
 use ps_core::valuation::quality::QualityModel;
 use ps_geo::Point;
 
@@ -27,40 +26,49 @@ fn main() {
         sensor(4, 1.0, 8.0, 10.0, 1.00, 0.00),
     ];
 
+    // The whole aggregator loop in five lines: build the engine around
+    // the Eq. 4 quality model (d_max = 5), submit queries, run the slot.
+    let mut engine = AggregatorBuilder::new(QualityModel::new(5.0))
+        .scheduler(OptimalScheduler::new())
+        .build();
     // Three point queries; the two at (2.5, 2.5) share a location and can
     // split one sensor's cost.
-    let queries = vec![
-        query(1, 2.5, 2.5, 12.0),
-        query(2, 2.5, 2.5, 9.0),
-        query(3, 5.5, 3.0, 25.0),
-    ];
+    for (x, y, budget) in [(2.5, 2.5, 12.0), (2.5, 2.5, 9.0), (5.5, 3.0, 25.0)] {
+        engine.submit_point(PointSpec {
+            loc: Point::new(x, y),
+            budget,
+            theta_min: 0.2,
+        });
+    }
+    let report = engine.step(0, &sensors);
 
-    // Eq. 4 quality model: sensors serve locations within d_max = 5.
-    let quality = QualityModel::new(5.0);
-
-    let allocation = OptimalScheduler::new().schedule(&queries, &sensors, &quality);
-
-    println!("slot welfare (total utility): {:.2}\n", allocation.welfare);
-    for (q, a) in queries.iter().zip(&allocation.assignments) {
-        match a {
-            Some(a) => println!(
-                "query {:?} at ({:.1},{:.1}): sensor {} → quality {:.2}, value {:.2}, pays {:.2}",
-                q.id, q.loc.x, q.loc.y, sensors[a.sensor].id, a.quality, a.value, a.payment
+    println!("slot welfare (total utility): {:.2}\n", report.welfare);
+    for r in &report.point_results {
+        match r.sensor {
+            Some(si) => println!(
+                "query {:?}: sensor {} → quality {:.2}, value {:.2}, pays {:.2}",
+                r.id, sensors[si].id, r.quality, r.value, r.paid
             ),
             None => println!(
-                "query {:?} at ({:.1},{:.1}): unanswered (not worth any sensor's price)",
-                q.id, q.loc.x, q.loc.y
+                "query {:?}: unanswered (not worth any sensor's price)",
+                r.id
             ),
         }
     }
     println!(
-        "\nsensors tasked: {:?} (total cost {:.2})",
-        allocation
+        "\nsensors tasked: {:?} (receipts {:.2})",
+        report
             .sensors_used
             .iter()
             .map(|&si| sensors[si].id)
             .collect::<Vec<_>>(),
-        allocation.total_sensor_cost
+        report.ledger.total_receipts()
+    );
+    println!(
+        "engine totals after 1 slot: {} queries in, {} satisfied, welfare {:.2}",
+        report.totals.breakdown.point_total,
+        report.totals.breakdown.point_satisfied,
+        report.totals.welfare
     );
 }
 
@@ -71,16 +79,5 @@ fn sensor(id: usize, x: f64, y: f64, cost: f64, trust: f64, inaccuracy: f64) -> 
         cost,
         trust,
         inaccuracy,
-    }
-}
-
-fn query(id: u64, x: f64, y: f64, budget: f64) -> PointQuery {
-    PointQuery {
-        id: QueryId(id),
-        loc: Point::new(x, y),
-        budget,
-        offset: 0.0,
-        theta_min: 0.2,
-        origin: QueryOrigin::EndUser,
     }
 }

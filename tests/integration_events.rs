@@ -1,14 +1,13 @@
 //! End-to-end event detection (§2.3 extension): an event monitor buys
-//! redundant readings through Algorithm 1's multi-sensor valuation until
+//! redundant readings through the engine's custom-valuation intake until
 //! its confidence target is met, then detects a threshold crossing in the
 //! synthetic Intel-Lab field.
 
-use ps_core::alloc::greedy::greedy_select;
+use ps_core::aggregator::AggregatorBuilder;
 use ps_core::model::{QueryId, SensorSnapshot};
 use ps_core::monitor::event::{EventMonitor, EventQuerySpec};
 use ps_core::valuation::multi_point::MultiPointValuation;
 use ps_core::valuation::quality::QualityModel;
-use ps_core::valuation::SetValuation;
 use ps_data::intel::{IntelConfig, IntelFieldDataset};
 use ps_geo::Point;
 
@@ -38,7 +37,7 @@ fn event_monitor_detects_through_redundant_sampling() {
 
     // Three mediocre sensors near the location: θ ≈ 0.6 each, so a single
     // reading (confidence 0.6) cannot fire, but the redundancy valuation
-    // makes Algorithm 1 buy several.
+    // makes the engine's Algorithm 1 stage buy several.
     let sensors: Vec<SensorSnapshot> = (0..3)
         .map(|i| SensorSnapshot {
             id: i,
@@ -49,24 +48,26 @@ fn event_monitor_detects_through_redundant_sampling() {
         })
         .collect();
 
+    // One long-lived engine serves the monitor's generated queries.
+    let mut engine = AggregatorBuilder::new(quality).build();
     let mut detected = false;
     for slot in 0..10 {
         let pq = monitor
             .create_point_query(slot, QueryId(100 + slot as u64), 0)
             .expect("active window");
-        let mut valuation = MultiPointValuation::new(pq, quality, 5);
-        let mut vals: Vec<&mut dyn SetValuation> = vec![&mut valuation];
-        let outcome = greedy_select(&mut vals, &sensors);
+        engine.submit_valuation(MultiPointValuation::new(pq, quality, 5));
+        let report = engine.step(slot, &sensors);
+        let result = &report.custom_results[0];
         assert!(
-            outcome.selected.len() >= 2,
+            result.sensors.len() >= 2,
             "redundancy valuation bought only {} readings",
-            outcome.selected.len()
+            result.sensors.len()
         );
 
         // Each selected sensor reports the field value of its cell, tagged
         // with its reading quality.
-        let readings: Vec<(f64, f64)> = outcome
-            .selected
+        let readings: Vec<(f64, f64)> = result
+            .sensors
             .iter()
             .map(|&si| {
                 let s = &sensors[si];
@@ -74,8 +75,10 @@ fn event_monitor_detects_through_redundant_sampling() {
                 (value, quality.quality(s, loc))
             })
             .collect();
-        let payment: f64 = outcome.per_query_payments[0].iter().map(|&(_, p)| p).sum();
-        if monitor.apply_readings(slot, &readings, payment).is_some() {
+        if monitor
+            .apply_readings(slot, &readings, result.paid)
+            .is_some()
+        {
             detected = true;
             break;
         }
@@ -114,15 +117,16 @@ fn insufficient_redundancy_budget_prevents_confident_detection() {
         trust: 0.65,
         inaccuracy: 0.05,
     }];
+    let mut engine = AggregatorBuilder::new(quality).build();
     for slot in 0..3 {
         let pq = monitor
             .create_point_query(slot, QueryId(200 + slot as u64), 0)
             .unwrap();
-        let mut valuation = MultiPointValuation::new(pq, quality, 5);
-        let mut vals: Vec<&mut dyn SetValuation> = vec![&mut valuation];
-        let outcome = greedy_select(&mut vals, &sensors);
-        let readings: Vec<(f64, f64)> = outcome
-            .selected
+        engine.submit_valuation(MultiPointValuation::new(pq, quality, 5));
+        let report = engine.step(slot, &sensors);
+        let result = &report.custom_results[0];
+        let readings: Vec<(f64, f64)> = result
+            .sensors
             .iter()
             .map(|&si| {
                 let s = &sensors[si];
@@ -132,8 +136,7 @@ fn insufficient_redundancy_budget_prevents_confident_detection() {
                 )
             })
             .collect();
-        let payment: f64 = outcome.per_query_payments[0].iter().map(|&(_, p)| p).sum();
-        let detection = monitor.apply_readings(slot, &readings, payment);
+        let detection = monitor.apply_readings(slot, &readings, result.paid);
         assert!(
             detection.is_none(),
             "single low-quality reading fired a 0.93-confidence event"

@@ -1,11 +1,11 @@
 //! Economic end-to-end tests across the query mix: cost recovery,
 //! individual rationality, and budget feasibility — the §2.1 requirements
 //! "the total payment from the queries using that sensor is equal to c_s"
-//! and "its utility must be positive".
+//! and "its utility must be positive" — driven through a long-running
+//! `Aggregator` engine.
 
-use ps_core::mix::{run_mix_alg5, run_mix_baseline};
-use ps_core::model::QueryId;
-use ps_core::query::{AggregateKind, AggregateQuery, PointQuery, QueryOrigin};
+use ps_core::aggregator::{AggregateSpec, AggregatorBuilder, MixStrategy, PointSpec};
+use ps_core::query::AggregateKind;
 use ps_core::valuation::quality::QualityModel;
 use ps_sim::config::Scale;
 use ps_sim::experiments::point_queries::rnc_setting;
@@ -29,36 +29,22 @@ fn mix_ledger_recovers_costs_across_slots() {
     let setting = rnc_setting(&scale, 3);
     let mut pool = SensorPool::new(setting.num_agents, &SensorPoolConfig::paper_default(50, 3));
     let mut rng = StdRng::seed_from_u64(11);
-    let mut next_id = 0u64;
+    let mut engine = AggregatorBuilder::new(setting.quality).build();
 
     for slot in 0..scale.slots {
         let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
-        let points = point_queries(
+        for spec in point_queries(
             &mut rng,
             30,
             &setting.working_region,
             BudgetScheme::Fixed(20.0),
-            &mut next_id,
-        );
-        let aggs = aggregate_queries(
-            &mut rng,
-            5,
-            &setting.working_region,
-            10.0,
-            15.0,
-            &mut next_id,
-        );
-        let out = run_mix_alg5(
-            slot,
-            &sensors,
-            &setting.quality,
-            10.0,
-            &points,
-            &aggs,
-            &mut [],
-            &mut [],
-            &mut next_id,
-        );
+        ) {
+            engine.submit_point(spec);
+        }
+        for spec in aggregate_queries(&mut rng, 5, &setting.working_region, 10.0, 15.0) {
+            engine.submit_aggregate(spec);
+        }
+        let report = engine.step(slot, &sensors);
         // Each sensor with receipts is paid exactly its announced cost.
         let cost_of = |agent: usize| -> f64 {
             sensors
@@ -67,18 +53,24 @@ fn mix_ledger_recovers_costs_across_slots() {
                 .map(|s| s.cost)
                 .unwrap_or(0.0)
         };
-        out.ledger
+        report
+            .ledger
             .verify_cost_recovery(cost_of, 1e-6)
             .unwrap_or_else(|e| panic!("slot {slot}: {e}"));
         // Total receipts equal total payments (no money leaks).
         assert!(
-            (out.ledger.total_receipts() - out.ledger.total_payments()).abs() < 1e-6,
+            (report.ledger.total_receipts() - report.ledger.total_payments()).abs() < 1e-6,
             "slot {slot}: receipts {} != payments {}",
-            out.ledger.total_receipts(),
-            out.ledger.total_payments()
+            report.ledger.total_receipts(),
+            report.ledger.total_payments()
         );
-        pool.record_measurements(slot, out.sensors_used.iter().map(|&si| sensors[si].id));
+        pool.record_measurements(slot, report.sensors_used.iter().map(|&si| sensors[si].id));
     }
+    // The cumulative ledger aggregates the slot flows and stays balanced.
+    assert!(
+        (engine.ledger().total_receipts() - engine.ledger().total_payments()).abs() < 1e-6,
+        "cumulative ledger unbalanced"
+    );
 }
 
 #[test]
@@ -87,43 +79,31 @@ fn baseline_mix_never_loses_money_on_a_query() {
     let setting = rnc_setting(&scale, 9);
     let pool = SensorPool::new(setting.num_agents, &SensorPoolConfig::paper_default(50, 9));
     let mut rng = StdRng::seed_from_u64(23);
-    let mut next_id = 0u64;
     let sensors = pool.snapshots(0, &setting.trace, &setting.working_region);
-    let points = point_queries(
+    let mut engine = AggregatorBuilder::new(setting.quality)
+        .strategy(MixStrategy::SequentialBaseline)
+        .build();
+    let point_ids: Vec<_> = point_queries(
         &mut rng,
         40,
         &setting.working_region,
         BudgetScheme::Fixed(25.0),
-        &mut next_id,
-    );
-    let aggs = aggregate_queries(
-        &mut rng,
-        4,
-        &setting.working_region,
-        10.0,
-        20.0,
-        &mut next_id,
-    );
-    let out = run_mix_baseline(
-        0,
-        &sensors,
-        &setting.quality,
-        10.0,
-        &points,
-        &aggs,
-        &mut [],
-        &mut next_id,
-    );
+    )
+    .into_iter()
+    .map(|spec| (engine.submit_point(spec), spec.budget))
+    .collect();
+    for spec in aggregate_queries(&mut rng, 4, &setting.working_region, 10.0, 20.0) {
+        engine.submit_aggregate(spec);
+    }
+    let report = engine.step(0, &sensors);
     // The baseline buys a sensor only when the triggering query's value
     // exceeds the cost, so no individual point query pays more than its
     // budget.
-    for q in &points {
-        let paid = out.ledger.query_payment(q.id);
+    for (id, budget) in point_ids {
+        let paid = report.ledger.query_payment(id);
         assert!(
-            paid <= q.budget + 1e-9,
-            "query {:?} paid {paid} over budget {}",
-            q.id,
-            q.budget
+            paid <= budget + 1e-9,
+            "query {id:?} paid {paid} over budget {budget}"
         );
     }
 }
@@ -131,35 +111,21 @@ fn baseline_mix_never_loses_money_on_a_query() {
 #[test]
 fn unanswerable_slot_produces_zero_flows() {
     // No sensors at all: everything must be zero, nothing panics.
-    let quality = QualityModel::new(5.0);
-    let points = vec![PointQuery {
-        id: QueryId(1),
+    let mut engine = AggregatorBuilder::new(QualityModel::new(5.0)).build();
+    engine.submit_point(PointSpec {
         loc: ps_geo::Point::new(5.0, 5.0),
         budget: 30.0,
-        offset: 0.0,
         theta_min: 0.2,
-        origin: QueryOrigin::EndUser,
-    }];
-    let aggs = vec![AggregateQuery {
-        id: QueryId(2),
+    });
+    engine.submit_aggregate(AggregateSpec {
         region: ps_geo::Rect::new(0.0, 0.0, 10.0, 10.0),
         budget: 50.0,
         kind: AggregateKind::Average,
-    }];
-    let mut next_id = 100u64;
-    let out = run_mix_alg5(
-        0,
-        &[],
-        &quality,
-        10.0,
-        &points,
-        &aggs,
-        &mut [],
-        &mut [],
-        &mut next_id,
-    );
-    assert_eq!(out.welfare, 0.0);
-    assert_eq!(out.ledger.total_payments(), 0.0);
-    assert_eq!(out.breakdown.point_satisfied, 0);
-    assert_eq!(out.breakdown.aggregate_answered, 0);
+    });
+    let report = engine.step(0, &[]);
+    assert_eq!(report.welfare, 0.0);
+    assert_eq!(report.ledger.total_payments(), 0.0);
+    assert_eq!(report.breakdown.point_satisfied, 0);
+    assert_eq!(report.breakdown.aggregate_answered, 0);
+    assert!(report.point_results[0].sensor.is_none());
 }

@@ -1,10 +1,14 @@
-//! Cross-crate integration: mobility traces → sensor pool → core
-//! schedulers, verifying the paper's economic invariants end-to-end.
+//! Cross-crate integration: mobility traces → sensor pool → aggregator
+//! engines, verifying the paper's economic invariants end-to-end.
+//!
+//! Three engines share identical per-slot workloads (same specs, same
+//! sensor snapshots), differing only in the configured point scheduler.
 
+use ps_core::aggregator::{Aggregator, AggregatorBuilder, PointSpec, SlotReport};
 use ps_core::alloc::baseline::BaselinePointScheduler;
 use ps_core::alloc::local_search::LocalSearchScheduler;
 use ps_core::alloc::optimal::OptimalScheduler;
-use ps_core::alloc::PointScheduler;
+use ps_core::model::SensorSnapshot;
 use ps_core::valuation::quality::QualityModel;
 use ps_sim::config::Scale;
 use ps_sim::experiments::point_queries::rwm_setting;
@@ -22,68 +26,88 @@ fn scale() -> Scale {
     }
 }
 
+fn submit_all(engine: &mut Aggregator, specs: &[PointSpec]) {
+    for spec in specs {
+        engine.submit_point(*spec);
+    }
+}
+
 #[test]
 fn full_pipeline_schedules_and_respects_invariants() {
     let scale = scale();
     let setting = rwm_setting(&scale, 7);
     let mut pool = SensorPool::new(setting.num_agents, &SensorPoolConfig::paper_default(50, 7));
     let mut rng = StdRng::seed_from_u64(99);
-    let mut next_id = 0u64;
-    let optimal = OptimalScheduler::new();
-    let ls = LocalSearchScheduler::new();
-    let baseline = BaselinePointScheduler::new();
+    let mut optimal = AggregatorBuilder::new(setting.quality)
+        .scheduler(OptimalScheduler::new())
+        .build();
+    let mut ls = AggregatorBuilder::new(setting.quality)
+        .scheduler(LocalSearchScheduler::new())
+        .build();
+    let mut baseline = AggregatorBuilder::new(setting.quality)
+        .scheduler(BaselinePointScheduler::new())
+        .build();
 
     for slot in 0..scale.slots {
         let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
-        let queries = point_queries(
+        let specs = point_queries(
             &mut rng,
             40,
             &setting.working_region,
             BudgetScheme::Fixed(20.0),
-            &mut next_id,
         );
 
-        let alloc_opt = optimal.schedule(&queries, &sensors, &setting.quality);
-        let alloc_ls = ls.schedule(&queries, &sensors, &setting.quality);
-        let alloc_base = baseline.schedule(&queries, &sensors, &setting.quality);
+        submit_all(&mut optimal, &specs);
+        submit_all(&mut ls, &specs);
+        submit_all(&mut baseline, &specs);
+        let report_opt = optimal.step(slot, &sensors);
+        let report_ls = ls.step(slot, &sensors);
+        let report_base = baseline.step(slot, &sensors);
 
         // Welfare ordering: Optimal ≥ LocalSearch and Optimal ≥ Baseline.
         assert!(
-            alloc_opt.welfare >= alloc_ls.welfare - 1e-7,
+            report_opt.welfare >= report_ls.welfare - 1e-7,
             "slot {slot}: optimal {} < LS {}",
-            alloc_opt.welfare,
-            alloc_ls.welfare
+            report_opt.welfare,
+            report_ls.welfare
         );
         assert!(
-            alloc_opt.welfare >= alloc_base.welfare - 1e-7,
+            report_opt.welfare >= report_base.welfare - 1e-7,
             "slot {slot}: optimal {} < baseline {}",
-            alloc_opt.welfare,
-            alloc_base.welfare
+            report_opt.welfare,
+            report_base.welfare
         );
 
         // Economic invariants for the welfare-sharing schedulers.
-        for alloc in [&alloc_opt, &alloc_ls] {
-            let mut receipts = vec![0.0; sensors.len()];
-            for a in alloc.assignments.iter().flatten() {
-                assert!(a.payment <= a.value + 1e-9, "payment exceeds value");
-                assert!(a.quality >= 0.0 && a.quality <= 1.0);
-                receipts[a.sensor] += a.payment;
-            }
-            for &si in &alloc.sensors_used {
-                assert!(
-                    (receipts[si] - sensors[si].cost).abs() < 1e-7,
-                    "sensor {si} receipts {} != cost {}",
-                    receipts[si],
-                    sensors[si].cost
-                );
-            }
+        for report in [&report_opt, &report_ls] {
+            check_economics(report, &sensors);
         }
 
         pool.record_measurements(
             slot,
-            alloc_opt.sensors_used.iter().map(|&si| sensors[si].id),
+            report_opt.sensors_used.iter().map(|&si| sensors[si].id),
         );
     }
+}
+
+fn check_economics(report: &SlotReport, sensors: &[SensorSnapshot]) {
+    for r in &report.point_results {
+        assert!(r.paid <= r.value + 1e-9, "payment exceeds value");
+        assert!(r.quality >= 0.0 && r.quality <= 1.0);
+    }
+    for &si in &report.sensors_used {
+        let receipt = report.ledger.sensor_receipt(sensors[si].id);
+        assert!(
+            (receipt - sensors[si].cost).abs() < 1e-7,
+            "sensor {si} receipts {} != cost {}",
+            receipt,
+            sensors[si].cost
+        );
+    }
+    assert!(
+        (report.ledger.total_receipts() - report.ledger.total_payments()).abs() < 1e-7,
+        "slot ledger unbalanced"
+    );
 }
 
 #[test]
@@ -93,23 +117,26 @@ fn lifetime_attrition_shrinks_the_pool() {
     // Tiny lifetime: sensors die after 2 readings.
     let mut pool = SensorPool::new(setting.num_agents, &SensorPoolConfig::paper_default(2, 13));
     let mut rng = StdRng::seed_from_u64(5);
-    let mut next_id = 0u64;
-    let optimal = OptimalScheduler::new();
+    let mut engine = AggregatorBuilder::new(setting.quality)
+        .scheduler(OptimalScheduler::new())
+        .build();
 
     let initial = pool
         .snapshots(0, &setting.trace, &setting.working_region)
         .len();
     for slot in 0..scale.slots {
         let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
-        let queries = point_queries(
-            &mut rng,
-            60,
-            &setting.working_region,
-            BudgetScheme::Fixed(35.0),
-            &mut next_id,
+        submit_all(
+            &mut engine,
+            &point_queries(
+                &mut rng,
+                60,
+                &setting.working_region,
+                BudgetScheme::Fixed(35.0),
+            ),
         );
-        let alloc = optimal.schedule(&queries, &sensors, &setting.quality);
-        pool.record_measurements(slot, alloc.sensors_used.iter().map(|&si| sensors[si].id));
+        let report = engine.step(slot, &sensors);
+        pool.record_measurements(slot, report.sensors_used.iter().map(|&si| sensors[si].id));
     }
     assert!(
         pool.exhausted_count() > 0,
@@ -124,20 +151,23 @@ fn quality_model_bounds_served_distance() {
     let setting = rwm_setting(&scale, 21);
     let pool = SensorPool::new(setting.num_agents, &SensorPoolConfig::paper_default(50, 21));
     let mut rng = StdRng::seed_from_u64(17);
-    let mut next_id = 0u64;
     let sensors = pool.snapshots(0, &setting.trace, &setting.working_region);
-    let queries = point_queries(
+    let specs = point_queries(
         &mut rng,
         80,
         &setting.working_region,
         BudgetScheme::Fixed(30.0),
-        &mut next_id,
     );
-    let quality = QualityModel::new(5.0);
-    let alloc = OptimalScheduler::new().schedule(&queries, &sensors, &quality);
-    for (q, a) in queries.iter().zip(alloc.assignments.iter()) {
-        if let Some(a) = a {
-            let d = sensors[a.sensor].loc.distance(q.loc);
+    let mut engine = AggregatorBuilder::new(QualityModel::new(5.0))
+        .scheduler(OptimalScheduler::new())
+        .build();
+    submit_all(&mut engine, &specs);
+    let report = engine.step(0, &sensors);
+    // point_results preserve submission order, so r[i] answers specs[i].
+    assert_eq!(report.point_results.len(), specs.len());
+    for (spec, r) in specs.iter().zip(&report.point_results) {
+        if let Some(si) = r.sensor {
+            let d = sensors[si].loc.distance(spec.loc);
             assert!(d <= 5.0 + 1e-9, "assignment beyond d_max: {d}");
         }
     }
