@@ -21,6 +21,7 @@
 //! | [`AggregatorBuilder::scheduler`] | §3.1 point schedulers (Eq. 9 exact / Local Search / baseline) for Algorithms 2–3 |
 //! | [`AggregatorBuilder::cost_weighting`] | Eq. 18 shared-cost weighting `w(k)` for region planning |
 //! | [`AggregatorBuilder::sensor_sharing`] | Algorithm 3's `A_{r,t}` free-riding on sensors bought by other queries |
+//! | [`AggregatorBuilder::spatial_index`] | per-slot [`SensorIndex`] over the announcement (scaling only — selections are identical with and without it) |
 //!
 //! With no dedicated scheduler, point queries of every origin are fed
 //! *jointly* with the aggregates to Algorithm 1 (the full Algorithm 5
@@ -46,8 +47,8 @@
 //! assert!(report.welfare > 0.0);
 //! ```
 
-use crate::alloc::baseline::{baseline_select_for_query, BaselinePointScheduler};
-use crate::alloc::greedy::greedy_select;
+use crate::alloc::baseline::{baseline_select_for_query_indexed, BaselinePointScheduler};
+use crate::alloc::greedy::greedy_select_with;
 use crate::alloc::{PointAllocation, PointScheduler};
 use crate::model::{QueryId, SensorSnapshot, Slot};
 use crate::monitor::location::LocationMonitor;
@@ -60,8 +61,8 @@ use crate::valuation::point::PointValuation;
 use crate::valuation::quality::QualityModel;
 use crate::valuation::region::RegionValuation;
 use crate::valuation::SetValuation;
-use ps_geo::{Point, Rect};
-use std::collections::{HashMap, HashSet};
+use ps_geo::{Point, Rect, SensorIndex};
+use std::collections::HashSet;
 
 /// Per-monitor `(serving sensor, payment)` lists paired with the slot's
 /// region plans.
@@ -299,6 +300,7 @@ pub struct AggregatorBuilder<'s> {
     scheduler: Option<Box<dyn PointScheduler + 's>>,
     use_cost_weighting: bool,
     share_sensors: bool,
+    spatial_index: bool,
     next_query_id: u64,
 }
 
@@ -315,6 +317,7 @@ impl<'s> AggregatorBuilder<'s> {
             scheduler: None,
             use_cost_weighting: true,
             share_sensors: true,
+            spatial_index: true,
             next_query_id: 0,
         }
     }
@@ -355,6 +358,17 @@ impl<'s> AggregatorBuilder<'s> {
         self
     }
 
+    /// Toggles the per-slot [`SensorIndex`] over sensor locations (on by
+    /// default). Every hot path — the joint Algorithm 1 selection, the
+    /// point schedulers, region-monitor planning, Eq. 18 cost weighting —
+    /// consults the index instead of scanning the full announcement;
+    /// selections are identical either way, so this knob exists for
+    /// benchmarking the brute-force paths, not for correctness.
+    pub fn spatial_index(mut self, on: bool) -> Self {
+        self.spatial_index = on;
+        self
+    }
+
     /// Seeds the id counter: the next minted id is `n + 1`.
     pub fn next_query_id(mut self, n: u64) -> Self {
         self.next_query_id = n;
@@ -370,6 +384,7 @@ impl<'s> AggregatorBuilder<'s> {
             scheduler: self.scheduler,
             use_cost_weighting: self.use_cost_weighting,
             share_sensors: self.share_sensors,
+            spatial_index: self.spatial_index,
             next_query_id: self.next_query_id,
             pending_points: Vec::new(),
             pending_aggregates: Vec::new(),
@@ -395,6 +410,7 @@ pub struct Aggregator<'s> {
     scheduler: Option<Box<dyn PointScheduler + 's>>,
     use_cost_weighting: bool,
     share_sensors: bool,
+    spatial_index: bool,
     next_query_id: u64,
     pending_points: Vec<PointQuery>,
     pending_aggregates: Vec<AggregateQuery>,
@@ -565,11 +581,20 @@ impl<'s> Aggregator<'s> {
         let aggregates = std::mem::take(&mut self.pending_aggregates);
         let customs = std::mem::take(&mut self.pending_customs);
 
+        // One spatial index per slot, shared by every hot path below.
+        let index: Option<SensorIndex> = (self.spatial_index && !sensors.is_empty()).then(|| {
+            let positions: Vec<Point> = sensors.iter().map(|s| s.loc).collect();
+            SensorIndex::build(&positions)
+        });
+        let index = index.as_ref();
+
         let mut report = match (&self.scheduler, self.strategy) {
-            (Some(_), _) => self.step_scheduled(slot, sensors, points, aggregates, customs),
-            (None, MixStrategy::Alg5) => self.step_alg5(slot, sensors, points, aggregates, customs),
+            (Some(_), _) => self.step_scheduled(slot, sensors, points, aggregates, customs, index),
+            (None, MixStrategy::Alg5) => {
+                self.step_alg5(slot, sensors, points, aggregates, customs, index)
+            }
             (None, MixStrategy::SequentialBaseline) => {
-                self.step_baseline(slot, sensors, points, aggregates, customs)
+                self.step_baseline(slot, sensors, points, aggregates, customs, index)
             }
         };
 
@@ -604,22 +629,47 @@ impl<'s> Aggregator<'s> {
     }
 
     /// Eq. 18 weighted sensor costs for region planning (raw costs when
-    /// weighting is off or no region monitor is active).
-    fn weighted_costs(&self, t: Slot, sensors: &[SensorSnapshot]) -> Vec<f64> {
+    /// weighting is off or no region monitor is active). With an index,
+    /// the per-sensor sharing degree `k` is accumulated by rectangle
+    /// query per active monitor instead of scanning every sensor against
+    /// every monitor — the counts (and thus the weights) are identical.
+    fn weighted_costs(
+        &self,
+        t: Slot,
+        sensors: &[SensorSnapshot],
+        index: Option<&SensorIndex>,
+    ) -> Vec<f64> {
         if !self.use_cost_weighting || self.region_monitors.is_empty() {
             return sensors.iter().map(|s| s.cost).collect();
         }
-        sensors
-            .iter()
-            .map(|s| {
-                let k = self
-                    .region_monitors
+        match index {
+            Some(idx) => {
+                let mut k = vec![0usize; sensors.len()];
+                let mut buf: Vec<usize> = Vec::new();
+                for m in self.region_monitors.iter().filter(|m| m.is_active(t)) {
+                    idx.query_rect_into(&m.region, &mut buf);
+                    for &si in &buf {
+                        k[si] += 1;
+                    }
+                }
+                sensors
                     .iter()
-                    .filter(|m| m.is_active(t) && m.region.contains(s.loc))
-                    .count();
-                s.cost * sharing_weight(k)
-            })
-            .collect()
+                    .zip(&k)
+                    .map(|(s, &k)| s.cost * sharing_weight(k))
+                    .collect()
+            }
+            None => sensors
+                .iter()
+                .map(|s| {
+                    let k = self
+                        .region_monitors
+                        .iter()
+                        .filter(|m| m.is_active(t) && m.region.contains(s.loc))
+                        .count();
+                    s.cost * sharing_weight(k)
+                })
+                .collect(),
+        }
     }
 
     /// Applies each active region monitor's slot results and, when
@@ -683,6 +733,7 @@ impl<'s> Aggregator<'s> {
         points: Vec<PointQuery>,
         aggregates: Vec<AggregateQuery>,
         mut customs: Vec<(QueryId, Box<dyn SetValuation + 's>)>,
+        index: Option<&SensorIndex>,
     ) -> SlotReport {
         // ── Stage 1: point-query creation for continuous queries ──────
         let mut lm_queries: Vec<(usize, PointQuery)> = Vec::new();
@@ -692,7 +743,7 @@ impl<'s> Aggregator<'s> {
                 lm_queries.push((mi, pq));
             }
         }
-        let weighted = self.weighted_costs(t, sensors);
+        let weighted = self.weighted_costs(t, sensors, index);
         let mut next_id = self.next_query_id;
         let mut make_id = || {
             next_id += 1;
@@ -700,7 +751,7 @@ impl<'s> Aggregator<'s> {
         };
         let mut rm_plans: Vec<RegionPlan> = Vec::new();
         for (mi, m) in self.region_monitors.iter().enumerate() {
-            rm_plans.push(m.plan(t, sensors, &weighted, mi, &mut make_id));
+            rm_plans.push(m.plan_indexed(t, sensors, &weighted, mi, &mut make_id, index));
         }
         self.next_query_id = next_id;
 
@@ -750,12 +801,24 @@ impl<'s> Aggregator<'s> {
         for v in &mut point_vals {
             vals.push(v);
         }
-        let selection = greedy_select(&mut vals, sensors);
+        let selection = greedy_select_with(&mut vals, sensors, index);
         drop(vals);
 
-        // Stable-id → snapshot-index map, built once per slot.
-        let index_of: HashMap<usize, usize> =
-            sensors.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+        // Stable-id → snapshot-index map, built once per slot. Sorted
+        // pairs + binary search: at city scale, hashing every announced
+        // sensor cost more than the whole index build.
+        let id_to_index: Vec<(usize, usize)> = {
+            let mut m: Vec<(usize, usize)> =
+                sensors.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+            m.sort_unstable();
+            m
+        };
+        let index_of = |stable: usize| -> usize {
+            let k = id_to_index
+                .binary_search_by_key(&stable, |&(id, _)| id)
+                .expect("serving sensor was announced this slot");
+            id_to_index[k].1
+        };
 
         let mut ledger = Ledger::new();
         let mut breakdown = MixBreakdown {
@@ -838,7 +901,7 @@ impl<'s> Aggregator<'s> {
                         value,
                         paid,
                         quality: v.best_quality(),
-                        sensor: v.best_sensor().map(|stable| index_of[&stable]),
+                        sensor: v.best_sensor().map(index_of),
                     });
                 }
                 PointKind::Location(mi) => {
@@ -850,7 +913,7 @@ impl<'s> Aggregator<'s> {
                 PointKind::Region { monitor } => {
                     if value > 0.0 {
                         let stable = v.best_sensor().expect("positive value");
-                        let serving = index_of[&stable];
+                        let serving = index_of(stable);
                         rm_satisfied[monitor].push((sensors[serving], paid));
                     }
                 }
@@ -904,6 +967,7 @@ impl<'s> Aggregator<'s> {
         points: Vec<PointQuery>,
         aggregates: Vec<AggregateQuery>,
         mut customs: Vec<(QueryId, Box<dyn SetValuation + 's>)>,
+        index: Option<&SensorIndex>,
     ) -> SlotReport {
         let mut ledger = Ledger::new();
         let mut breakdown = MixBreakdown {
@@ -919,7 +983,7 @@ impl<'s> Aggregator<'s> {
         let mut aggregate_results = Vec::with_capacity(aggregates.len());
         for q in &aggregates {
             let mut v = AggregateValuation::new(q, self.sensing_range);
-            let out = baseline_select_for_query(&mut v, sensors, &mut already);
+            let out = baseline_select_for_query_indexed(&mut v, sensors, &mut already, index);
             welfare += out.value - out.cost;
             if out.value > 0.0 {
                 breakdown.aggregate_answered += 1;
@@ -938,7 +1002,7 @@ impl<'s> Aggregator<'s> {
         }
         let mut custom_results = Vec::with_capacity(customs.len());
         for (id, v) in &mut customs {
-            let out = baseline_select_for_query(v.as_mut(), sensors, &mut already);
+            let out = baseline_select_for_query_indexed(v.as_mut(), sensors, &mut already, index);
             welfare += out.value - out.cost;
             for &si in &out.newly_selected {
                 ledger.record(*id, sensors[si].id, sensors[si].cost);
@@ -970,7 +1034,7 @@ impl<'s> Aggregator<'s> {
         };
         let mut rm_plans: Vec<RegionPlan> = Vec::new();
         for (mi, m) in self.region_monitors.iter().enumerate() {
-            let plan = m.plan(t, sensors, &raw_costs, mi, &mut make_id);
+            let plan = m.plan_indexed(t, sensors, &raw_costs, mi, &mut make_id, index);
             for pq in &plan.queries {
                 queries.push(pq.query);
             }
@@ -978,11 +1042,12 @@ impl<'s> Aggregator<'s> {
         }
         self.next_query_id = next_id;
 
-        let alloc = BaselinePointScheduler::new().schedule_with_preselected(
+        let alloc = BaselinePointScheduler::new().schedule_with_preselected_indexed(
             &queries,
             sensors,
             &self.quality,
             &mut already,
+            index,
         );
 
         let mut point_results = Vec::with_capacity(n_points);
@@ -1068,6 +1133,7 @@ impl<'s> Aggregator<'s> {
         points: Vec<PointQuery>,
         aggregates: Vec<AggregateQuery>,
         mut customs: Vec<(QueryId, Box<dyn SetValuation + 's>)>,
+        index: Option<&SensorIndex>,
     ) -> SlotReport {
         let baseline_mode = self.strategy == MixStrategy::SequentialBaseline;
         let mut ledger = Ledger::new();
@@ -1097,7 +1163,7 @@ impl<'s> Aggregator<'s> {
             for (_, v) in &mut customs {
                 vals.push(v.as_mut());
             }
-            let selection = greedy_select(&mut vals, sensors);
+            let selection = greedy_select_with(&mut vals, sensors, index);
             drop(vals);
             welfare += selection.welfare;
             sensors_used.extend(selection.selected.iter().copied());
@@ -1148,7 +1214,7 @@ impl<'s> Aggregator<'s> {
                 queries.push(pq);
             }
         }
-        let weighted = self.weighted_costs(t, sensors);
+        let weighted = self.weighted_costs(t, sensors, index);
         let mut next_id = self.next_query_id;
         let mut make_id = || {
             next_id += 1;
@@ -1156,7 +1222,7 @@ impl<'s> Aggregator<'s> {
         };
         let mut rm_plans: Vec<RegionPlan> = Vec::new();
         for (mi, m) in self.region_monitors.iter().enumerate() {
-            let plan = m.plan(t, sensors, &weighted, mi, &mut make_id);
+            let plan = m.plan_indexed(t, sensors, &weighted, mi, &mut make_id, index);
             for pq in &plan.queries {
                 queries.push(pq.query);
             }
@@ -1170,8 +1236,10 @@ impl<'s> Aggregator<'s> {
         // they are neither re-charged nor double-counted in welfare.
         let scheduler = self.scheduler.as_deref().expect("scheduled path");
         let prebought: HashSet<usize> = sensors_used.iter().copied().collect();
+        // Sensor locations are unchanged by cost discounting, so the
+        // slot's index stays valid for both branches.
         let alloc: PointAllocation = if prebought.is_empty() {
-            scheduler.schedule(&queries, sensors, &self.quality)
+            scheduler.schedule_indexed(&queries, sensors, &self.quality, index)
         } else {
             let discounted: Vec<SensorSnapshot> = sensors
                 .iter()
@@ -1184,7 +1252,7 @@ impl<'s> Aggregator<'s> {
                     s
                 })
                 .collect();
-            scheduler.schedule(&queries, &discounted, &self.quality)
+            scheduler.schedule_indexed(&queries, &discounted, &self.quality, index)
         };
         welfare -= alloc.total_sensor_cost;
 

@@ -23,6 +23,7 @@ pub mod optimal;
 use crate::model::SensorSnapshot;
 use crate::query::PointQuery;
 use crate::valuation::quality::QualityModel;
+use ps_geo::SensorIndex;
 use ps_solver::ufl::{WelfareProblem, WelfareSolution};
 use std::collections::BTreeMap;
 
@@ -84,6 +85,23 @@ pub trait PointScheduler {
         sensors: &[SensorSnapshot],
         quality: &QualityModel,
     ) -> PointAllocation;
+
+    /// Like [`PointScheduler::schedule`], with an optional [`SensorIndex`]
+    /// built over the same snapshot slice. Implementations that override
+    /// this use the index to prune candidate sensors (per queried
+    /// location: the disk of radius `d_max`) **without changing the
+    /// schedule** — the result must be identical to `schedule`. The
+    /// default ignores the index.
+    fn schedule_indexed(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+    ) -> PointAllocation {
+        let _ = index;
+        self.schedule(queries, sensors, quality)
+    }
 }
 
 impl<T: PointScheduler + ?Sized> PointScheduler for &T {
@@ -95,6 +113,16 @@ impl<T: PointScheduler + ?Sized> PointScheduler for &T {
     ) -> PointAllocation {
         (**self).schedule(queries, sensors, quality)
     }
+
+    fn schedule_indexed(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+    ) -> PointAllocation {
+        (**self).schedule_indexed(queries, sensors, quality, index)
+    }
 }
 
 impl<T: PointScheduler + ?Sized> PointScheduler for Box<T> {
@@ -105,6 +133,16 @@ impl<T: PointScheduler + ?Sized> PointScheduler for Box<T> {
         quality: &QualityModel,
     ) -> PointAllocation {
         (**self).schedule(queries, sensors, quality)
+    }
+
+    fn schedule_indexed(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+    ) -> PointAllocation {
+        (**self).schedule_indexed(queries, sensors, quality, index)
     }
 }
 
@@ -134,33 +172,44 @@ pub(crate) fn group_by_location(queries: &[PointQuery]) -> LocationGroups {
 
 /// Builds the Eq. 9 welfare problem: clients are locations, facilities are
 /// sensors, `v_l(s) = Σ_{q∈Q_l} v_q(θ(s, l))`.
+///
+/// With an index (built over the same snapshot slice), each location's
+/// candidate sensors come from the `d_max` disk around it — exactly the
+/// `in_range` predicate, in the same ascending order — so the problem is
+/// bit-identical to the brute-force build.
 pub(crate) fn build_welfare_problem(
     queries: &[PointQuery],
     groups: &LocationGroups,
     sensors: &[SensorSnapshot],
     quality: &QualityModel,
+    index: Option<&SensorIndex>,
 ) -> WelfareProblem {
     let costs: Vec<f64> = sensors.iter().map(|s| s.cost).collect();
+    let mut buf: Vec<usize> = Vec::new();
     let client_values: Vec<Vec<(usize, f64)>> = groups
         .groups
         .iter()
         .map(|qs| {
             let loc = queries[qs[0]].loc;
-            sensors
-                .iter()
-                .enumerate()
-                .filter_map(|(si, s)| {
-                    if !quality.in_range(s, loc) {
-                        return None;
-                    }
-                    let theta = quality.quality(s, loc);
-                    let v: f64 = qs
-                        .iter()
-                        .map(|&qi| queries[qi].value_of_quality(theta))
-                        .sum();
-                    (v > 0.0).then_some((si, v))
-                })
-                .collect()
+            let value_of = |si: usize| -> Option<(usize, f64)> {
+                let s = &sensors[si];
+                if !quality.in_range(s, loc) {
+                    return None;
+                }
+                let theta = quality.quality(s, loc);
+                let v: f64 = qs
+                    .iter()
+                    .map(|&qi| queries[qi].value_of_quality(theta))
+                    .sum();
+                (v > 0.0).then_some((si, v))
+            };
+            match index {
+                Some(idx) => {
+                    idx.query_disk_into(loc, quality.d_max, &mut buf);
+                    buf.iter().filter_map(|&si| value_of(si)).collect()
+                }
+                None => (0..sensors.len()).filter_map(value_of).collect(),
+            }
         })
         .collect();
     WelfareProblem::new(costs, client_values)
@@ -311,7 +360,7 @@ mod tests {
         }];
         let quality = QualityModel::new(5.0);
         let groups = group_by_location(&queries);
-        let p = build_welfare_problem(&queries, &groups, &sensors, &quality);
+        let p = build_welfare_problem(&queries, &groups, &sensors, &quality, None);
         assert_eq!(p.num_clients(), 1);
         // θ = 0.5 → v = 0.5·10 + 0.5·30 = 20.
         assert_eq!(p.client_values[0], vec![(0, 20.0)]);
@@ -329,7 +378,7 @@ mod tests {
         }];
         let quality = QualityModel::new(5.0);
         let groups = group_by_location(&queries);
-        let p = build_welfare_problem(&queries, &groups, &sensors, &quality);
+        let p = build_welfare_problem(&queries, &groups, &sensors, &quality, None);
         assert!(p.client_values[0].is_empty());
     }
 

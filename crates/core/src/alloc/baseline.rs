@@ -17,6 +17,7 @@ use crate::model::SensorSnapshot;
 use crate::query::PointQuery;
 use crate::valuation::quality::QualityModel;
 use crate::valuation::SetValuation;
+use ps_geo::SensorIndex;
 use std::collections::BTreeMap;
 
 /// Baseline point scheduler (§4.3): execution on query arrival with data
@@ -43,6 +44,22 @@ impl BaselinePointScheduler {
         quality: &QualityModel,
         selected: &mut [bool],
     ) -> PointAllocation {
+        self.schedule_with_preselected_indexed(queries, sensors, quality, selected, None)
+    }
+
+    /// [`BaselinePointScheduler::schedule_with_preselected`] with an
+    /// optional [`SensorIndex`] over the snapshot slice: per query only
+    /// the sensors in the `d_max` disk around its location are examined
+    /// (the exact `in_range` set, ascending), so the schedule is
+    /// identical with and without the index.
+    pub fn schedule_with_preselected_indexed(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        selected: &mut [bool],
+        index: Option<&SensorIndex>,
+    ) -> PointAllocation {
         assert_eq!(selected.len(), sensors.len());
         // location key → sensor already serving that location
         let mut location_sensor: BTreeMap<(u64, u64), usize> = BTreeMap::new();
@@ -50,6 +67,7 @@ impl BaselinePointScheduler {
         let mut newly_selected: Vec<usize> = Vec::new();
         let mut total_value = 0.0;
         let mut total_cost = 0.0;
+        let mut buf: Vec<usize> = Vec::new();
 
         for (qi, q) in queries.iter().enumerate() {
             let key = (q.loc.x.to_bits(), q.loc.y.to_bits());
@@ -71,21 +89,35 @@ impl BaselinePointScheduler {
             // Pick the sensor with maximum utility for this query alone;
             // already-selected sensors cost nothing extra.
             let mut best: Option<(usize, f64, f64, f64)> = None; // (si, utility, value, theta)
-            for (si, s) in sensors.iter().enumerate() {
+            let consider = |si: usize, best: &mut Option<(usize, f64, f64, f64)>| {
+                let s = &sensors[si];
                 if !quality.in_range(s, q.loc) {
-                    continue;
+                    return;
                 }
                 let theta = quality.quality(s, q.loc);
                 let value = q.value_of_quality(theta);
                 if value <= 0.0 {
-                    continue;
+                    return;
                 }
                 let cost = if selected[si] { 0.0 } else { s.cost };
                 let utility = value - cost;
                 if utility > 0.0 {
                     match best {
-                        Some((_, bu, _, _)) if bu >= utility => {}
-                        _ => best = Some((si, utility, value, theta)),
+                        Some((_, bu, _, _)) if *bu >= utility => {}
+                        _ => *best = Some((si, utility, value, theta)),
+                    }
+                }
+            };
+            match index {
+                Some(idx) => {
+                    idx.query_disk_into(q.loc, quality.d_max, &mut buf);
+                    for &si in &buf {
+                        consider(si, &mut best);
+                    }
+                }
+                None => {
+                    for si in 0..sensors.len() {
+                        consider(si, &mut best);
                     }
                 }
             }
@@ -126,6 +158,17 @@ impl PointScheduler for BaselinePointScheduler {
         let mut selected = vec![false; sensors.len()];
         self.schedule_with_preselected(queries, sensors, quality, &mut selected)
     }
+
+    fn schedule_indexed(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+    ) -> PointAllocation {
+        let mut selected = vec![false; sensors.len()];
+        self.schedule_with_preselected_indexed(queries, sensors, quality, &mut selected, index)
+    }
 }
 
 /// Outcome of the baseline multi-sensor execution for one query.
@@ -147,12 +190,34 @@ pub fn baseline_select_for_query(
     sensors: &[SensorSnapshot],
     already_selected: &mut [bool],
 ) -> BaselineSetOutcome {
+    baseline_select_for_query_indexed(valuation, sensors, already_selected, None)
+}
+
+/// [`baseline_select_for_query`] with an optional [`SensorIndex`] over
+/// the snapshot slice: candidates come from the valuation's
+/// [`SetValuation::support`] region (then the exact `is_relevant` filter),
+/// so the outcome is identical with and without the index.
+pub fn baseline_select_for_query_indexed(
+    valuation: &mut dyn SetValuation,
+    sensors: &[SensorSnapshot],
+    already_selected: &mut [bool],
+    index: Option<&SensorIndex>,
+) -> BaselineSetOutcome {
     assert_eq!(sensors.len(), already_selected.len());
+    let candidates: Vec<usize> = match (index, valuation.support()) {
+        (Some(idx), Some(support)) => {
+            let mut out = Vec::new();
+            support.candidates_into(idx, &mut out);
+            out
+        }
+        _ => (0..sensors.len()).collect(),
+    };
     let mut newly_selected = Vec::new();
     let mut cost = 0.0;
     loop {
         let mut best: Option<(usize, f64)> = None;
-        for (si, s) in sensors.iter().enumerate() {
+        for &si in &candidates {
+            let s = &sensors[si];
             if !valuation.is_relevant(s) {
                 continue;
             }

@@ -41,7 +41,7 @@ impl PointScheduler for EgalitarianScheduler {
             return PointAllocation::empty(queries.len());
         }
         let groups = group_by_location(queries);
-        let problem = build_welfare_problem(queries, &groups, sensors, quality);
+        let problem = build_welfare_problem(queries, &groups, sensors, quality, None);
 
         // Greedy set-cover-flavoured selection: per step, open the sensor
         // maximizing (#newly served queries) / cost among sensors whose

@@ -11,12 +11,27 @@
 //!
 //! Theorem 1's properties — telescoping marginals, positive total utility,
 //! individual rationality, and the `O(|Q||S|²)` call bound — are verified
-//! by the tests below. A per-sensor gain cache keyed on query versions
-//! avoids recomputing marginals against queries that did not change,
-//! without altering the algorithm's choices.
+//! by the tests below.
+//!
+//! Two scale mechanisms keep the loop fast without altering its choices:
+//!
+//! * **Index-pruned relevance lists.** With a [`SensorIndex`] over the
+//!   slot's sensor locations ([`greedy_select_with`]), each valuation's
+//!   candidate sensors come from its [`SetValuation::support`] region
+//!   instead of a full `O(|Q||S|)` scan; the exact
+//!   [`SetValuation::is_relevant`] filter still runs on the candidates,
+//!   so the lists are identical to the brute-force ones.
+//! * **Eager gain maintenance.** A sensor's gain only changes when one of
+//!   its relevant queries receives a commit, so after each selection the
+//!   loop recomputes gains for exactly the affected sensors and keeps all
+//!   candidates in a max-heap (stale entries are version-stamped and
+//!   discarded on pop). Every pop therefore sees current gains — the same
+//!   argmax, with the same smallest-index tie-break, as a full rescan.
 
 use crate::model::SensorSnapshot;
 use crate::valuation::SetValuation;
+use ps_geo::SensorIndex;
+use std::collections::BinaryHeap;
 
 /// Result of one Algorithm 1 run.
 #[derive(Debug, Clone)]
@@ -39,82 +54,205 @@ pub struct GreedySelection {
 ///
 /// `valuations[q]` accumulates the committed set `S_q`; sensor costs are
 /// taken from the snapshots (callers wanting the Eq. 18 cost weighting
-/// pass pre-weighted snapshots).
+/// pass pre-weighted snapshots). Equivalent to
+/// [`greedy_select_with`]`(valuations, sensors, None)`.
 pub fn greedy_select(
     valuations: &mut [&mut dyn SetValuation],
     sensors: &[SensorSnapshot],
 ) -> GreedySelection {
+    greedy_select_with(valuations, sensors, None)
+}
+
+/// A max-heap entry: `(gain, sensor)` stamped with the sensor's cache
+/// version at push time. Ordered by gain, ties broken toward the smaller
+/// sensor index (the rescan argmax kept the first maximum).
+struct Candidate {
+    gain: f64,
+    si: usize,
+    stamp: u64,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain
+            .total_cmp(&other.gain)
+            .then_with(|| other.si.cmp(&self.si))
+    }
+}
+
+/// [`greedy_select`] with an optional [`SensorIndex`] built over the same
+/// snapshot slice (`index.len() == sensors.len()`), used to prune each
+/// valuation's candidate sensors through its [`SetValuation::support`].
+/// Selections, payments, and welfare are identical with and without the
+/// index.
+pub fn greedy_select_with(
+    valuations: &mut [&mut dyn SetValuation],
+    sensors: &[SensorSnapshot],
+    index: Option<&SensorIndex>,
+) -> GreedySelection {
     let nq = valuations.len();
     let ns = sensors.len();
+    if let Some(idx) = index {
+        debug_assert_eq!(idx.len(), ns, "index built over a different slot");
+    }
+    // The CSR relevance lists below store u32 ids; fail loudly rather
+    // than wrap into corrupted slices.
+    assert!(
+        nq <= u32::MAX as usize && ns <= u32::MAX as usize,
+        "query/sensor counts exceed the u32 relevance layout"
+    );
     let mut remaining: Vec<bool> = vec![true; ns];
     let mut selected = Vec::new();
     let mut per_query_payments: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nq];
     let mut total_cost = 0.0;
     let mut oracle_calls = 0usize;
 
-    // Relevance lists (the Q_{l_s} filter of line 5).
-    let relevant: Vec<Vec<usize>> = (0..ns)
-        .map(|si| {
-            (0..nq)
-                .filter(|&qi| valuations[qi].is_relevant(&sensors[si]))
-                .collect()
-        })
-        .collect();
-
-    // Gain cache: valid while none of the sensor's relevant queries
-    // changed. Query versions bump on commit; the stamp is the sum of
-    // relevant versions (versions only grow, so equality ⇒ unchanged).
-    let mut query_version: Vec<u64> = vec![0; nq];
-    // (version stamp, gain, positive per-query marginals)
-    type GainCache = Option<(u64, f64, Vec<(usize, f64)>)>;
-    let mut cache: Vec<GainCache> = vec![None; ns];
-
-    loop {
-        let mut best: Option<(usize, f64)> = None;
-        for si in 0..ns {
-            if !remaining[si] {
-                continue;
-            }
-            let stamp: u64 = relevant[si].iter().map(|&qi| query_version[qi]).sum();
-            let needs_refresh = match &cache[si] {
-                Some((s, _, _)) => *s != stamp,
-                None => true,
-            };
-            if needs_refresh {
-                let mut positives: Vec<(usize, f64)> = Vec::new();
-                let mut gain = -sensors[si].cost;
-                for &qi in &relevant[si] {
-                    let delta = valuations[qi].marginal(&sensors[si]);
-                    oracle_calls += 1;
-                    if delta > 1e-12 {
-                        positives.push((qi, delta));
-                        gain += delta;
+    // Relevance lists (the Q_{l_s} filter of line 5) and their inverses,
+    // both in CSR layout — thousands of tiny per-sensor vectors showed up
+    // as allocator traffic at city scale. Queries fill the
+    // query→sensors side in submission order; the counting-sort
+    // inversion below visits queries in ascending order per sensor, so
+    // gain sums accumulate identically with and without the index.
+    let mut q_off: Vec<u32> = Vec::with_capacity(nq + 1);
+    q_off.push(0);
+    let mut q_flat: Vec<u32> = Vec::new();
+    let mut buf: Vec<usize> = Vec::new();
+    for v in valuations.iter() {
+        match (index, v.support()) {
+            (Some(idx), Some(support)) => {
+                support.candidates_into(idx, &mut buf);
+                for &si in &buf {
+                    if v.is_relevant(&sensors[si]) {
+                        q_flat.push(si as u32);
                     }
                 }
-                cache[si] = Some((stamp, gain, positives));
             }
-            let (_, gain, _) = cache[si].as_ref().expect("just refreshed");
-            if *gain > 1e-9 {
-                match best {
-                    Some((_, g)) if g >= *gain => {}
-                    _ => best = Some((si, *gain)),
+            _ => {
+                for (si, s) in sensors.iter().enumerate() {
+                    if v.is_relevant(s) {
+                        q_flat.push(si as u32);
+                    }
                 }
             }
         }
+        assert!(
+            q_flat.len() <= u32::MAX as usize,
+            "relevance pair count exceeds the u32 CSR layout"
+        );
+        q_off.push(q_flat.len() as u32);
+    }
+    let query_sensors =
+        |qi: usize| -> &[u32] { &q_flat[q_off[qi] as usize..q_off[qi + 1] as usize] };
 
-        let Some((si, _gain)) = best else { break };
-        let (_, _, positives) = cache[si].take().expect("cache filled above");
-        let delta_sum: f64 = positives.iter().map(|&(_, d)| d).sum();
+    let mut s_off = vec![0u32; ns + 1];
+    for &si in &q_flat {
+        s_off[si as usize + 1] += 1;
+    }
+    for i in 0..ns {
+        s_off[i + 1] += s_off[i];
+    }
+    let mut s_flat = vec![0u32; q_flat.len()];
+    let mut cursor: Vec<u32> = s_off[..ns].to_vec();
+    for qi in 0..nq {
+        for &si in &q_flat[q_off[qi] as usize..q_off[qi + 1] as usize] {
+            s_flat[cursor[si as usize] as usize] = qi as u32;
+            cursor[si as usize] += 1;
+        }
+    }
+    let relevant = |si: usize| -> &[u32] { &s_flat[s_off[si] as usize..s_off[si + 1] as usize] };
+
+    // Cached gain and positive per-query marginals per sensor; `stamp`
+    // versions the cache so stale heap entries are discarded on pop.
+    let mut gains: Vec<f64> = vec![0.0; ns];
+    let mut positives: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ns];
+    let mut stamp: Vec<u64> = vec![0; ns];
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+
+    macro_rules! refresh {
+        ($si:expr) => {{
+            let si = $si;
+            let mut gain = -sensors[si].cost;
+            let pos = &mut positives[si];
+            pos.clear();
+            for &qi in relevant(si) {
+                let delta = valuations[qi as usize].marginal(&sensors[si]);
+                oracle_calls += 1;
+                if delta > 1e-12 {
+                    pos.push((qi as usize, delta));
+                    gain += delta;
+                }
+            }
+            gains[si] = gain;
+        }};
+    }
+
+    // Initial gains: sensors with no relevant query have gain −cost ≤ 0
+    // and can never be selected, so they never enter the heap.
+    for si in 0..ns {
+        if relevant(si).is_empty() {
+            continue;
+        }
+        refresh!(si);
+        if gains[si] > 1e-9 {
+            heap.push(Candidate {
+                gain: gains[si],
+                si,
+                stamp: stamp[si],
+            });
+        }
+    }
+
+    let mut touched: Vec<u64> = vec![0; ns];
+    let mut round = 0u64;
+    while let Some(top) = heap.pop() {
+        let si = top.si;
+        if !remaining[si] || top.stamp != stamp[si] {
+            continue; // superseded by a later refresh, or already selected
+        }
+        let pos = std::mem::take(&mut positives[si]);
+        let delta_sum: f64 = pos.iter().map(|&(_, d)| d).sum();
         debug_assert!(delta_sum > sensors[si].cost);
-        for &(qi, delta) in &positives {
+        for &(qi, delta) in &pos {
             valuations[qi].commit(&sensors[si]);
-            query_version[qi] += 1;
             let payment = delta * sensors[si].cost / delta_sum;
             per_query_payments[qi].push((si, payment));
         }
         remaining[si] = false;
         selected.push(si);
         total_cost += sensors[si].cost;
+
+        // Gains change only for sensors sharing a just-committed query:
+        // recompute those now so the heap always holds current values.
+        round += 1;
+        for &(qi, _) in &pos {
+            for &sj in query_sensors(qi) {
+                let sj = sj as usize;
+                if !remaining[sj] || touched[sj] == round {
+                    continue;
+                }
+                touched[sj] = round;
+                refresh!(sj);
+                stamp[sj] += 1;
+                if gains[sj] > 1e-9 {
+                    heap.push(Candidate {
+                        gain: gains[sj],
+                        si: sj,
+                        stamp: stamp[sj],
+                    });
+                }
+            }
+        }
     }
 
     let per_query_value: Vec<f64> = valuations.iter().map(|v| v.current_value()).collect();
@@ -346,6 +484,85 @@ mod tests {
         assert!(out.welfare > 0.0);
         assert!(v0.best_sensor().is_some());
         assert!(v1.best_sensor().is_some());
+    }
+
+    /// Pruning candidates through a `SensorIndex` must not change a
+    /// single selection, payment, or welfare bit.
+    #[test]
+    fn indexed_selection_is_identical_to_brute_force() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..8 {
+            let queries: Vec<AggregateQuery> = (0..4)
+                .map(|i| {
+                    let x = rng.gen_range(0.0..30.0);
+                    let y = rng.gen_range(0.0..30.0);
+                    agg(
+                        i as u64,
+                        Rect::new(
+                            x,
+                            y,
+                            x + rng.gen_range(3.0..9.0),
+                            y + rng.gen_range(3.0..9.0),
+                        ),
+                        rng.gen_range(20.0..70.0),
+                    )
+                })
+                .collect();
+            let points: Vec<PointQuery> = (0..12)
+                .map(|i| PointQuery {
+                    id: QueryId(100 + i as u64),
+                    loc: Point::new(rng.gen_range(0.0..35.0), rng.gen_range(0.0..35.0)),
+                    budget: rng.gen_range(8.0..30.0),
+                    offset: 0.0,
+                    theta_min: 0.2,
+                    origin: QueryOrigin::EndUser,
+                })
+                .collect();
+            let sensors: Vec<SensorSnapshot> = (0..40)
+                .map(|id| {
+                    sensor(
+                        id,
+                        rng.gen_range(0.0..35.0),
+                        rng.gen_range(0.0..35.0),
+                        rng.gen_range(5.0..15.0),
+                        rng.gen_range(0.5..1.0),
+                    )
+                })
+                .collect();
+            let quality = QualityModel::new(5.0);
+
+            let run = |index: Option<&SensorIndex>| {
+                let mut aggs: Vec<AggregateValuation> = queries
+                    .iter()
+                    .map(|q| AggregateValuation::new(q, 4.0))
+                    .collect();
+                let mut pts: Vec<PointValuation> = points
+                    .iter()
+                    .map(|q| PointValuation::new(*q, quality))
+                    .collect();
+                let mut vals: Vec<&mut dyn SetValuation> = Vec::new();
+                for v in &mut aggs {
+                    vals.push(v);
+                }
+                for v in &mut pts {
+                    vals.push(v);
+                }
+                greedy_select_with(&mut vals, &sensors, index)
+            };
+
+            let positions: Vec<Point> = sensors.iter().map(|s| s.loc).collect();
+            let idx = SensorIndex::build(&positions);
+            let brute = run(None);
+            let indexed = run(Some(&idx));
+            assert_eq!(brute.selected, indexed.selected, "trial {trial}");
+            assert_eq!(brute.welfare, indexed.welfare, "trial {trial}");
+            assert_eq!(brute.total_cost, indexed.total_cost, "trial {trial}");
+            assert_eq!(
+                brute.per_query_payments, indexed.per_query_payments,
+                "trial {trial}"
+            );
+            assert_eq!(brute.per_query_value, indexed.per_query_value);
+        }
     }
 
     #[test]

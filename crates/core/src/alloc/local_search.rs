@@ -13,6 +13,7 @@ use crate::alloc::{
 use crate::model::SensorSnapshot;
 use crate::query::PointQuery;
 use crate::valuation::quality::QualityModel;
+use ps_geo::SensorIndex;
 use ps_solver::ufl;
 
 /// The Local Search scheduler of §3.1.2.
@@ -42,11 +43,21 @@ impl PointScheduler for LocalSearchScheduler {
         sensors: &[SensorSnapshot],
         quality: &QualityModel,
     ) -> PointAllocation {
+        self.schedule_indexed(queries, sensors, quality, None)
+    }
+
+    fn schedule_indexed(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+    ) -> PointAllocation {
         if queries.is_empty() || sensors.is_empty() {
             return PointAllocation::empty(queries.len());
         }
         let groups = group_by_location(queries);
-        let problem = build_welfare_problem(queries, &groups, sensors, quality);
+        let problem = build_welfare_problem(queries, &groups, sensors, quality, index);
         let solution = ufl::solve_local_search(&problem, self.epsilon);
         allocation_from_solution(queries, &groups, sensors, quality, &problem, &solution)
     }
@@ -160,7 +171,8 @@ mod tests {
         let quality = QualityModel::new(5.0);
         let (queries, sensors) = random_instance(&mut rng, 12, 8);
         let groups = crate::alloc::group_by_location(&queries);
-        let problem = crate::alloc::build_welfare_problem(&queries, &groups, &sensors, &quality);
+        let problem =
+            crate::alloc::build_welfare_problem(&queries, &groups, &sensors, &quality, None);
         let f = FnSet::new(sensors.len(), |set| {
             let open: Vec<bool> = (0..sensors.len()).map(|i| set.contains(i)).collect();
             problem.welfare_of(&open)

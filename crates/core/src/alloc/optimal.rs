@@ -13,6 +13,7 @@ use crate::alloc::{
 use crate::model::SensorSnapshot;
 use crate::query::PointQuery;
 use crate::valuation::quality::QualityModel;
+use ps_geo::SensorIndex;
 use ps_solver::ufl::{self, SolveLimits};
 
 /// The Optimal scheduler of §3.1.1.
@@ -36,11 +37,21 @@ impl PointScheduler for OptimalScheduler {
         sensors: &[SensorSnapshot],
         quality: &QualityModel,
     ) -> PointAllocation {
+        self.schedule_indexed(queries, sensors, quality, None)
+    }
+
+    fn schedule_indexed(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+    ) -> PointAllocation {
         if queries.is_empty() || sensors.is_empty() {
             return PointAllocation::empty(queries.len());
         }
         let groups = group_by_location(queries);
-        let problem = build_welfare_problem(queries, &groups, sensors, quality);
+        let problem = build_welfare_problem(queries, &groups, sensors, quality, index);
         let solution = ufl::solve_exact(&problem, &self.limits);
         allocation_from_solution(queries, &groups, sensors, quality, &problem, &solution)
     }

@@ -38,12 +38,13 @@
 
 use crate::aggregator::{Aggregator, AggregatorBuilder, MixStrategy, RetiredMonitor, SlotReport};
 use crate::alloc::PointScheduler;
-use crate::model::{SensorSnapshot, Slot};
+use crate::model::{QueryId, SensorSnapshot, Slot};
 use crate::monitor::location::LocationMonitor;
 use crate::monitor::region::RegionMonitor;
 use crate::payment::Ledger;
 use crate::query::{AggregateQuery, PointQuery};
 use crate::valuation::quality::QualityModel;
+use std::collections::HashMap;
 
 pub use crate::aggregator::MixBreakdown;
 
@@ -88,27 +89,37 @@ pub struct SlotOutcome {
 }
 
 /// Copies post-step monitor state (live or retired) back into the
-/// caller's slices, matching by query id.
+/// caller's slices, matching by query id through maps built once (the
+/// engine keeps monitors in vectors; repeated `find` scans here were
+/// O(monitors²) per slot).
 fn write_back(
     engine: &Aggregator,
     location_monitors: &mut [LocationMonitor],
     region_monitors: &mut [RegionMonitor],
 ) {
+    let live_location: HashMap<QueryId, &LocationMonitor> = engine
+        .location_monitors()
+        .iter()
+        .map(|m| (m.id, m))
+        .collect();
+    let live_region: HashMap<QueryId, &RegionMonitor> =
+        engine.region_monitors().iter().map(|m| (m.id, m)).collect();
+    let retired: HashMap<QueryId, &RetiredMonitor> = engine
+        .retired_monitors()
+        .iter()
+        .map(|r| (r.id(), r))
+        .collect();
     for m in location_monitors.iter_mut() {
-        if let Some(src) = engine.location_monitors().iter().find(|em| em.id == m.id) {
-            *m = src.clone();
-        } else if let Some(RetiredMonitor::Location(src)) =
-            engine.retired_monitors().iter().find(|r| r.id() == m.id)
-        {
+        if let Some(src) = live_location.get(&m.id) {
+            *m = (*src).clone();
+        } else if let Some(RetiredMonitor::Location(src)) = retired.get(&m.id) {
             *m = src.as_ref().clone();
         }
     }
     for m in region_monitors.iter_mut() {
-        if let Some(src) = engine.region_monitors().iter().find(|em| em.id == m.id) {
-            *m = src.clone();
-        } else if let Some(RetiredMonitor::Region(src)) =
-            engine.retired_monitors().iter().find(|r| r.id() == m.id)
-        {
+        if let Some(src) = live_region.get(&m.id) {
+            *m = (*src).clone();
+        } else if let Some(RetiredMonitor::Region(src)) = retired.get(&m.id) {
             *m = src.as_ref().clone();
         }
     }
@@ -128,7 +139,8 @@ fn mix_outcome(report: SlotReport) -> MixOutcome {
 /// `next_query_id` mints identifiers for monitor-generated point queries.
 #[deprecated(
     since = "0.2.0",
-    note = "build an `aggregator::Aggregator` once and call `step` per slot"
+    note = "build an `aggregator::Aggregator` once and call `step` per slot \
+            (migration recipes: docs/MIGRATION.md)"
 )]
 pub fn run_mix_alg5(
     ctx: &SlotContext<'_>,
@@ -166,7 +178,8 @@ pub fn run_mix_alg5(
 /// sensors bought by the aggregate stage free.
 #[deprecated(
     since = "0.2.0",
-    note = "build an `aggregator::Aggregator` with `MixStrategy::SequentialBaseline`"
+    note = "build an `aggregator::Aggregator` with `MixStrategy::SequentialBaseline` \
+            (migration recipes: docs/MIGRATION.md)"
 )]
 pub fn run_mix_baseline(
     ctx: &SlotContext<'_>,
@@ -202,7 +215,8 @@ pub fn run_mix_baseline(
 #[deprecated(
     since = "0.2.0",
     note = "build an `aggregator::Aggregator` with a `scheduler` and the \
-            `cost_weighting`/`sensor_sharing` knobs"
+            `cost_weighting`/`sensor_sharing` knobs (migration recipes: \
+            docs/MIGRATION.md)"
 )]
 pub fn run_region_slot(
     ctx: &SlotContext<'_>,
@@ -236,7 +250,8 @@ pub fn run_region_slot(
 #[deprecated(
     since = "0.2.0",
     note = "build an `aggregator::Aggregator` with a `scheduler` \
-            (baseline mode = `MixStrategy::SequentialBaseline`)"
+            (baseline mode = `MixStrategy::SequentialBaseline`; migration \
+            recipes: docs/MIGRATION.md)"
 )]
 pub fn run_location_slot(
     ctx: &SlotContext<'_>,

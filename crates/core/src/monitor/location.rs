@@ -36,6 +36,13 @@ pub struct LocationMonitor {
     /// Index into `valuation.desired_times()` of the next desired time not
     /// yet achieved (the `nst` pointer; `lst` is implicit).
     nst_idx: usize,
+    /// `G(T')` for the current samples. Eq. 17 re-scores the full history
+    /// on every evaluation, and `T'` only changes in
+    /// [`LocationMonitor::apply_result`], so the engine-facing accessors
+    /// reuse this cache instead of regressing per call.
+    cached_g: f64,
+    /// Eq. 16 value of the current samples (same caching rationale).
+    cached_value: f64,
 }
 
 impl LocationMonitor {
@@ -64,6 +71,8 @@ impl LocationMonitor {
             qualities: Vec::new(),
             spent: 0.0,
             nst_idx: 0,
+            cached_g: 0.0,
+            cached_value: 0.0,
         }
     }
 
@@ -82,9 +91,10 @@ impl LocationMonitor {
         self.spent
     }
 
-    /// Current Eq. 16 value of the achieved samples.
+    /// Current Eq. 16 value of the achieved samples (cached; recomputed
+    /// only when a sample lands).
     pub fn value(&self) -> f64 {
-        self.valuation.value(&self.sampled_times, &self.qualities)
+        self.cached_value
     }
 
     /// Current utility: value minus payments.
@@ -121,7 +131,7 @@ impl LocationMonitor {
     fn affine_marginal(&self, t: Slot) -> (f64, f64) {
         let b = self.budget();
         let n = self.qualities.len();
-        let g_old = self.valuation.g(&self.sampled_times);
+        let g_old = self.cached_g;
         let mut with_t = self.sampled_times.clone();
         with_t.push(t as f64);
         let g_new = self.valuation.g(&with_t);
@@ -242,6 +252,8 @@ impl LocationMonitor {
         self.sampled_times.push(t as f64);
         self.qualities.push(quality);
         self.spent += payment;
+        self.cached_g = self.valuation.g(&self.sampled_times);
+        self.cached_value = self.valuation.value(&self.sampled_times, &self.qualities);
         // Advance nst past every desired time ≤ t (lst ← t implicitly).
         let desired = self.valuation.desired_times();
         while self.nst_idx < desired.len() && desired[self.nst_idx] <= t as f64 {

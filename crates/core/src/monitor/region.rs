@@ -17,7 +17,7 @@ use crate::model::{QueryId, SensorSnapshot, Slot};
 use crate::query::{PointQuery, QueryOrigin};
 use crate::valuation::region::RegionValuation;
 use crate::valuation::SetValuation;
-use ps_geo::Rect;
+use ps_geo::{Rect, SensorIndex};
 
 /// Eq. 18 cost-sharing weight: the factor applied to a sensor's cost when
 /// `k` region-monitoring queries could share it.
@@ -156,6 +156,23 @@ impl RegionMonitor {
         monitor_index: usize,
         make_id: &mut dyn FnMut() -> QueryId,
     ) -> RegionPlan {
+        self.plan_indexed(t, sensors, weighted_cost, monitor_index, make_id, None)
+    }
+
+    /// [`RegionMonitor::plan`] with an optional [`SensorIndex`] over the
+    /// snapshot slice: the `S_{r,t}` candidate set comes from a rectangle
+    /// query instead of a full scan. The index returns exactly the
+    /// in-region sensors in ascending order, so the plan is identical
+    /// with and without it.
+    pub fn plan_indexed(
+        &self,
+        t: Slot,
+        sensors: &[SensorSnapshot],
+        weighted_cost: &[f64],
+        monitor_index: usize,
+        make_id: &mut dyn FnMut() -> QueryId,
+        index: Option<&SensorIndex>,
+    ) -> RegionPlan {
         assert_eq!(sensors.len(), weighted_cost.len());
         if !self.is_active(t) {
             return RegionPlan::empty();
@@ -166,9 +183,12 @@ impl RegionMonitor {
         }
 
         // Candidates: sensors inside the region (S_{r,t}).
-        let candidates: Vec<usize> = (0..sensors.len())
-            .filter(|&i| self.region.contains(sensors[i].loc))
-            .collect();
+        let candidates: Vec<usize> = match index {
+            Some(idx) => idx.query_rect(&self.region),
+            None => (0..sensors.len())
+                .filter(|&i| self.region.contains(sensors[i].loc))
+                .collect(),
+        };
         if candidates.is_empty() {
             return RegionPlan::empty();
         }
@@ -177,22 +197,49 @@ impl RegionMonitor {
         // assuming current locations persist. One fresh-prior field per
         // future time τ, created lazily; the discount
         // (t2 − τ)/(t2 − t1) biases selections toward the present.
+        //
+        // Committing into τ* only changes that field, so each τ's
+        // per-candidate marginals are cached and recomputed only after a
+        // commit into it — the same GP values the full rescan produced,
+        // at O(candidates) instead of O(candidates × horizon) marginal
+        // evaluations per iteration. Fields are materialized (an
+        // O(cells²) covariance clone) only for the τ that actually
+        // receive a commit: an untouched field *is* the prior, so its
+        // marginals come from one shared prior evaluation.
         let horizon = self.t2 - t + 1;
         let mut fields: Vec<Option<RegionValuation>> = vec![None; horizon];
         let mut chosen: Vec<Vec<usize>> = vec![Vec::new(); horizon]; // per τ-offset
+        let mut gains: Vec<Option<Vec<f64>>> = vec![None; horizon]; // per τ-offset
+        let mut prior_gains: Option<Vec<f64>> = None;
         let duration = (self.t2 - self.t1).max(1) as f64;
         let mut committed_cost = 0.0;
 
         while committed_cost < budget {
+            for tau_off in 0..horizon {
+                if gains[tau_off].is_none() {
+                    gains[tau_off] = Some(match &fields[tau_off] {
+                        Some(field) => candidates
+                            .iter()
+                            .map(|&si| field.marginal(&sensors[si]))
+                            .collect(),
+                        None => prior_gains
+                            .get_or_insert_with(|| {
+                                candidates
+                                    .iter()
+                                    .map(|&si| self.prior.marginal(&sensors[si]))
+                                    .collect()
+                            })
+                            .clone(),
+                    });
+                }
+            }
             let mut best: Option<(usize, usize, f64)> = None; // (cand, τ_off, δ)
-            for &si in &candidates {
-                let s = &sensors[si];
+            for (k, &si) in candidates.iter().enumerate() {
                 for tau_off in 0..horizon {
                     if chosen[tau_off].contains(&si) {
                         continue;
                     }
-                    let field = fields[tau_off].get_or_insert_with(|| self.prior.clone());
-                    let gain = field.marginal(s);
+                    let gain = gains[tau_off].as_ref().expect("refreshed above")[k];
                     if gain <= 0.0 {
                         continue;
                     }
@@ -212,9 +259,10 @@ impl RegionMonitor {
             let Some((si, tau_off, _delta)) = best else {
                 break;
             };
-            let field = fields[tau_off].as_mut().expect("created during scan");
+            let field = fields[tau_off].get_or_insert_with(|| self.prior.clone());
             field.commit(&sensors[si]);
             chosen[tau_off].push(si);
+            gains[tau_off] = None;
             committed_cost += weighted_cost[si];
         }
 
@@ -225,19 +273,25 @@ impl RegionMonitor {
         let mut queries = Vec::new();
         let mut expected_cost = 0.0;
         let mut promised = 0.0;
+        // v_q(S_t) is the same for every s — build it once.
+        let v_all = {
+            let mut with_all = self.valuation.clone();
+            for &sj in current {
+                with_all.commit(&sensors[sj]);
+            }
+            with_all.current_value()
+        };
         for &si in current {
             let s = &sensors[si];
             // v_pq = v_q(S_t) − v_q(S_t \ {s}): recompute with the
             // accumulated valuation, committing all of S_t except s.
             let mut without = self.valuation.clone();
-            let mut with_all = self.valuation.clone();
             for &sj in current {
-                with_all.commit(&sensors[sj]);
                 if sj != si {
                     without.commit(&sensors[sj]);
                 }
             }
-            let vp = (with_all.current_value() - without.current_value()).max(0.0);
+            let vp = (v_all - without.current_value()).max(0.0);
             // Promised point-query budgets are upper bounds on payments;
             // never promise beyond the remaining hard budget.
             let vp = vp.min((self.remaining_budget() - promised).max(0.0));

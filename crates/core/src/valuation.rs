@@ -13,6 +13,41 @@ pub mod quality;
 pub mod region;
 
 use crate::model::SensorSnapshot;
+use ps_geo::{Point, Rect, SensorIndex};
+
+/// The spatial region outside of which a valuation's sensors are
+/// guaranteed irrelevant — the contract behind
+/// [`SetValuation::support`].
+///
+/// A [`SensorIndex`] query over the support yields a *superset* of the
+/// sensors for which [`SetValuation::is_relevant`] can return `true`;
+/// the exact filter is still applied afterwards, so pruning with the
+/// support never changes which sensors a valuation sees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpatialSupport {
+    /// All relevant sensors lie within `radius` of `center` (single-point
+    /// queries under a distance-bounded quality model, Eq. 4).
+    Disk {
+        /// Centre of the support disk.
+        center: Point,
+        /// Radius of the support disk.
+        radius: f64,
+    },
+    /// All relevant sensors lie inside the rectangle (region-bounded
+    /// queries; callers pre-expand by any sensing radius).
+    Rect(Rect),
+}
+
+impl SpatialSupport {
+    /// Queries `index` for the candidate sensors inside the support,
+    /// appending ascending indices to `out` (cleared first).
+    pub fn candidates_into(&self, index: &SensorIndex, out: &mut Vec<usize>) {
+        match *self {
+            SpatialSupport::Disk { center, radius } => index.query_disk_into(center, radius, out),
+            SpatialSupport::Rect(rect) => index.query_rect_into(&rect, out),
+        }
+    }
+}
 
 /// A query's valuation over *sets* of sensors, consumed incrementally by
 /// the greedy selection of Algorithm 1.
@@ -36,6 +71,14 @@ pub trait SetValuation {
     /// Fast pre-filter (the `Q_{l_s}` of Algorithm 1, line 5): sensors for
     /// which this returns `false` can never have a positive marginal.
     fn is_relevant(&self, sensor: &SensorSnapshot) -> bool;
+
+    /// The spatial region outside of which [`SetValuation::is_relevant`]
+    /// is guaranteed `false`, letting Algorithm 1 fetch candidate sensors
+    /// from a [`SensorIndex`] instead of scanning the whole announcement.
+    /// `None` (the default) means "anywhere" — every sensor is tested.
+    fn support(&self) -> Option<SpatialSupport> {
+        None
+    }
 
     /// Upper bound of the valuation, used for the "average quality of
     /// results" metric (`v_q(S_q)` divided by this).

@@ -16,8 +16,8 @@
 
 use crate::model::SensorSnapshot;
 use crate::query::{AggregateQuery, TrajectoryQuery};
-use crate::valuation::SetValuation;
-use ps_geo::CoverageMap;
+use crate::valuation::{SetValuation, SpatialSupport};
+use ps_geo::{CoverageMap, Rect};
 
 /// Incremental Eq. 5 valuation backed by a coverage bitmap.
 #[derive(Debug, Clone)]
@@ -93,6 +93,21 @@ impl SetValuation for AggregateValuation {
         // further away, but Algorithm 1 only ever takes positive
         // marginals, so the coverage test is the right filter).
         self.coverage.region().distance_to_point(sensor.loc) <= self.coverage.radius()
+    }
+
+    fn support(&self) -> Option<SpatialSupport> {
+        // The region expanded by the sensing radius contains (as a
+        // Chebyshev superset of the Euclidean expansion) every sensor
+        // `is_relevant` can accept; the exact distance test still runs on
+        // the candidates.
+        let region = self.coverage.region();
+        let r = self.coverage.radius();
+        Some(SpatialSupport::Rect(Rect::new(
+            region.min_x - r,
+            region.min_y - r,
+            region.max_x + r,
+            region.max_y + r,
+        )))
     }
 
     fn max_value(&self) -> f64 {

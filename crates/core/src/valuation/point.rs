@@ -8,7 +8,7 @@
 use crate::model::SensorSnapshot;
 use crate::query::PointQuery;
 use crate::valuation::quality::QualityModel;
-use crate::valuation::SetValuation;
+use crate::valuation::{SetValuation, SpatialSupport};
 
 /// Incremental best-reading valuation for a [`PointQuery`].
 #[derive(Debug, Clone)]
@@ -70,6 +70,15 @@ impl SetValuation for PointValuation {
 
     fn is_relevant(&self, sensor: &SensorSnapshot) -> bool {
         self.quality_model.in_range(sensor, self.query.loc)
+    }
+
+    fn support(&self) -> Option<SpatialSupport> {
+        // Eq. 4: only sensors within d_max of the queried location can
+        // serve it — exactly the `in_range` predicate.
+        Some(SpatialSupport::Disk {
+            center: self.query.loc,
+            radius: self.quality_model.d_max,
+        })
     }
 
     fn max_value(&self) -> f64 {

@@ -64,19 +64,44 @@ impl RegionValuation {
 
     /// Field index of the cell a sensor at `p` would observe, when inside
     /// the region.
+    ///
+    /// Cells were enumerated in `region.cells()` row-major order, so the
+    /// nearest centre is found arithmetically: clamp the nearest integer
+    /// grid centre to the region's cell ranges per axis and compare the
+    /// (at most four) neighbouring candidates, breaking distance ties
+    /// toward the smaller enumeration index exactly as the historical
+    /// linear scan did. This runs per marginal in Algorithm 4's inner
+    /// loop, where the former O(cells) scan dominated region planning.
     pub fn cell_index_of(&self, p: Point) -> Option<usize> {
         if !self.region.contains(p) {
             return None;
         }
-        // Cells were enumerated in `region.cells()` order; find the index
-        // by nearest centre (cells are unit squares, so the containing
-        // cell's centre is within ~0.71 units).
+        // The same ranges `Rect::cells` enumerates.
+        let col_lo = (self.region.min_x - 0.5).ceil().max(0.0) as i64;
+        let col_hi = (self.region.max_x - 0.5).floor() as i64;
+        let row_lo = (self.region.min_y - 0.5).ceil().max(0.0) as i64;
+        let row_hi = (self.region.max_y - 0.5).floor() as i64;
+        if col_hi < col_lo || row_hi < row_lo {
+            return None;
+        }
+        let cols = (col_hi - col_lo + 1) as usize;
+        let cand_axis = |v: f64, lo: i64, hi: i64| -> [i64; 2] {
+            let a = ((v - 0.5).floor() as i64).clamp(lo, hi);
+            let b = ((v - 0.5).ceil() as i64).clamp(lo, hi);
+            [a.min(b), a.max(b)]
+        };
+        let col_cands = cand_axis(p.x, col_lo, col_hi);
+        let row_cands = cand_axis(p.y, row_lo, row_hi);
         let mut best: Option<(usize, f64)> = None;
-        for (i, &c) in self.field.locations().iter().enumerate() {
-            let d = c.distance_squared(p);
-            match best {
-                Some((_, bd)) if bd <= d => {}
-                _ => best = Some((i, d)),
+        for &row in &row_cands {
+            for &col in &col_cands {
+                let idx = (row - row_lo) as usize * cols + (col - col_lo) as usize;
+                let c = Point::new(col as f64 + 0.5, row as f64 + 0.5);
+                let d = c.distance_squared(p);
+                match best {
+                    Some((bi, bd)) if bd < d || (bd == d && bi <= idx) => {}
+                    _ => best = Some((idx, d)),
+                }
             }
         }
         best.filter(|&(_, d)| d <= 0.5000001).map(|(i, _)| i)
@@ -130,6 +155,7 @@ impl SetValuation for RegionValuation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use ps_gp::kernel::SquaredExponential;
 
     fn sensor(id: usize, x: f64, y: f64, trust: f64) -> SensorSnapshot {
@@ -220,5 +246,49 @@ mod tests {
         let idx = v.cell_index_of(Point::new(2.3, 3.8));
         assert!(idx.is_some());
         assert!(v.cell_index_of(Point::new(-1.0, 0.0)).is_none());
+    }
+
+    /// The historical nearest-centre linear scan `cell_index_of`
+    /// replaced: same enumeration order, same `bd <= d` earliest-on-tie
+    /// rule, same `≤ 0.5000001` acceptance.
+    fn cell_index_by_scan(region: &Rect, p: Point) -> Option<usize> {
+        if !region.contains(p) {
+            return None;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cell) in region.cells().enumerate() {
+            let d = cell.center().distance_squared(p);
+            match best {
+                Some((_, bd)) if bd <= d => {}
+                _ => best = Some((i, d)),
+            }
+        }
+        best.filter(|&(_, d)| d <= 0.5000001).map(|(i, _)| i)
+    }
+
+    proptest! {
+        /// The O(1) arithmetic `cell_index_of` must agree with the
+        /// nearest-centre scan everywhere — including cell boundaries,
+        /// region edges, and fractional region corners. Both engines
+        /// share this function, so the end-to-end equivalence tests are
+        /// blind to a regression here; this comparison is the guard.
+        #[test]
+        fn cell_index_matches_nearest_center_scan(
+            corner in (0.0..6.0f64, 0.0..6.0f64),
+            size in (1.0..7.0f64, 1.0..7.0f64),
+            p in (-1.0..15.0f64, -1.0..15.0f64),
+            on_boundary in proptest::prop::bool::ANY,
+        ) {
+            let region = Rect::new(corner.0, corner.1, corner.0 + size.0, corner.1 + size.1);
+            // Half the probes snap onto exact cell-boundary coordinates,
+            // where distance ties between neighbouring centres happen.
+            let probe = if on_boundary {
+                Point::new(p.0.floor(), p.1.floor())
+            } else {
+                Point::new(p.0, p.1)
+            };
+            let v = RegionValuation::new(10.0, region, &SquaredExponential::new(2.0, 2.0), 0.1);
+            prop_assert_eq!(v.cell_index_of(probe), cell_index_by_scan(&region, probe));
+        }
     }
 }

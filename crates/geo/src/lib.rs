@@ -14,12 +14,14 @@
 
 pub mod coverage;
 pub mod grid;
+pub mod index;
 pub mod point;
 pub mod rect;
 pub mod trajectory;
 
-pub use coverage::{covered_fraction, CoverageMap};
+pub use coverage::{covered_fraction, covered_fraction_indexed, CoverageMap};
 pub use grid::{Cell, Grid};
+pub use index::SensorIndex;
 pub use point::Point;
 pub use rect::Rect;
 pub use trajectory::Trajectory;

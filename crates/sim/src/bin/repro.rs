@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! repro [--scale full|test|bench|smoke] [fig2 fig3 … | all]
+//! repro [--scale full|test|bench|smoke|city] [fig2 fig3 … | all]
 //! ```
 //!
 //! Prints each figure's series as an aligned table and writes
@@ -27,14 +27,17 @@ fn main() {
                     "test" => Scale::test(),
                     "bench" => Scale::bench(),
                     "smoke" => Scale::smoke(),
+                    "city" => Scale::city(),
                     other => {
-                        eprintln!("unknown scale '{other}' (full|test|bench|smoke)");
+                        eprintln!("unknown scale '{other}' (full|test|bench|smoke|city)");
                         std::process::exit(2);
                     }
                 };
             }
             "--help" | "-h" => {
-                println!("usage: repro [--scale full|test|bench|smoke] [fig2 … fig10 trust | all]");
+                println!(
+                    "usage: repro [--scale full|test|bench|smoke|city] [fig2 … fig10 trust | all]"
+                );
                 return;
             }
             "all" => wanted.extend(ExperimentId::ALL),

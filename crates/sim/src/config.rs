@@ -70,6 +70,22 @@ impl Scale {
         }
     }
 
+    /// City scale: the ROADMAP's operating point rather than the paper's.
+    /// Scales the §4 populations up to ≥ 10 000 sensors
+    /// (`sensor_count(635)` ≥ 10k) and ≥ 1 000 standing mixed queries per
+    /// slot (`queries(300)` point queries alone exceed 1k, before
+    /// aggregates and the monitor population). Pair with
+    /// `workload::StandingMixProfile::from_scale`, which also grows the
+    /// arena to keep the paper's sensor density.
+    pub fn city() -> Self {
+        Self {
+            slots: 20,
+            query_factor: 4.0,
+            sensor_factor: 16.0,
+            seed: 2013,
+        }
+    }
+
     /// Scales a query count, keeping at least 1.
     pub fn queries(&self, full: usize) -> usize {
         ((full as f64 * self.query_factor).round() as usize).max(1)
@@ -91,6 +107,16 @@ mod tests {
         assert_eq!(s.slots, 50);
         assert_eq!(s.queries(300), 300);
         assert_eq!(s.sensor_count(635), 635);
+    }
+
+    #[test]
+    fn city_scale_reaches_the_roadmap_floor() {
+        let s = Scale::city();
+        assert!(
+            s.sensor_count(635) >= 10_000,
+            "city must field ≥10k sensors"
+        );
+        assert!(s.queries(300) >= 1_000, "city must field ≥1k point queries");
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! intake (which mints the query ids). No identifiers are pre-minted
 //! here.
 
-use crate::config::THETA_MIN;
-use ps_core::aggregator::{AggregateSpec, LocationMonitorSpec, PointSpec, RegionMonitorSpec};
+use crate::config::{Scale, THETA_MIN};
+use ps_core::aggregator::{
+    AggregateSpec, Aggregator, LocationMonitorSpec, PointSpec, RegionMonitorSpec,
+};
+use ps_core::model::SensorSnapshot;
 use ps_core::query::AggregateKind;
 use ps_core::valuation::monitoring::MonitoringContext;
 use ps_core::valuation::monitoring::MonitoringValuation;
@@ -197,6 +200,177 @@ pub fn spawn_region_monitor(
     }
 }
 
+/// A standing mixed workload for a long-running [`Aggregator`]: fresh
+/// point and aggregate queries every slot plus monitor populations that
+/// are topped back up as members retire.
+///
+/// [`StandingMixProfile::from_scale`] sizes everything from a
+/// [`Scale`] — per-slot query counts through `Scale::queries`, the
+/// sensor population through `Scale::sensor_count`, and an arena grown to
+/// keep the paper's RWM sensor *density* (635 sensors on the 80×80 grid)
+/// rather than its absolute size, so `Scale::city` yields a city-sized
+/// arena with ≥ 10k sensors and ≥ 1k standing mixed queries. Query
+/// footprints (aggregate regions, monitored regions) keep their
+/// neighbourhood scale: city load means *more* queries, not
+/// arena-sized ones.
+#[derive(Debug, Clone)]
+pub struct StandingMixProfile {
+    /// The working region queries and sensors are drawn from.
+    pub arena: Rect,
+    /// Sensor population announced each slot.
+    pub sensors: usize,
+    /// End-user point queries submitted per slot.
+    pub points_per_slot: usize,
+    /// Mean number of aggregate queries per slot (§4.4 draws uniformly
+    /// around the mean).
+    pub aggregates_mean: usize,
+    /// Standing location-monitor population (topped up on retirement).
+    pub location_monitors: usize,
+    /// Standing region-monitor population (topped up on retirement).
+    pub region_monitors: usize,
+    /// Point-query budget (§4.3 uses 15).
+    pub point_budget: f64,
+    /// Aggregate budget factor `b` of §4.4.
+    pub aggregate_budget_factor: f64,
+    /// Location-monitor budget per slot of duration.
+    pub monitor_budget_factor: f64,
+    /// Aggregate-region side lengths `[min, max]`.
+    pub aggregate_side: (f64, f64),
+    /// Region-monitor side lengths `[min, max]` (§4.6 uses 4–10).
+    pub region_side: (f64, f64),
+}
+
+impl StandingMixProfile {
+    /// Sizes the profile from a [`Scale`] (see the type docs).
+    pub fn from_scale(scale: &Scale) -> Self {
+        let sensors = scale.sensor_count(635);
+        // Paper density: 635 sensors on an 80×80 arena.
+        let density = 635.0 / (80.0 * 80.0);
+        let side = (sensors as f64 / density).sqrt().ceil().max(40.0);
+        Self {
+            arena: Rect::with_size(side, side),
+            sensors,
+            points_per_slot: scale.queries(300),
+            aggregates_mean: scale.queries(8),
+            location_monitors: scale.queries(40),
+            region_monitors: scale.queries(25),
+            point_budget: 15.0,
+            aggregate_budget_factor: 15.0,
+            monitor_budget_factor: 12.0,
+            aggregate_side: (6.0, 18.0),
+            region_side: (4.0, 10.0),
+        }
+    }
+
+    /// Standing queries alive in a steady-state slot: the per-slot
+    /// one-shots plus the monitor populations.
+    pub fn standing_queries(&self) -> usize {
+        self.points_per_slot + self.aggregates_mean + self.location_monitors + self.region_monitors
+    }
+
+    /// One slot's sensor announcement: uniform locations over the arena,
+    /// prices in `[5, 15]` around the paper's base price, imperfect trust
+    /// and accuracy.
+    pub fn sensors(&self, rng: &mut StdRng) -> Vec<SensorSnapshot> {
+        (0..self.sensors)
+            .map(|id| SensorSnapshot {
+                id,
+                loc: Point::new(
+                    rng.gen_range(self.arena.min_x..self.arena.max_x),
+                    rng.gen_range(self.arena.min_y..self.arena.max_y),
+                ),
+                cost: rng.gen_range(5.0..15.0),
+                trust: rng.gen_range(0.6..1.0),
+                inaccuracy: rng.gen_range(0.0..0.2),
+            })
+            .collect()
+    }
+
+    /// Submits one slot of workload into `engine`: `points_per_slot`
+    /// point specs, ~`aggregates_mean` aggregate specs, and enough new
+    /// monitors (durations uniform in `[5, 20]`, desired times every 3rd
+    /// slot, α = 0.5) to top the standing populations back up. Returns
+    /// the number of queries submitted.
+    pub fn submit_slot(
+        &self,
+        rng: &mut StdRng,
+        t: usize,
+        engine: &mut Aggregator<'_>,
+        ctx: &Arc<MonitoringContext>,
+        kernel: &SquaredExponential,
+    ) -> usize {
+        let mut submitted = 0;
+        for spec in point_queries(
+            rng,
+            self.points_per_slot,
+            &self.arena,
+            BudgetScheme::Fixed(self.point_budget),
+        ) {
+            engine.submit_point(spec);
+            submitted += 1;
+        }
+        for spec in self.aggregates(rng) {
+            engine.submit_aggregate(spec);
+            submitted += 1;
+        }
+        while engine.location_monitors().len() < self.location_monitors {
+            let duration = rng.gen_range(5..=20usize);
+            let desired: Vec<f64> = (t..t + duration).step_by(3).map(|s| s as f64).collect();
+            engine.submit_location_monitor(LocationMonitorSpec {
+                loc: random_cell_center(rng, &self.arena),
+                t1: t,
+                t2: t + duration,
+                alpha: 0.5,
+                theta_min: THETA_MIN,
+                valuation: MonitoringValuation::new(
+                    ctx.clone(),
+                    duration as f64 * self.monitor_budget_factor,
+                    desired,
+                ),
+            });
+            submitted += 1;
+        }
+        while engine.region_monitors().len() < self.region_monitors {
+            let duration = rng.gen_range(5..=20usize);
+            let region = random_subregion(rng, &self.arena, self.region_side.0, self.region_side.1);
+            let r_s = 2.0f64;
+            let budget = region.area() / (3.0 * std::f64::consts::PI * r_s * r_s)
+                * self.monitor_budget_factor;
+            engine.submit_region_monitor(RegionMonitorSpec {
+                t1: t,
+                t2: t + duration,
+                alpha: 0.5,
+                theta_min: THETA_MIN,
+                valuation: RegionValuation::new(budget, region, kernel, 0.1),
+            });
+            submitted += 1;
+        }
+        submitted
+    }
+
+    /// One slot's aggregate specs (§4.4 with this profile's region sizes).
+    fn aggregates(&self, rng: &mut StdRng) -> Vec<AggregateSpec> {
+        let mean = self.aggregates_mean.max(1);
+        let count = rng.gen_range((mean / 2).max(1)..=mean + mean / 2);
+        (0..count)
+            .map(|_| {
+                let region = random_subregion(
+                    rng,
+                    &self.arena,
+                    self.aggregate_side.0,
+                    self.aggregate_side.1,
+                );
+                let budget = region.area() / (1.5 * 10.0) * self.aggregate_budget_factor;
+                AggregateSpec {
+                    region,
+                    budget,
+                    kind: AggregateKind::Average,
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +445,49 @@ mod tests {
             assert!(m.t2 - m.t1 >= 5 && m.t2 - m.t1 <= 20);
             assert!(m.valuation.budget() > 0.0);
         }
+    }
+
+    #[test]
+    fn standing_mix_tops_up_monitor_populations() {
+        use ps_core::aggregator::AggregatorBuilder;
+        use ps_core::valuation::quality::QualityModel;
+        let profile = StandingMixProfile::from_scale(&Scale::test());
+        let mut engine = AggregatorBuilder::new(QualityModel::new(5.0)).build();
+        let c = ctx();
+        let kernel = SquaredExponential::new(2.0, 2.0);
+        let mut r = rng();
+        let submitted = profile.submit_slot(&mut r, 0, &mut engine, &c, &kernel);
+        assert!(submitted >= profile.points_per_slot);
+        assert_eq!(engine.location_monitors().len(), profile.location_monitors);
+        assert_eq!(engine.region_monitors().len(), profile.region_monitors);
+        let sensors = profile.sensors(&mut r);
+        assert_eq!(sensors.len(), profile.sensors);
+        assert!(sensors.iter().all(|s| profile.arena.contains(s.loc)));
+        // The slot executes end to end.
+        let report = engine.step(0, &sensors);
+        assert!(report.welfare.is_finite());
+    }
+
+    #[test]
+    fn city_profile_hits_the_roadmap_floors() {
+        let p = StandingMixProfile::from_scale(&Scale::city());
+        assert!(
+            p.sensors >= 10_000,
+            "city needs ≥10k sensors, got {}",
+            p.sensors
+        );
+        assert!(
+            p.standing_queries() >= 1_000,
+            "city needs ≥1k standing queries, got {}",
+            p.standing_queries()
+        );
+        // Density stays at the paper's operating point (±20 %).
+        let density = p.sensors as f64 / p.arena.area();
+        let paper = 635.0 / 6400.0;
+        assert!(
+            (density / paper - 1.0).abs() < 0.2,
+            "density {density} drifted"
+        );
     }
 
     #[test]

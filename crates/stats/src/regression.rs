@@ -121,14 +121,19 @@ impl LinearModel {
     }
 
     /// Residual sum of squares against `(times, values)` — the
-    /// `Σ r²ᵢ` of Eq. 17.
+    /// `Σ r²ᵢ` of Eq. 17. One feature buffer is reused across the whole
+    /// series (this runs over the full history for every Eq. 17 `G`
+    /// evaluation, so a per-point allocation here dominated monitoring
+    /// slots).
     pub fn rss<B: Basis>(&self, basis: &B, times: &[f64], values: &[f64]) -> f64 {
         assert_eq!(times.len(), values.len());
+        let mut feats = vec![0.0; basis.dim()];
         times
             .iter()
             .zip(values)
             .map(|(&t, &y)| {
-                let r = y - self.predict(basis, t);
+                basis.features_into(t, &mut feats);
+                let r = y - ps_linalg::dot(&feats, &self.coeffs);
                 r * r
             })
             .sum()
