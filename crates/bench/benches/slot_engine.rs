@@ -1,27 +1,56 @@
-//! Aggregator engine throughput: slots/second for a standing mixed
-//! workload.
+//! Aggregator engine throughput, and the spatial-index scaling story.
 //!
-//! One long-running `Aggregator` serves a steady stream — point and
-//! aggregate queries every slot plus a rolling population of location
-//! monitors — and each bench iteration is exactly one `step`. This seeds
-//! the perf trajectory for the engine's hot path (Algorithm 5 with the
-//! per-slot id→index map and shared-sensor sets built once).
+//! Two parts:
+//!
+//! 1. **Standing workload** (criterion group `slot_engine`): one
+//!    long-running `Aggregator` serves a steady stream — point and
+//!    aggregate queries every slot plus a rolling monitor population —
+//!    and each bench iteration is exactly one `step`.
+//! 2. **Indexed vs brute force** (`slot_engine_scaling`): the same
+//!    city-style mixed standing workload driven through two engines that
+//!    differ only in the `spatial_index` builder knob, at 100 / 1 000 /
+//!    10 000 sensors. Per-slot wall-clock medians, the speedup, and an
+//!    exact welfare-equality check are printed and written as
+//!    machine-readable JSON to `BENCH_slot_engine.json` at the repo root
+//!    (override the path with `BENCH_JSON_PATH`).
+//!
+//! `SLOT_ENGINE_SMOKE=1` shrinks the scaling tiers and slot counts so CI
+//! can execute the whole pipeline end to end in seconds; the emitted
+//! JSON then carries `"mode": "smoke"`, is *not* meant to be committed,
+//! and defaults to a temp-dir path so it cannot clobber the committed
+//! file. The committed file must come from a full run:
+//!
+//! ```text
+//! cargo bench -p ps-bench --bench slot_engine
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ps_core::aggregator::{Aggregator, AggregatorBuilder, LocationMonitorSpec};
-use ps_core::model::SensorSnapshot;
-use ps_core::valuation::monitoring::{MonitoringContext, MonitoringValuation};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use ps_core::aggregator::{Aggregator, AggregatorBuilder};
+use ps_core::valuation::monitoring::MonitoringContext;
 use ps_core::valuation::quality::QualityModel;
-use ps_geo::{Point, Rect};
-use ps_sim::workload::{aggregate_queries, point_queries, BudgetScheme};
+use ps_gp::kernel::SquaredExponential;
+use ps_sim::config::Scale;
+use ps_sim::workload::StandingMixProfile;
 use ps_stats::regression::DiurnalBasis;
 use ps_stats::TimeSeries;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-const WORLD: f64 = 40.0;
+const SEED: u64 = 2013;
+/// City query load (`Scale::city`'s factor): 1 200 end-user point
+/// queries per slot before monitors and aggregates.
+const QUERY_FACTOR: f64 = 4.0;
+/// Scaling-tier monitor/aggregate populations (overriding the profile so
+/// the workload is identical at every sensor tier).
+const AGGREGATES_MEAN: usize = 8;
+const LOCATION_MONITORS: usize = 50;
+const REGION_MONITORS: usize = 20;
+const FULL_TIERS: [usize; 3] = [100, 1_000, 10_000];
+const FULL_MEASURED_SLOTS: usize = 5;
+const FULL_WARMUP_SLOTS: usize = 2;
 
 fn monitoring_ctx() -> Arc<MonitoringContext> {
     let times: Vec<f64> = (0..200).map(|i| i as f64 - 200.0).collect();
@@ -39,95 +68,73 @@ fn monitoring_ctx() -> Arc<MonitoringContext> {
     })
 }
 
-fn random_sensors(rng: &mut StdRng, count: usize) -> Vec<SensorSnapshot> {
-    (0..count)
-        .map(|id| SensorSnapshot {
-            id,
-            loc: Point::new(rng.gen_range(0.0..WORLD), rng.gen_range(0.0..WORLD)),
-            cost: rng.gen_range(5.0..15.0),
-            trust: rng.gen_range(0.6..1.0),
-            inaccuracy: rng.gen_range(0.0..0.2),
-        })
-        .collect()
+/// The scaling workload at one sensor tier: the city query mix over an
+/// arena sized for the tier's sensor count at the paper's density.
+fn tier_profile(sensors: usize) -> StandingMixProfile {
+    let scale = Scale {
+        slots: 0,
+        query_factor: QUERY_FACTOR,
+        sensor_factor: sensors as f64 / 635.0,
+        seed: SEED,
+    };
+    let mut profile = StandingMixProfile::from_scale(&scale);
+    profile.sensors = sensors;
+    profile.aggregates_mean = AGGREGATES_MEAN;
+    profile.location_monitors = LOCATION_MONITORS;
+    profile.region_monitors = REGION_MONITORS;
+    profile
 }
 
 /// One slot of standing workload: refresh one-shot queries, top the
-/// monitor population back up, step.
+/// monitor populations back up, announce sensors, step. Returns the
+/// slot's welfare and the time spent inside `step`.
 fn drive_slot(
     engine: &mut Aggregator<'static>,
+    profile: &StandingMixProfile,
     rng: &mut StdRng,
     ctx: &Arc<MonitoringContext>,
+    kernel: &SquaredExponential,
     slot: usize,
-    points: usize,
-    aggregates: usize,
-    monitors: usize,
-) -> f64 {
-    let region = Rect::new(0.0, 0.0, WORLD, WORLD);
-    for spec in point_queries(rng, points, &region, BudgetScheme::Fixed(15.0)) {
-        engine.submit_point(spec);
-    }
-    for spec in aggregate_queries(rng, aggregates.max(1), &region, 10.0, 15.0) {
-        engine.submit_aggregate(spec);
-    }
-    while engine.location_monitors().len() < monitors {
-        let duration = rng.gen_range(5..20usize);
-        let desired: Vec<f64> = (slot..slot + duration)
-            .step_by(3)
-            .map(|t| t as f64)
-            .collect();
-        engine.submit_location_monitor(LocationMonitorSpec {
-            loc: Point::new(
-                rng.gen_range(0..WORLD as usize) as f64 + 0.5,
-                rng.gen_range(0..WORLD as usize) as f64 + 0.5,
-            ),
-            t1: slot,
-            t2: slot + duration,
-            alpha: 0.5,
-            theta_min: 0.2,
-            valuation: MonitoringValuation::new(ctx.clone(), duration as f64 * 12.0, desired),
-        });
-    }
-    let sensors = random_sensors(rng, 80);
+) -> (f64, Duration) {
+    profile.submit_slot(rng, slot, engine, ctx, kernel);
+    let sensors = profile.sensors(rng);
+    let start = Instant::now();
     let report = engine.step(slot, &sensors);
+    let elapsed = start.elapsed();
     engine.clear_retired();
-    report.welfare
+    (report.welfare, elapsed)
 }
+
+// ── Part 1: standing-workload throughput ─────────────────────────────
 
 fn bench(c: &mut Criterion) {
     let ctx = monitoring_ctx();
+    let kernel = SquaredExponential::new(2.0, 2.0);
     let mut group = c.benchmark_group("slot_engine");
     group.sample_size(10);
-    // (points, aggregates, standing monitors) per slot.
+    // (points, aggregates, standing location monitors) per slot at the
+    // paper's 80-sensor population on its 40×40 arena.
     for &(points, aggregates, monitors) in &[(30usize, 3usize, 10usize), (120, 8, 30)] {
         group.bench_function(
             BenchmarkId::new("step", format!("{points}p_{aggregates}a_{monitors}m")),
             |b| {
+                let mut profile = tier_profile(80);
+                profile.arena = ps_geo::Rect::with_size(40.0, 40.0);
+                profile.points_per_slot = points;
+                profile.aggregates_mean = aggregates;
+                profile.location_monitors = monitors;
+                profile.region_monitors = 0;
                 let mut engine = AggregatorBuilder::new(QualityModel::new(5.0)).build();
-                let mut rng = StdRng::seed_from_u64(2013);
+                let mut rng = StdRng::seed_from_u64(SEED);
                 let mut slot = 0usize;
                 // Warm the engine into a steady monitor population.
                 for _ in 0..3 {
-                    drive_slot(
-                        &mut engine,
-                        &mut rng,
-                        &ctx,
-                        slot,
-                        points,
-                        aggregates,
-                        monitors,
-                    );
+                    drive_slot(&mut engine, &profile, &mut rng, &ctx, &kernel, slot);
                     slot += 1;
                 }
                 b.iter(|| {
-                    let welfare = drive_slot(
-                        &mut engine,
-                        &mut rng,
-                        &ctx,
-                        slot,
-                        points,
-                        aggregates,
-                        monitors,
-                    );
+                    let (welfare, _) =
+                        drive_slot(&mut engine, &profile, &mut rng, &ctx, &kernel, slot);
                     slot += 1;
                     black_box(welfare)
                 })
@@ -138,4 +145,176 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+
+// ── Part 2: indexed vs brute force across sensor tiers ───────────────
+
+struct TierResult {
+    sensors: usize,
+    standing_queries: usize,
+    indexed_ms: f64,
+    brute_ms: f64,
+    speedup: f64,
+    welfare_match: bool,
+}
+
+fn median_ms(mut samples: Vec<Duration>) -> f64 {
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64() * 1e3
+}
+
+/// Runs the tier's workload through one engine; returns per-slot times
+/// and the exact welfare trajectory.
+fn run_engine(
+    profile: &StandingMixProfile,
+    spatial_index: bool,
+    warmup: usize,
+    measured: usize,
+    ctx: &Arc<MonitoringContext>,
+    kernel: &SquaredExponential,
+) -> (Vec<Duration>, Vec<f64>) {
+    let mut engine = AggregatorBuilder::new(QualityModel::new(5.0))
+        .spatial_index(spatial_index)
+        .build();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut times = Vec::with_capacity(measured);
+    let mut welfares = Vec::with_capacity(warmup + measured);
+    for slot in 0..warmup + measured {
+        let (welfare, elapsed) = drive_slot(&mut engine, profile, &mut rng, ctx, kernel, slot);
+        welfares.push(welfare);
+        if slot >= warmup {
+            times.push(elapsed);
+        }
+    }
+    (times, welfares)
+}
+
+fn run_tier(
+    sensors: usize,
+    warmup: usize,
+    measured: usize,
+    ctx: &Arc<MonitoringContext>,
+    kernel: &SquaredExponential,
+) -> TierResult {
+    let profile = tier_profile(sensors);
+    let (indexed_times, indexed_welfare) =
+        run_engine(&profile, true, warmup, measured, ctx, kernel);
+    let (brute_times, brute_welfare) = run_engine(&profile, false, warmup, measured, ctx, kernel);
+    let indexed_ms = median_ms(indexed_times);
+    let brute_ms = median_ms(brute_times);
+    TierResult {
+        sensors,
+        standing_queries: profile.standing_queries(),
+        indexed_ms,
+        brute_ms,
+        speedup: brute_ms / indexed_ms,
+        // Bit-exact: the index must not change a single selection.
+        welfare_match: indexed_welfare == brute_welfare,
+    }
+}
+
+fn scaling() -> (Vec<TierResult>, &'static str) {
+    let smoke = std::env::var("SLOT_ENGINE_SMOKE").is_ok_and(|v| v == "1");
+    let (tiers, warmup, measured, mode): (Vec<usize>, usize, usize, &'static str) = if smoke {
+        (vec![100, 500], 1, 2, "smoke")
+    } else {
+        (
+            FULL_TIERS.to_vec(),
+            FULL_WARMUP_SLOTS,
+            FULL_MEASURED_SLOTS,
+            "full",
+        )
+    };
+    let ctx = monitoring_ctx();
+    let kernel = SquaredExponential::new(2.0, 2.0);
+    let mut results = Vec::new();
+    for &sensors in &tiers {
+        let r = run_tier(sensors, warmup, measured, &ctx, &kernel);
+        println!(
+            "slot_engine_scaling/{:>6} sensors ({} standing queries)  indexed {:>9.3} ms/slot  \
+             brute {:>9.3} ms/slot  speedup {:>5.2}x  identical={}",
+            r.sensors, r.standing_queries, r.indexed_ms, r.brute_ms, r.speedup, r.welfare_match
+        );
+        assert!(
+            r.welfare_match,
+            "indexed and brute-force slots diverged at {} sensors",
+            r.sensors
+        );
+        results.push(r);
+    }
+    (results, mode)
+}
+
+fn render_json(results: &[TierResult], mode: &str) -> String {
+    // The `config` object describes the *full-run* workload constants and
+    // is emitted identically in smoke and full mode: CI regenerates the
+    // file in smoke mode and fails when the committed config no longer
+    // matches the bench source (a stale BENCH_slot_engine.json).
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"slot_engine\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"command\": \"cargo bench -p ps-bench --bench slot_engine\",\n");
+    out.push_str("  \"config\": {\n");
+    out.push_str(&format!("    \"seed\": {SEED},\n"));
+    out.push_str(&format!("    \"query_factor\": {QUERY_FACTOR},\n"));
+    out.push_str(&format!("    \"aggregates_mean\": {AGGREGATES_MEAN},\n"));
+    out.push_str(&format!(
+        "    \"location_monitors\": {LOCATION_MONITORS},\n"
+    ));
+    out.push_str(&format!("    \"region_monitors\": {REGION_MONITORS},\n"));
+    out.push_str(&format!(
+        "    \"full_tiers\": [{}],\n",
+        FULL_TIERS.map(|t| t.to_string()).join(", ")
+    ));
+    out.push_str(&format!(
+        "    \"full_measured_slots\": {FULL_MEASURED_SLOTS},\n"
+    ));
+    out.push_str(&format!("    \"full_warmup_slots\": {FULL_WARMUP_SLOTS}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"sensors\": {}, \"standing_queries\": {}, \"indexed_ms_per_slot\": {:.3}, \
+             \"brute_force_ms_per_slot\": {:.3}, \"speedup\": {:.2}, \
+             \"identical_selections\": {} }}{}\n",
+            r.sensors,
+            r.standing_queries,
+            r.indexed_ms,
+            r.brute_ms,
+            r.speedup,
+            r.welfare_match,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let max_tier = results.iter().max_by_key(|r| r.sensors).expect("nonempty");
+    out.push_str(&format!(
+        "  \"speedup_at_max_tier\": {:.2}\n",
+        max_tier.speedup
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Full runs default to the committed repo-root file; smoke runs default
+/// to a scratch path so reproducing the CI step locally can never
+/// clobber the committed full-run numbers with smoke data. Either can be
+/// overridden with `BENCH_JSON_PATH`.
+fn json_path(mode: &str) -> std::path::PathBuf {
+    match std::env::var("BENCH_JSON_PATH") {
+        Ok(p) => std::path::PathBuf::from(p),
+        Err(_) if mode == "smoke" => std::env::temp_dir().join("BENCH_slot_engine.smoke.json"),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_slot_engine.json"),
+    }
+}
+
+fn main() {
+    benches();
+    let (results, mode) = scaling();
+    let path = json_path(mode);
+    std::fs::write(&path, render_json(&results, mode)).expect("write BENCH_slot_engine.json");
+    println!("wrote {}", path.display());
+}
