@@ -1,6 +1,7 @@
-//! Aggregator engine throughput, and the spatial-index scaling story.
+//! Aggregator engine throughput, the spatial-index scaling story, and
+//! the threads×scale parallel-pipeline grid.
 //!
-//! Two parts:
+//! Three parts:
 //!
 //! 1. **Standing workload** (criterion group `slot_engine`): one
 //!    long-running `Aggregator` serves a steady stream — point and
@@ -9,16 +10,24 @@
 //! 2. **Indexed vs brute force** (`slot_engine_scaling`): the same
 //!    city-style mixed standing workload driven through two engines that
 //!    differ only in the `spatial_index` builder knob, at 100 / 1 000 /
-//!    10 000 sensors. Per-slot wall-clock medians, the speedup, and an
-//!    exact welfare-equality check are printed and written as
-//!    machine-readable JSON to `BENCH_slot_engine.json` at the repo root
-//!    (override the path with `BENCH_JSON_PATH`).
+//!    10 000 sensors.
+//! 3. **Threads×scale grid** (`slot_engine_threads`): the city and metro
+//!    standing workloads driven through engines that differ only in the
+//!    `threads` builder knob (1 / 2 / 4). Per-slot medians and speedups
+//!    vs the single-thread run are recorded, and the welfare trajectory
+//!    of every thread count is asserted **bit-identical** to threads=1
+//!    (the determinism contract of `ps_core::exec`).
 //!
-//! `SLOT_ENGINE_SMOKE=1` shrinks the scaling tiers and slot counts so CI
-//! can execute the whole pipeline end to end in seconds; the emitted
-//! JSON then carries `"mode": "smoke"`, is *not* meant to be committed,
-//! and defaults to a temp-dir path so it cannot clobber the committed
-//! file. The committed file must come from a full run:
+//! All results are printed and written as machine-readable JSON to
+//! `BENCH_slot_engine.json` at the repo root (override the path with
+//! `BENCH_JSON_PATH`); `docs/PERFORMANCE.md` documents the schema.
+//!
+//! `SLOT_ENGINE_SMOKE=1` shrinks the scaling tiers, the threads grid
+//! (threads 1 and 2 on a small profile), and the slot counts so CI can
+//! execute the whole pipeline end to end in seconds; the emitted JSON
+//! then carries `"mode": "smoke"`, is *not* meant to be committed, and
+//! defaults to a temp-dir path so it cannot clobber the committed file.
+//! The committed file must come from a full run:
 //!
 //! ```text
 //! cargo bench -p ps-bench --bench slot_engine
@@ -51,6 +60,8 @@ const REGION_MONITORS: usize = 20;
 const FULL_TIERS: [usize; 3] = [100, 1_000, 10_000];
 const FULL_MEASURED_SLOTS: usize = 5;
 const FULL_WARMUP_SLOTS: usize = 2;
+/// Worker counts measured by the threads×scale grid in full mode.
+const FULL_THREADS_GRID: [usize; 3] = [1, 2, 4];
 
 fn monitoring_ctx() -> Arc<MonitoringContext> {
     let times: Vec<f64> = (0..200).map(|i| i as f64 - 200.0).collect();
@@ -76,6 +87,7 @@ fn tier_profile(sensors: usize) -> StandingMixProfile {
         query_factor: QUERY_FACTOR,
         sensor_factor: sensors as f64 / 635.0,
         seed: SEED,
+        threads: 0,
     };
     let mut profile = StandingMixProfile::from_scale(&scale);
     profile.sensors = sensors;
@@ -212,6 +224,105 @@ fn run_tier(
     }
 }
 
+// ── Part 3: threads×scale grid ───────────────────────────────────────
+
+/// One (scale, threads) cell of the parallel-pipeline grid.
+struct ThreadsResult {
+    scale: &'static str,
+    sensors: usize,
+    standing_queries: usize,
+    threads: usize,
+    ms_per_slot: f64,
+    speedup_vs_1: f64,
+    identical_to_1: bool,
+}
+
+/// Runs one profile through an engine with the given worker count;
+/// returns per-slot times and the exact welfare trajectory.
+fn run_engine_threads(
+    profile: &StandingMixProfile,
+    threads: usize,
+    warmup: usize,
+    measured: usize,
+    ctx: &Arc<MonitoringContext>,
+    kernel: &SquaredExponential,
+) -> (Vec<Duration>, Vec<f64>) {
+    let mut engine = AggregatorBuilder::new(QualityModel::new(5.0))
+        .threads(threads)
+        .build();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut times = Vec::with_capacity(measured);
+    let mut welfares = Vec::with_capacity(warmup + measured);
+    for slot in 0..warmup + measured {
+        let (welfare, elapsed) = drive_slot(&mut engine, profile, &mut rng, ctx, kernel, slot);
+        welfares.push(welfare);
+        if slot >= warmup {
+            times.push(elapsed);
+        }
+    }
+    (times, welfares)
+}
+
+fn threads_grid(smoke: bool) -> Vec<ThreadsResult> {
+    let (scales, thread_counts, warmup, measured): (
+        Vec<(&'static str, StandingMixProfile)>,
+        Vec<usize>,
+        usize,
+        usize,
+    ) = if smoke {
+        (vec![("smoke", tier_profile(500))], vec![1, 2], 1, 2)
+    } else {
+        (
+            vec![
+                ("city", StandingMixProfile::from_scale(&Scale::city())),
+                ("metro", StandingMixProfile::metro()),
+            ],
+            FULL_THREADS_GRID.to_vec(),
+            FULL_WARMUP_SLOTS,
+            FULL_MEASURED_SLOTS,
+        )
+    };
+    let ctx = monitoring_ctx();
+    let kernel = SquaredExponential::new(2.0, 2.0);
+    let mut results = Vec::new();
+    for (name, profile) in &scales {
+        let mut baseline_ms = f64::NAN;
+        let mut baseline_welfare: Vec<f64> = Vec::new();
+        for &threads in &thread_counts {
+            let (times, welfares) =
+                run_engine_threads(profile, threads, warmup, measured, &ctx, &kernel);
+            let ms = median_ms(times);
+            let (speedup, identical) = if threads == 1 {
+                baseline_ms = ms;
+                baseline_welfare = welfares;
+                (1.0, true)
+            } else {
+                (baseline_ms / ms, welfares == baseline_welfare)
+            };
+            println!(
+                "slot_engine_threads/{name:>5} ({} sensors, {} standing queries)  \
+                 threads={threads}  {ms:>9.3} ms/slot  speedup {speedup:>5.2}x  identical={identical}",
+                profile.sensors,
+                profile.standing_queries(),
+            );
+            assert!(
+                identical,
+                "threads={threads} diverged from threads=1 on the {name} scenario"
+            );
+            results.push(ThreadsResult {
+                scale: name,
+                sensors: profile.sensors,
+                standing_queries: profile.standing_queries(),
+                threads,
+                ms_per_slot: ms,
+                speedup_vs_1: speedup,
+                identical_to_1: identical,
+            });
+        }
+    }
+    results
+}
+
 fn scaling() -> (Vec<TierResult>, &'static str) {
     let smoke = std::env::var("SLOT_ENGINE_SMOKE").is_ok_and(|v| v == "1");
     let (tiers, warmup, measured, mode): (Vec<usize>, usize, usize, &'static str) = if smoke {
@@ -244,7 +355,7 @@ fn scaling() -> (Vec<TierResult>, &'static str) {
     (results, mode)
 }
 
-fn render_json(results: &[TierResult], mode: &str) -> String {
+fn render_json(results: &[TierResult], threads: &[ThreadsResult], mode: &str) -> String {
     // The `config` object describes the *full-run* workload constants and
     // is emitted identically in smoke and full mode: CI regenerates the
     // file in smoke mode and fails when the committed config no longer
@@ -252,7 +363,7 @@ fn render_json(results: &[TierResult], mode: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"slot_engine\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"command\": \"cargo bench -p ps-bench --bench slot_engine\",\n");
     out.push_str("  \"config\": {\n");
@@ -270,7 +381,14 @@ fn render_json(results: &[TierResult], mode: &str) -> String {
     out.push_str(&format!(
         "    \"full_measured_slots\": {FULL_MEASURED_SLOTS},\n"
     ));
-    out.push_str(&format!("    \"full_warmup_slots\": {FULL_WARMUP_SLOTS}\n"));
+    out.push_str(&format!(
+        "    \"full_warmup_slots\": {FULL_WARMUP_SLOTS},\n"
+    ));
+    out.push_str("    \"full_threads_grid_scales\": [\"city\", \"metro\"],\n");
+    out.push_str(&format!(
+        "    \"full_threads_grid\": [{}]\n",
+        FULL_THREADS_GRID.map(|t| t.to_string()).join(", ")
+    ));
     out.push_str("  },\n");
     out.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -288,6 +406,29 @@ fn render_json(results: &[TierResult], mode: &str) -> String {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"threads\": [\n");
+    for (i, r) in threads.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"scale\": \"{}\", \"sensors\": {}, \"standing_queries\": {}, \
+             \"threads\": {}, \"ms_per_slot\": {:.3}, \"speedup_vs_1_thread\": {:.2}, \
+             \"identical_to_1_thread\": {} }}{}\n",
+            r.scale,
+            r.sensors,
+            r.standing_queries,
+            r.threads,
+            r.ms_per_slot,
+            r.speedup_vs_1,
+            r.identical_to_1,
+            if i + 1 < threads.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    // Hardware context matters for the threads grid: a speedup of ~1.0
+    // on a 1-core runner is the expected reading, not a regression.
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
     let max_tier = results.iter().max_by_key(|r| r.sensors).expect("nonempty");
     out.push_str(&format!(
         "  \"speedup_at_max_tier\": {:.2}\n",
@@ -314,7 +455,9 @@ fn json_path(mode: &str) -> std::path::PathBuf {
 fn main() {
     benches();
     let (results, mode) = scaling();
+    let threads = threads_grid(mode == "smoke");
     let path = json_path(mode);
-    std::fs::write(&path, render_json(&results, mode)).expect("write BENCH_slot_engine.json");
+    std::fs::write(&path, render_json(&results, &threads, mode))
+        .expect("write BENCH_slot_engine.json");
     println!("wrote {}", path.display());
 }

@@ -22,12 +22,39 @@
 //! | [`AggregatorBuilder::cost_weighting`] | Eq. 18 shared-cost weighting `w(k)` for region planning |
 //! | [`AggregatorBuilder::sensor_sharing`] | Algorithm 3's `A_{r,t}` free-riding on sensors bought by other queries |
 //! | [`AggregatorBuilder::spatial_index`] | per-slot [`SensorIndex`] over the announcement (scaling only — selections are identical with and without it) |
+//! | [`AggregatorBuilder::threads`] | worker count for the parallel evaluate phases (scaling only — output is bit-identical for every count) |
 //!
 //! With no dedicated scheduler, point queries of every origin are fed
 //! *jointly* with the aggregates to Algorithm 1 (the full Algorithm 5
 //! mix). With a scheduler, point queries go through it instead — this is
 //! how the monitoring experiments (§4.5, §4.6) compare `Alg2-O`,
 //! `Alg2-LS`, and the desired-times-only baseline.
+//!
+//! # The slot pipeline: gather → evaluate ∥ → select → settle
+//!
+//! Every [`Aggregator::step`] runs four phases. Two are embarrassingly
+//! parallel and shard across a [`Threads`] scoped worker pool; two own
+//! shared state and stay serial, consuming pre-computed per-shard
+//! inputs:
+//!
+//! 1. **gather** *(serial)* — drain pending one-shot queries, build the
+//!    slot's [`SensorIndex`], translate location monitors into point
+//!    queries (Algorithm 2).
+//! 2. **evaluate** *(parallel)* — the per-query, read-only work: Eq. 18
+//!    weighted-cost accumulation, per-monitor region planning
+//!    (Algorithms 3–4), Algorithm 1 relevance lists and initial gains,
+//!    and the point schedulers' candidate/value evaluation. Shards cover
+//!    contiguous ranges; partials merge in ascending range order.
+//! 3. **select** *(serial)* — the adaptive greedy selection (Algorithm 1
+//!    / the configured [`PointScheduler`] argmax), where each pick
+//!    conditions the next.
+//! 4. **settle** *(serial)* — payments into the [`Ledger`], monitor
+//!    result application, the Algorithm 5 payment adjustment, expiry.
+//!
+//! The determinism contract: for a fixed input stream, the produced
+//! [`SlotReport`]s, ledgers, and retired-monitor statistics are
+//! **bit-identical** for every `threads` value (see [`crate::exec`];
+//! property-tested end to end in `tests/parallel_determinism.rs`).
 //!
 //! # One slot in five lines
 //!
@@ -48,8 +75,9 @@
 //! ```
 
 use crate::alloc::baseline::{baseline_select_for_query_indexed, BaselinePointScheduler};
-use crate::alloc::greedy::greedy_select_with;
+use crate::alloc::greedy::greedy_select_sharded;
 use crate::alloc::{PointAllocation, PointScheduler};
+use crate::exec::Threads;
 use crate::model::{QueryId, SensorSnapshot, Slot};
 use crate::monitor::location::LocationMonitor;
 use crate::monitor::region::{sharing_weight, RegionMonitor, RegionPlan};
@@ -301,6 +329,7 @@ pub struct AggregatorBuilder<'s> {
     use_cost_weighting: bool,
     share_sensors: bool,
     spatial_index: bool,
+    threads: Threads,
     next_query_id: u64,
 }
 
@@ -308,7 +337,8 @@ impl<'s> AggregatorBuilder<'s> {
     /// Starts a builder around the Eq. 4 quality model. Defaults:
     /// sensing range 10 (§4.4), [`MixStrategy::Alg5`], joint Algorithm 1
     /// selection (no dedicated scheduler), Eq. 18 cost weighting on,
-    /// `A_{r,t}` sensor sharing on, query ids minted from 1.
+    /// `A_{r,t}` sensor sharing on, worker threads = available
+    /// parallelism, query ids minted from 1.
     pub fn new(quality: QualityModel) -> Self {
         Self {
             quality,
@@ -318,6 +348,7 @@ impl<'s> AggregatorBuilder<'s> {
             use_cost_weighting: true,
             share_sensors: true,
             spatial_index: true,
+            threads: Threads::default(),
             next_query_id: 0,
         }
     }
@@ -369,6 +400,19 @@ impl<'s> AggregatorBuilder<'s> {
         self
     }
 
+    /// Worker threads for the parallel evaluate phases of the
+    /// [slot pipeline](self#the-slot-pipeline-gather--evaluate---select--settle):
+    /// `0` (the default) auto-detects via
+    /// [`std::thread::available_parallelism`], any other value is taken
+    /// literally. Purely a wall-clock knob — selections, payments,
+    /// ledgers, and welfare are bit-identical for every thread count, so
+    /// it exists for scaling and for benchmarking the serial path
+    /// (`threads(1)`), never for correctness.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Threads::new(n);
+        self
+    }
+
     /// Seeds the id counter: the next minted id is `n + 1`.
     pub fn next_query_id(mut self, n: u64) -> Self {
         self.next_query_id = n;
@@ -385,6 +429,7 @@ impl<'s> AggregatorBuilder<'s> {
             use_cost_weighting: self.use_cost_weighting,
             share_sensors: self.share_sensors,
             spatial_index: self.spatial_index,
+            threads: self.threads,
             next_query_id: self.next_query_id,
             pending_points: Vec::new(),
             pending_aggregates: Vec::new(),
@@ -411,6 +456,7 @@ pub struct Aggregator<'s> {
     use_cost_weighting: bool,
     share_sensors: bool,
     spatial_index: bool,
+    threads: Threads,
     next_query_id: u64,
     pending_points: Vec<PointQuery>,
     pending_aggregates: Vec<AggregateQuery>,
@@ -569,6 +615,12 @@ impl<'s> Aggregator<'s> {
         self.sensing_range
     }
 
+    /// The resolved worker-thread count for the parallel evaluate phases
+    /// (≥ 1; see [`AggregatorBuilder::threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
     // ── The tick ──────────────────────────────────────────────────────
 
     /// Runs one time slot against the announced sensors: consumes the
@@ -633,6 +685,13 @@ impl<'s> Aggregator<'s> {
     /// the per-sensor sharing degree `k` is accumulated by rectangle
     /// query per active monitor instead of scanning every sensor against
     /// every monitor — the counts (and thus the weights) are identical.
+    ///
+    /// Part of the parallel evaluate phase: the indexed path shards the
+    /// accumulation by monitor range (per-shard integer count vectors,
+    /// summed in shard order), the brute path by sensor range (weighted
+    /// chunks concatenated in range order). Counts are integers and each
+    /// weight is computed from the final count, so the result is
+    /// bit-identical for every thread count.
     fn weighted_costs(
         &self,
         t: Slot,
@@ -642,34 +701,96 @@ impl<'s> Aggregator<'s> {
         if !self.use_cost_weighting || self.region_monitors.is_empty() {
             return sensors.iter().map(|s| s.cost).collect();
         }
+        let monitors = &self.region_monitors;
         match index {
             Some(idx) => {
-                let mut k = vec![0usize; sensors.len()];
-                let mut buf: Vec<usize> = Vec::new();
-                for m in self.region_monitors.iter().filter(|m| m.is_active(t)) {
-                    idx.query_rect_into(&m.region, &mut buf);
-                    for &si in &buf {
-                        k[si] += 1;
+                let shards = self.threads.map_ranges_min(monitors.len(), 8, |range| {
+                    let mut k = vec![0u32; sensors.len()];
+                    let mut buf: Vec<usize> = Vec::new();
+                    for m in monitors[range].iter().filter(|m| m.is_active(t)) {
+                        idx.query_rect_into(&m.region, &mut buf);
+                        for &si in &buf {
+                            k[si] += 1;
+                        }
+                    }
+                    k
+                });
+                let mut k = vec![0u32; sensors.len()];
+                for shard in shards {
+                    for (total, part) in k.iter_mut().zip(shard) {
+                        *total += part;
                     }
                 }
                 sensors
                     .iter()
                     .zip(&k)
-                    .map(|(s, &k)| s.cost * sharing_weight(k))
+                    .map(|(s, &k)| s.cost * sharing_weight(k as usize))
                     .collect()
             }
-            None => sensors
-                .iter()
-                .map(|s| {
-                    let k = self
-                        .region_monitors
+            None => {
+                let shards = self.threads.map_ranges_min(sensors.len(), 256, |range| {
+                    sensors[range]
                         .iter()
-                        .filter(|m| m.is_active(t) && m.region.contains(s.loc))
-                        .count();
-                    s.cost * sharing_weight(k)
-                })
-                .collect(),
+                        .map(|s| {
+                            let k = monitors
+                                .iter()
+                                .filter(|m| m.is_active(t) && m.region.contains(s.loc))
+                                .count();
+                            s.cost * sharing_weight(k)
+                        })
+                        .collect::<Vec<f64>>()
+                });
+                shards.into_iter().flatten().collect()
+            }
         }
+    }
+
+    /// Region-monitor planning (Algorithms 3–4) for one slot, sharded by
+    /// contiguous monitor range — each monitor's plan is a pure function
+    /// of its own state and the slot inputs. Workers mint *placeholder*
+    /// ids from a per-monitor counter; the serial renumbering pass below
+    /// then assigns real ids in monitor-then-query order, which is
+    /// exactly the order the serial loop minted them in, so plans are
+    /// bit-identical for every thread count.
+    ///
+    /// Returns the plans; `next_query_id` advances by the total number of
+    /// planned queries.
+    fn plan_regions(
+        monitors: &[RegionMonitor],
+        threads: Threads,
+        t: Slot,
+        sensors: &[SensorSnapshot],
+        weighted_cost: &[f64],
+        index: Option<&SensorIndex>,
+        next_query_id: &mut u64,
+    ) -> Vec<RegionPlan> {
+        let shards = threads.map_ranges(monitors.len(), |range| {
+            range
+                .map(|mi| {
+                    let mut local = 0u64;
+                    let mut placeholder = || {
+                        local += 1;
+                        QueryId(local)
+                    };
+                    monitors[mi].plan_indexed(
+                        t,
+                        sensors,
+                        weighted_cost,
+                        mi,
+                        &mut placeholder,
+                        index,
+                    )
+                })
+                .collect::<Vec<RegionPlan>>()
+        });
+        let mut plans: Vec<RegionPlan> = shards.into_iter().flatten().collect();
+        for plan in &mut plans {
+            for planned in &mut plan.queries {
+                *next_query_id += 1;
+                planned.query.id = QueryId(*next_query_id);
+            }
+        }
+        plans
     }
 
     /// Applies each active region monitor's slot results and, when
@@ -745,14 +866,15 @@ impl<'s> Aggregator<'s> {
         }
         let weighted = self.weighted_costs(t, sensors, index);
         let mut next_id = self.next_query_id;
-        let mut make_id = || {
-            next_id += 1;
-            QueryId(next_id)
-        };
-        let mut rm_plans: Vec<RegionPlan> = Vec::new();
-        for (mi, m) in self.region_monitors.iter().enumerate() {
-            rm_plans.push(m.plan_indexed(t, sensors, &weighted, mi, &mut make_id, index));
-        }
+        let rm_plans = Self::plan_regions(
+            &self.region_monitors,
+            self.threads,
+            t,
+            sensors,
+            &weighted,
+            index,
+            &mut next_id,
+        );
         self.next_query_id = next_id;
 
         // ── Stage 2: joint sensor selection (Algorithm 1) ─────────────
@@ -801,7 +923,7 @@ impl<'s> Aggregator<'s> {
         for v in &mut point_vals {
             vals.push(v);
         }
-        let selection = greedy_select_with(&mut vals, sensors, index);
+        let selection = greedy_select_sharded(&mut vals, sensors, index, self.threads);
         drop(vals);
 
         // Stable-id → snapshot-index map, built once per slot. Sorted
@@ -1028,26 +1150,29 @@ impl<'s> Aggregator<'s> {
         }
         let raw_costs: Vec<f64> = sensors.iter().map(|s| s.cost).collect();
         let mut next_id = self.next_query_id;
-        let mut make_id = || {
-            next_id += 1;
-            QueryId(next_id)
-        };
-        let mut rm_plans: Vec<RegionPlan> = Vec::new();
-        for (mi, m) in self.region_monitors.iter().enumerate() {
-            let plan = m.plan_indexed(t, sensors, &raw_costs, mi, &mut make_id, index);
+        let rm_plans = Self::plan_regions(
+            &self.region_monitors,
+            self.threads,
+            t,
+            sensors,
+            &raw_costs,
+            index,
+            &mut next_id,
+        );
+        for plan in &rm_plans {
             for pq in &plan.queries {
                 queries.push(pq.query);
             }
-            rm_plans.push(plan);
         }
         self.next_query_id = next_id;
 
-        let alloc = BaselinePointScheduler::new().schedule_with_preselected_indexed(
+        let alloc = BaselinePointScheduler::new().schedule_with_preselected_sharded(
             &queries,
             sensors,
             &self.quality,
             &mut already,
             index,
+            self.threads,
         );
 
         let mut point_results = Vec::with_capacity(n_points);
@@ -1163,7 +1288,7 @@ impl<'s> Aggregator<'s> {
             for (_, v) in &mut customs {
                 vals.push(v.as_mut());
             }
-            let selection = greedy_select_with(&mut vals, sensors, index);
+            let selection = greedy_select_sharded(&mut vals, sensors, index, self.threads);
             drop(vals);
             welfare += selection.welfare;
             sensors_used.extend(selection.selected.iter().copied());
@@ -1216,17 +1341,19 @@ impl<'s> Aggregator<'s> {
         }
         let weighted = self.weighted_costs(t, sensors, index);
         let mut next_id = self.next_query_id;
-        let mut make_id = || {
-            next_id += 1;
-            QueryId(next_id)
-        };
-        let mut rm_plans: Vec<RegionPlan> = Vec::new();
-        for (mi, m) in self.region_monitors.iter().enumerate() {
-            let plan = m.plan_indexed(t, sensors, &weighted, mi, &mut make_id, index);
+        let rm_plans = Self::plan_regions(
+            &self.region_monitors,
+            self.threads,
+            t,
+            sensors,
+            &weighted,
+            index,
+            &mut next_id,
+        );
+        for plan in &rm_plans {
             for pq in &plan.queries {
                 queries.push(pq.query);
             }
-            rm_plans.push(plan);
         }
         self.next_query_id = next_id;
 
@@ -1239,7 +1366,7 @@ impl<'s> Aggregator<'s> {
         // Sensor locations are unchanged by cost discounting, so the
         // slot's index stays valid for both branches.
         let alloc: PointAllocation = if prebought.is_empty() {
-            scheduler.schedule_indexed(&queries, sensors, &self.quality, index)
+            scheduler.schedule_sharded(&queries, sensors, &self.quality, index, self.threads)
         } else {
             let discounted: Vec<SensorSnapshot> = sensors
                 .iter()
@@ -1252,7 +1379,7 @@ impl<'s> Aggregator<'s> {
                     s
                 })
                 .collect();
-            scheduler.schedule_indexed(&queries, &discounted, &self.quality, index)
+            scheduler.schedule_sharded(&queries, &discounted, &self.quality, index, self.threads)
         };
         welfare -= alloc.total_sensor_cost;
 

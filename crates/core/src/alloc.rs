@@ -20,6 +20,7 @@ pub mod greedy;
 pub mod local_search;
 pub mod optimal;
 
+use crate::exec::Threads;
 use crate::model::SensorSnapshot;
 use crate::query::PointQuery;
 use crate::valuation::quality::QualityModel;
@@ -102,6 +103,24 @@ pub trait PointScheduler {
         let _ = index;
         self.schedule(queries, sensors, quality)
     }
+
+    /// Like [`PointScheduler::schedule_indexed`], with a [`Threads`]
+    /// budget for sharding the embarrassingly-parallel per-query work
+    /// (candidate collection, value evaluation). Implementations that
+    /// override this must keep the schedule **bit-identical** for every
+    /// thread count — sharding is a wall-clock optimization, never a
+    /// semantic one. The default ignores the budget and runs serially.
+    fn schedule_sharded(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+        threads: Threads,
+    ) -> PointAllocation {
+        let _ = threads;
+        self.schedule_indexed(queries, sensors, quality, index)
+    }
 }
 
 impl<T: PointScheduler + ?Sized> PointScheduler for &T {
@@ -123,6 +142,17 @@ impl<T: PointScheduler + ?Sized> PointScheduler for &T {
     ) -> PointAllocation {
         (**self).schedule_indexed(queries, sensors, quality, index)
     }
+
+    fn schedule_sharded(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+        threads: Threads,
+    ) -> PointAllocation {
+        (**self).schedule_sharded(queries, sensors, quality, index, threads)
+    }
 }
 
 impl<T: PointScheduler + ?Sized> PointScheduler for Box<T> {
@@ -143,6 +173,17 @@ impl<T: PointScheduler + ?Sized> PointScheduler for Box<T> {
         index: Option<&SensorIndex>,
     ) -> PointAllocation {
         (**self).schedule_indexed(queries, sensors, quality, index)
+    }
+
+    fn schedule_sharded(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+        threads: Threads,
+    ) -> PointAllocation {
+        (**self).schedule_sharded(queries, sensors, quality, index, threads)
     }
 }
 
@@ -176,42 +217,50 @@ pub(crate) fn group_by_location(queries: &[PointQuery]) -> LocationGroups {
 /// With an index (built over the same snapshot slice), each location's
 /// candidate sensors come from the `d_max` disk around it — exactly the
 /// `in_range` predicate, in the same ascending order — so the problem is
-/// bit-identical to the brute-force build.
+/// bit-identical to the brute-force build. The per-client evaluation is
+/// sharded across `threads` (contiguous client ranges, partials
+/// concatenated in range order), which also leaves the problem
+/// bit-identical for every thread count.
 pub(crate) fn build_welfare_problem(
     queries: &[PointQuery],
     groups: &LocationGroups,
     sensors: &[SensorSnapshot],
     quality: &QualityModel,
     index: Option<&SensorIndex>,
+    threads: Threads,
 ) -> WelfareProblem {
     let costs: Vec<f64> = sensors.iter().map(|s| s.cost).collect();
-    let mut buf: Vec<usize> = Vec::new();
-    let client_values: Vec<Vec<(usize, f64)>> = groups
-        .groups
-        .iter()
-        .map(|qs| {
-            let loc = queries[qs[0]].loc;
-            let value_of = |si: usize| -> Option<(usize, f64)> {
-                let s = &sensors[si];
-                if !quality.in_range(s, loc) {
-                    return None;
+    // Floor: one disk query + a few multiplies per location — inline
+    // below 64 distinct locations.
+    let shards = threads.map_ranges_min(groups.groups.len(), 64, |range| {
+        let mut buf: Vec<usize> = Vec::new();
+        groups.groups[range]
+            .iter()
+            .map(|qs| {
+                let loc = queries[qs[0]].loc;
+                let value_of = |si: usize| -> Option<(usize, f64)> {
+                    let s = &sensors[si];
+                    if !quality.in_range(s, loc) {
+                        return None;
+                    }
+                    let theta = quality.quality(s, loc);
+                    let v: f64 = qs
+                        .iter()
+                        .map(|&qi| queries[qi].value_of_quality(theta))
+                        .sum();
+                    (v > 0.0).then_some((si, v))
+                };
+                match index {
+                    Some(idx) => {
+                        idx.query_disk_into(loc, quality.d_max, &mut buf);
+                        buf.iter().filter_map(|&si| value_of(si)).collect()
+                    }
+                    None => (0..sensors.len()).filter_map(value_of).collect(),
                 }
-                let theta = quality.quality(s, loc);
-                let v: f64 = qs
-                    .iter()
-                    .map(|&qi| queries[qi].value_of_quality(theta))
-                    .sum();
-                (v > 0.0).then_some((si, v))
-            };
-            match index {
-                Some(idx) => {
-                    idx.query_disk_into(loc, quality.d_max, &mut buf);
-                    buf.iter().filter_map(|&si| value_of(si)).collect()
-                }
-                None => (0..sensors.len()).filter_map(value_of).collect(),
-            }
-        })
-        .collect();
+            })
+            .collect::<Vec<Vec<(usize, f64)>>>()
+    });
+    let client_values: Vec<Vec<(usize, f64)>> = shards.into_iter().flatten().collect();
     WelfareProblem::new(costs, client_values)
 }
 
@@ -360,7 +409,14 @@ mod tests {
         }];
         let quality = QualityModel::new(5.0);
         let groups = group_by_location(&queries);
-        let p = build_welfare_problem(&queries, &groups, &sensors, &quality, None);
+        let p = build_welfare_problem(
+            &queries,
+            &groups,
+            &sensors,
+            &quality,
+            None,
+            Threads::single(),
+        );
         assert_eq!(p.num_clients(), 1);
         // θ = 0.5 → v = 0.5·10 + 0.5·30 = 20.
         assert_eq!(p.client_values[0], vec![(0, 20.0)]);
@@ -378,7 +434,14 @@ mod tests {
         }];
         let quality = QualityModel::new(5.0);
         let groups = group_by_location(&queries);
-        let p = build_welfare_problem(&queries, &groups, &sensors, &quality, None);
+        let p = build_welfare_problem(
+            &queries,
+            &groups,
+            &sensors,
+            &quality,
+            None,
+            Threads::single(),
+        );
         assert!(p.client_values[0].is_empty());
     }
 

@@ -13,6 +13,7 @@
 //! slot."
 
 use crate::alloc::{PointAllocation, PointAssignment, PointScheduler};
+use crate::exec::Threads;
 use crate::model::SensorSnapshot;
 use crate::query::PointQuery;
 use crate::valuation::quality::QualityModel;
@@ -60,14 +61,93 @@ impl BaselinePointScheduler {
         selected: &mut [bool],
         index: Option<&SensorIndex>,
     ) -> PointAllocation {
+        self.schedule_with_preselected_sharded(
+            queries,
+            sensors,
+            quality,
+            selected,
+            index,
+            Threads::single(),
+        )
+    }
+
+    /// [`BaselinePointScheduler::schedule_with_preselected_indexed`] with
+    /// the candidate evaluation — disk query, Eq. 4 in-range filter and
+    /// quality θ — sharded across `threads`, per **distinct queried
+    /// location** (θ depends only on the (sensor, location) pair, so
+    /// same-location queries share one candidate list; the §4.3 grid
+    /// workloads collide heavily, making this strictly less work than a
+    /// per-query scan). Only the state-free part parallelizes: which
+    /// sensor actually wins each query depends on what earlier queries
+    /// bought (that *is* the baseline's §4.3 semantics), so the argmax
+    /// pass consumes the precomputed candidates serially in query
+    /// order, evaluating each query's Eq. 3 value from the shared θ.
+    /// Candidates are kept in ascending sensor order, exactly like the
+    /// serial scan, so the schedule is bit-identical for every thread
+    /// count.
+    pub fn schedule_with_preselected_sharded(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        selected: &mut [bool],
+        index: Option<&SensorIndex>,
+        threads: Threads,
+    ) -> PointAllocation {
         assert_eq!(selected.len(), sensors.len());
+        // State-free phase, per distinct location: the in-range sensors
+        // as (sensor, θ), ascending by sensor.
+        let mut loc_of_query: Vec<usize> = Vec::with_capacity(queries.len());
+        let mut loc_index: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+        let mut locations: Vec<ps_geo::Point> = Vec::new();
+        for q in queries {
+            let key = (q.loc.x.to_bits(), q.loc.y.to_bits());
+            let li = *loc_index.entry(key).or_insert_with(|| {
+                locations.push(q.loc);
+                locations.len() - 1
+            });
+            loc_of_query.push(li);
+        }
+        // Floor: one disk query + a θ evaluation per location — inline
+        // below 64 distinct locations.
+        let candidate_shards = threads.map_ranges_min(locations.len(), 64, |range| {
+            let mut buf: Vec<usize> = Vec::new();
+            locations[range]
+                .iter()
+                .map(|&loc| {
+                    let mut cands: Vec<(usize, f64)> = Vec::new();
+                    let mut consider = |si: usize| {
+                        let s = &sensors[si];
+                        if quality.in_range(s, loc) {
+                            cands.push((si, quality.quality(s, loc)));
+                        }
+                    };
+                    match index {
+                        Some(idx) => {
+                            idx.query_disk_into(loc, quality.d_max, &mut buf);
+                            for &si in &buf {
+                                consider(si);
+                            }
+                        }
+                        None => {
+                            for si in 0..sensors.len() {
+                                consider(si);
+                            }
+                        }
+                    }
+                    cands
+                })
+                .collect::<Vec<_>>()
+        });
+        let candidates: Vec<Vec<(usize, f64)>> = candidate_shards.into_iter().flatten().collect();
+
+        // Stateful phase, serial in query order (§4.3's arrival order).
         // location key → sensor already serving that location
         let mut location_sensor: BTreeMap<(u64, u64), usize> = BTreeMap::new();
         let mut assignments: Vec<Option<PointAssignment>> = vec![None; queries.len()];
         let mut newly_selected: Vec<usize> = Vec::new();
         let mut total_value = 0.0;
         let mut total_cost = 0.0;
-        let mut buf: Vec<usize> = Vec::new();
 
         for (qi, q) in queries.iter().enumerate() {
             let key = (q.loc.x.to_bits(), q.loc.y.to_bits());
@@ -89,35 +169,17 @@ impl BaselinePointScheduler {
             // Pick the sensor with maximum utility for this query alone;
             // already-selected sensors cost nothing extra.
             let mut best: Option<(usize, f64, f64, f64)> = None; // (si, utility, value, theta)
-            let consider = |si: usize, best: &mut Option<(usize, f64, f64, f64)>| {
-                let s = &sensors[si];
-                if !quality.in_range(s, q.loc) {
-                    return;
-                }
-                let theta = quality.quality(s, q.loc);
+            for &(si, theta) in &candidates[loc_of_query[qi]] {
                 let value = q.value_of_quality(theta);
                 if value <= 0.0 {
-                    return;
+                    continue;
                 }
-                let cost = if selected[si] { 0.0 } else { s.cost };
+                let cost = if selected[si] { 0.0 } else { sensors[si].cost };
                 let utility = value - cost;
                 if utility > 0.0 {
                     match best {
-                        Some((_, bu, _, _)) if *bu >= utility => {}
-                        _ => *best = Some((si, utility, value, theta)),
-                    }
-                }
-            };
-            match index {
-                Some(idx) => {
-                    idx.query_disk_into(q.loc, quality.d_max, &mut buf);
-                    for &si in &buf {
-                        consider(si, &mut best);
-                    }
-                }
-                None => {
-                    for si in 0..sensors.len() {
-                        consider(si, &mut best);
+                        Some((_, bu, _, _)) if bu >= utility => {}
+                        _ => best = Some((si, utility, value, theta)),
                     }
                 }
             }
@@ -168,6 +230,25 @@ impl PointScheduler for BaselinePointScheduler {
     ) -> PointAllocation {
         let mut selected = vec![false; sensors.len()];
         self.schedule_with_preselected_indexed(queries, sensors, quality, &mut selected, index)
+    }
+
+    fn schedule_sharded(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+        threads: Threads,
+    ) -> PointAllocation {
+        let mut selected = vec![false; sensors.len()];
+        self.schedule_with_preselected_sharded(
+            queries,
+            sensors,
+            quality,
+            &mut selected,
+            index,
+            threads,
+        )
     }
 }
 

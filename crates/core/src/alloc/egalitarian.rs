@@ -14,6 +14,7 @@ use crate::alloc::{
     allocation_from_solution, build_welfare_problem, group_by_location, PointAllocation,
     PointScheduler,
 };
+use crate::exec::Threads;
 use crate::model::SensorSnapshot;
 use crate::query::PointQuery;
 use crate::valuation::quality::QualityModel;
@@ -41,7 +42,8 @@ impl PointScheduler for EgalitarianScheduler {
             return PointAllocation::empty(queries.len());
         }
         let groups = group_by_location(queries);
-        let problem = build_welfare_problem(queries, &groups, sensors, quality, None);
+        let problem =
+            build_welfare_problem(queries, &groups, sensors, quality, None, Threads::single());
 
         // Greedy set-cover-flavoured selection: per step, open the sensor
         // maximizing (#newly served queries) / cost among sensors whose

@@ -13,7 +13,8 @@
 //! individual rationality, and the `O(|Q||S|²)` call bound — are verified
 //! by the tests below.
 //!
-//! Two scale mechanisms keep the loop fast without altering its choices:
+//! Three scale mechanisms keep the loop fast without altering its
+//! choices:
 //!
 //! * **Index-pruned relevance lists.** With a [`SensorIndex`] over the
 //!   slot's sensor locations ([`greedy_select_with`]), each valuation's
@@ -27,7 +28,15 @@
 //!   candidates in a max-heap (stale entries are version-stamped and
 //!   discarded on pop). Every pop therefore sees current gains — the same
 //!   argmax, with the same smallest-index tie-break, as a full rescan.
+//! * **Sharded evaluation.** The two read-only phases — per-query
+//!   relevance lists and per-sensor initial gains — shard across a
+//!   [`Threads`] scoped worker pool ([`greedy_select_sharded`]); each
+//!   shard covers a contiguous range and partials merge in range order,
+//!   so lists, gain sums, and heap contents are bit-identical to the
+//!   serial build. The adaptive selection loop itself stays serial: each
+//!   pick conditions the next, and its per-pick refresh set is small.
 
+use crate::exec::Threads;
 use crate::model::SensorSnapshot;
 use crate::valuation::SetValuation;
 use ps_geo::SensorIndex;
@@ -95,11 +104,27 @@ impl Ord for Candidate {
 /// snapshot slice (`index.len() == sensors.len()`), used to prune each
 /// valuation's candidate sensors through its [`SetValuation::support`].
 /// Selections, payments, and welfare are identical with and without the
-/// index.
+/// index. Equivalent to
+/// [`greedy_select_sharded`]`(valuations, sensors, index,
+/// Threads::single())`.
 pub fn greedy_select_with(
     valuations: &mut [&mut dyn SetValuation],
     sensors: &[SensorSnapshot],
     index: Option<&SensorIndex>,
+) -> GreedySelection {
+    greedy_select_sharded(valuations, sensors, index, Threads::single())
+}
+
+/// [`greedy_select_with`] with the evaluate phases — per-query relevance
+/// lists and per-sensor initial gains — sharded across `threads` scoped
+/// workers. Partial results are merged in ascending range order, so the
+/// selection is **bit-identical** for every thread count (see the
+/// [module docs](self)); the adaptive greedy loop stays serial.
+pub fn greedy_select_sharded(
+    valuations: &mut [&mut dyn SetValuation],
+    sensors: &[SensorSnapshot],
+    index: Option<&SensorIndex>,
+    threads: Threads,
 ) -> GreedySelection {
     let nq = valuations.len();
     let ns = sensors.len();
@@ -121,36 +146,51 @@ pub fn greedy_select_with(
     // Relevance lists (the Q_{l_s} filter of line 5) and their inverses,
     // both in CSR layout — thousands of tiny per-sensor vectors showed up
     // as allocator traffic at city scale. Queries fill the
-    // query→sensors side in submission order; the counting-sort
+    // query→sensors side in submission order (sharded by contiguous
+    // query range, partial flats concatenated in range order — the same
+    // pair sequence the serial loop produces); the counting-sort
     // inversion below visits queries in ascending order per sensor, so
     // gain sums accumulate identically with and without the index.
+    let views: Vec<&dyn SetValuation> = valuations.iter().map(|v| &**v as _).collect();
+    // Floor: a relevance list costs one index query + a short filter
+    // per query; don't spawn for fewer than 64 of them.
+    let shards = threads.map_ranges_min(nq, 64, |range| {
+        let mut flat: Vec<u32> = Vec::new();
+        let mut ends: Vec<u32> = Vec::with_capacity(range.len());
+        let mut buf: Vec<usize> = Vec::new();
+        for v in &views[range] {
+            match (index, v.support()) {
+                (Some(idx), Some(support)) => {
+                    support.candidates_into(idx, &mut buf);
+                    for &si in &buf {
+                        if v.is_relevant(&sensors[si]) {
+                            flat.push(si as u32);
+                        }
+                    }
+                }
+                _ => {
+                    for (si, s) in sensors.iter().enumerate() {
+                        if v.is_relevant(s) {
+                            flat.push(si as u32);
+                        }
+                    }
+                }
+            }
+            ends.push(flat.len() as u32);
+        }
+        (flat, ends)
+    });
     let mut q_off: Vec<u32> = Vec::with_capacity(nq + 1);
     q_off.push(0);
     let mut q_flat: Vec<u32> = Vec::new();
-    let mut buf: Vec<usize> = Vec::new();
-    for v in valuations.iter() {
-        match (index, v.support()) {
-            (Some(idx), Some(support)) => {
-                support.candidates_into(idx, &mut buf);
-                for &si in &buf {
-                    if v.is_relevant(&sensors[si]) {
-                        q_flat.push(si as u32);
-                    }
-                }
-            }
-            _ => {
-                for (si, s) in sensors.iter().enumerate() {
-                    if v.is_relevant(s) {
-                        q_flat.push(si as u32);
-                    }
-                }
-            }
-        }
+    for (flat, ends) in shards {
+        let base = q_flat.len();
         assert!(
-            q_flat.len() <= u32::MAX as usize,
+            base + flat.len() <= u32::MAX as usize,
             "relevance pair count exceeds the u32 CSR layout"
         );
-        q_off.push(q_flat.len() as u32);
+        q_off.extend(ends.iter().map(|&e| base as u32 + e));
+        q_flat.extend_from_slice(&flat);
     }
     let query_sensors =
         |qi: usize| -> &[u32] { &q_flat[q_off[qi] as usize..q_off[qi + 1] as usize] };
@@ -179,6 +219,52 @@ pub fn greedy_select_with(
     let mut stamp: Vec<u64> = vec![0; ns];
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
 
+    // Initial gains, sharded by contiguous sensor range: each sensor's
+    // gain is a pure function of the (still unmutated) valuations, and
+    // within a sensor the per-query deltas accumulate in ascending query
+    // order exactly as the serial pass did. Sensors with no relevant
+    // query have gain −cost ≤ 0 and can never be selected, so they never
+    // enter the heap; the heap is filled serially in ascending sensor
+    // order afterwards.
+    let init = threads.map_ranges_min(ns, 256, |range| {
+        let mut out: Vec<(f64, Vec<(usize, f64)>)> = Vec::with_capacity(range.len());
+        let mut calls = 0usize;
+        for si in range {
+            let rel = relevant(si);
+            let mut gain = -sensors[si].cost;
+            let mut pos = Vec::new();
+            for &qi in rel {
+                let delta = views[qi as usize].marginal(&sensors[si]);
+                calls += 1;
+                if delta > 1e-12 {
+                    pos.push((qi as usize, delta));
+                    gain += delta;
+                }
+            }
+            out.push((gain, pos));
+        }
+        (out, calls)
+    });
+    drop(views);
+    let mut si = 0usize;
+    for (shard, calls) in init {
+        oracle_calls += calls;
+        for (gain, pos) in shard {
+            if !relevant(si).is_empty() {
+                gains[si] = gain;
+                positives[si] = pos;
+                if gain > 1e-9 {
+                    heap.push(Candidate {
+                        gain,
+                        si,
+                        stamp: stamp[si],
+                    });
+                }
+            }
+            si += 1;
+        }
+    }
+
     macro_rules! refresh {
         ($si:expr) => {{
             let si = $si;
@@ -195,22 +281,6 @@ pub fn greedy_select_with(
             }
             gains[si] = gain;
         }};
-    }
-
-    // Initial gains: sensors with no relevant query have gain −cost ≤ 0
-    // and can never be selected, so they never enter the heap.
-    for si in 0..ns {
-        if relevant(si).is_empty() {
-            continue;
-        }
-        refresh!(si);
-        if gains[si] > 1e-9 {
-            heap.push(Candidate {
-                gain: gains[si],
-                si,
-                stamp: stamp[si],
-            });
-        }
     }
 
     let mut touched: Vec<u64> = vec![0; ns];

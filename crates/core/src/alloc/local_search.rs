@@ -10,6 +10,7 @@ use crate::alloc::{
     allocation_from_solution, build_welfare_problem, group_by_location, PointAllocation,
     PointScheduler,
 };
+use crate::exec::Threads;
 use crate::model::SensorSnapshot;
 use crate::query::PointQuery;
 use crate::valuation::quality::QualityModel;
@@ -53,11 +54,26 @@ impl PointScheduler for LocalSearchScheduler {
         quality: &QualityModel,
         index: Option<&SensorIndex>,
     ) -> PointAllocation {
+        self.schedule_sharded(queries, sensors, quality, index, Threads::single())
+    }
+
+    /// Shards the Eq. 9 problem build like the optimal scheduler; the
+    /// deterministic local-search walk then runs serially on the
+    /// identical problem, so the schedule is bit-identical for every
+    /// thread count.
+    fn schedule_sharded(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+        threads: Threads,
+    ) -> PointAllocation {
         if queries.is_empty() || sensors.is_empty() {
             return PointAllocation::empty(queries.len());
         }
         let groups = group_by_location(queries);
-        let problem = build_welfare_problem(queries, &groups, sensors, quality, index);
+        let problem = build_welfare_problem(queries, &groups, sensors, quality, index, threads);
         let solution = ufl::solve_local_search(&problem, self.epsilon);
         allocation_from_solution(queries, &groups, sensors, quality, &problem, &solution)
     }
@@ -171,8 +187,14 @@ mod tests {
         let quality = QualityModel::new(5.0);
         let (queries, sensors) = random_instance(&mut rng, 12, 8);
         let groups = crate::alloc::group_by_location(&queries);
-        let problem =
-            crate::alloc::build_welfare_problem(&queries, &groups, &sensors, &quality, None);
+        let problem = crate::alloc::build_welfare_problem(
+            &queries,
+            &groups,
+            &sensors,
+            &quality,
+            None,
+            Threads::single(),
+        );
         let f = FnSet::new(sensors.len(), |set| {
             let open: Vec<bool> = (0..sensors.len()).map(|i| set.contains(i)).collect();
             problem.welfare_of(&open)

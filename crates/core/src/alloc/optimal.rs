@@ -10,6 +10,7 @@ use crate::alloc::{
     allocation_from_solution, build_welfare_problem, group_by_location, PointAllocation,
     PointScheduler,
 };
+use crate::exec::Threads;
 use crate::model::SensorSnapshot;
 use crate::query::PointQuery;
 use crate::valuation::quality::QualityModel;
@@ -47,11 +48,26 @@ impl PointScheduler for OptimalScheduler {
         quality: &QualityModel,
         index: Option<&SensorIndex>,
     ) -> PointAllocation {
+        self.schedule_sharded(queries, sensors, quality, index, Threads::single())
+    }
+
+    /// The Eq. 9 problem build (per-location candidate collection and
+    /// value sums) shards across `threads`; the branch-and-bound solve
+    /// and Eq. 11 payments stay serial on the identical problem, so the
+    /// schedule is bit-identical for every thread count.
+    fn schedule_sharded(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+        threads: Threads,
+    ) -> PointAllocation {
         if queries.is_empty() || sensors.is_empty() {
             return PointAllocation::empty(queries.len());
         }
         let groups = group_by_location(queries);
-        let problem = build_welfare_problem(queries, &groups, sensors, quality, index);
+        let problem = build_welfare_problem(queries, &groups, sensors, quality, index, threads);
         let solution = ufl::solve_exact(&problem, &self.limits);
         allocation_from_solution(queries, &groups, sensors, quality, &problem, &solution)
     }

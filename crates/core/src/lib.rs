@@ -41,6 +41,7 @@
 pub mod aggregator;
 pub mod alloc;
 pub mod cost;
+pub mod exec;
 pub mod mix;
 pub mod model;
 pub mod monitor;
@@ -49,6 +50,7 @@ pub mod query;
 pub mod valuation;
 
 pub use aggregator::{Aggregator, AggregatorBuilder, MixStrategy, SlotReport};
+pub use exec::Threads;
 pub use model::{QueryId, SensorSnapshot, Slot};
 pub use query::{AggregateQuery, PointQuery, QueryOrigin, TrajectoryQuery};
 pub use valuation::quality::QualityModel;

@@ -58,7 +58,13 @@ impl SpatialSupport {
 /// incremental state makes `marginal` cheap (coverage bitmaps, GP
 /// posteriors); [`FnValuation`] adapts an arbitrary closure for
 /// applications with custom valuations.
-pub trait SetValuation {
+///
+/// `Send + Sync` is a supertrait because the engine's parallel evaluate
+/// phase reads valuations (`is_relevant`, `support`, `marginal`) from
+/// scoped worker threads; all mutation (`commit`) stays on the serial
+/// select phase. Valuations are therefore plain data — no interior
+/// mutability — which every in-tree implementation already satisfies.
+pub trait SetValuation: Send + Sync {
     /// `v_q(S)` for the currently committed set.
     fn current_value(&self) -> f64;
 
@@ -88,13 +94,13 @@ pub trait SetValuation {
 /// Adapter exposing an arbitrary closure `v(S)` as a [`SetValuation`], for
 /// applications whose valuation has no incremental structure. Keeps the
 /// committed snapshots and recomputes from scratch on every call.
-pub struct FnValuation<F: Fn(&[SensorSnapshot]) -> f64> {
+pub struct FnValuation<F: Fn(&[SensorSnapshot]) -> f64 + Send + Sync> {
     f: F,
     committed: Vec<SensorSnapshot>,
     max_value: f64,
 }
 
-impl<F: Fn(&[SensorSnapshot]) -> f64> FnValuation<F> {
+impl<F: Fn(&[SensorSnapshot]) -> f64 + Send + Sync> FnValuation<F> {
     /// Wraps `f`; `max_value` is the application-declared valuation cap.
     pub fn new(f: F, max_value: f64) -> Self {
         Self {
@@ -110,7 +116,7 @@ impl<F: Fn(&[SensorSnapshot]) -> f64> FnValuation<F> {
     }
 }
 
-impl<F: Fn(&[SensorSnapshot]) -> f64> SetValuation for FnValuation<F> {
+impl<F: Fn(&[SensorSnapshot]) -> f64 + Send + Sync> SetValuation for FnValuation<F> {
     fn current_value(&self) -> f64 {
         (self.f)(&self.committed)
     }

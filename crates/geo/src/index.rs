@@ -26,6 +26,50 @@ use crate::{Point, Rect};
 /// Point indices returned by queries refer to positions in the slice the
 /// index was built from, so they can be used directly as snapshot
 /// indices.
+///
+/// Every query takes `&self` and the struct holds plain owned data, so
+/// one index built per slot is shared freely across the engine's scoped
+/// worker threads (`SensorIndex` is `Send + Sync` — asserted at compile
+/// time below). Reusable buffers live with the *caller*
+/// ([`SensorIndex::query_disk_into`] / [`SensorIndex::query_rect_into`]),
+/// never inside the index.
+///
+/// # Examples
+///
+/// Build once per slot, then answer disk and rectangle predicates
+/// exactly (inclusive bounds, ascending indices):
+///
+/// ```rust
+/// use ps_geo::{Point, Rect, SensorIndex};
+///
+/// let announced = vec![
+///     Point::new(1.0, 1.0),
+///     Point::new(4.0, 1.0),
+///     Point::new(9.0, 9.0),
+/// ];
+/// let index = SensorIndex::build(&announced);
+///
+/// // Eq. 4 serving disk: which sensors can serve a query at (2, 1)?
+/// assert_eq!(index.query_disk(Point::new(2.0, 1.0), 2.0), vec![0, 1]);
+/// assert!(index.any_within(Point::new(2.0, 1.0), 2.0));
+///
+/// // Algorithm 3's S_{r,t}: which sensors lie in a monitored region?
+/// let region = Rect::new(0.0, 0.0, 5.0, 5.0);
+/// assert_eq!(index.query_rect(&region), vec![0, 1]);
+/// ```
+///
+/// The buffer-reusing variants avoid per-query allocation in hot loops:
+///
+/// ```rust
+/// use ps_geo::{Point, SensorIndex};
+///
+/// let index = SensorIndex::build(&[Point::new(3.0, 4.0), Point::new(30.0, 40.0)]);
+/// let mut buf = Vec::new();
+/// index.query_disk_into(Point::ORIGIN, 5.0, &mut buf); // boundary inclusive
+/// assert_eq!(buf, vec![0]);
+/// index.query_disk_into(Point::new(30.0, 40.0), 1.0, &mut buf); // cleared first
+/// assert_eq!(buf, vec![1]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SensorIndex {
     bounds: Rect,
@@ -274,6 +318,14 @@ impl SensorIndex {
         out
     }
 }
+
+// The slot pipeline shares one index across its worker threads; losing
+// `Send + Sync` (e.g. by caching a query buffer inside the struct) must
+// fail the build, not the engine.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<SensorIndex>();
+};
 
 /// Bounding box of the *finite* points (and its area). Non-finite
 /// coordinates — NaN propagation, GPS glitches encoded as ±∞ — must not

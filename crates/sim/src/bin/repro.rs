@@ -1,8 +1,12 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! repro [--scale full|test|bench|smoke|city] [fig2 fig3 … | all]
+//! repro [--scale full|test|bench|smoke|city|metro] [--threads N] [fig2 … | all]
 //! ```
+//!
+//! `--threads N` sets the worker count for the engine's parallel
+//! evaluate phases (0 = auto-detect); outputs are bit-identical for
+//! every value, so it only changes wall-clock time.
 //!
 //! Prints each figure's series as an aligned table and writes
 //! `results/<figure>.csv`.
@@ -16,27 +20,41 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::full();
+    let mut threads: Option<usize> = None;
     let mut wanted: Vec<ExperimentId> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--scale" => {
-                let v = iter.next().map(String::as_str).unwrap_or("full");
+                let Some(v) = iter.next().map(String::as_str) else {
+                    eprintln!("--scale expects a value (full|test|bench|smoke|city|metro)");
+                    std::process::exit(2);
+                };
                 scale = match v {
                     "full" => Scale::full(),
                     "test" => Scale::test(),
                     "bench" => Scale::bench(),
                     "smoke" => Scale::smoke(),
                     "city" => Scale::city(),
+                    "metro" => Scale::metro(),
                     other => {
-                        eprintln!("unknown scale '{other}' (full|test|bench|smoke|city)");
+                        eprintln!("unknown scale '{other}' (full|test|bench|smoke|city|metro)");
                         std::process::exit(2);
                     }
                 };
             }
+            "--threads" => {
+                let parsed = iter.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = parsed else {
+                    eprintln!("--threads expects a number (0 = auto)");
+                    std::process::exit(2);
+                };
+                threads = Some(n);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale full|test|bench|smoke|city] [fig2 … fig10 trust | all]"
+                    "usage: repro [--scale full|test|bench|smoke|city|metro] [--threads N] \
+                     [fig2 … fig10 trust | all]"
                 );
                 return;
             }
@@ -53,6 +71,9 @@ fn main() {
     }
     if wanted.is_empty() {
         wanted.extend(ExperimentId::ALL);
+    }
+    if let Some(n) = threads {
+        scale.threads = n;
     }
 
     let results_dir = PathBuf::from("results");

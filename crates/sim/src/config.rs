@@ -25,6 +25,11 @@ pub struct Scale {
     pub sensor_factor: f64,
     /// Base RNG seed; every run derives sub-seeds from it.
     pub seed: u64,
+    /// Worker threads for `Aggregator::step`'s parallel evaluate phases
+    /// (`AggregatorBuilder::threads`): `0` = auto-detect. Purely a
+    /// wall-clock knob — every experiment's output is bit-identical for
+    /// every value.
+    pub threads: usize,
 }
 
 impl Scale {
@@ -35,6 +40,7 @@ impl Scale {
             query_factor: 1.0,
             sensor_factor: 1.0,
             seed: 2013,
+            threads: 0,
         }
     }
 
@@ -45,6 +51,7 @@ impl Scale {
             query_factor: 0.15,
             sensor_factor: 0.5,
             seed: 2013,
+            threads: 0,
         }
     }
 
@@ -55,6 +62,7 @@ impl Scale {
             query_factor: 0.25,
             sensor_factor: 0.6,
             seed: 2013,
+            threads: 0,
         }
     }
 
@@ -67,6 +75,7 @@ impl Scale {
             query_factor: 0.05,
             sensor_factor: 0.3,
             seed: 2013,
+            threads: 0,
         }
     }
 
@@ -83,6 +92,25 @@ impl Scale {
             query_factor: 4.0,
             sensor_factor: 16.0,
             seed: 2013,
+            threads: 0,
+        }
+    }
+
+    /// Metro scale: an order of magnitude past [`Scale::city`] —
+    /// ≥ 100 000 sensors per announcement (`sensor_count(635)` ≥ 100k)
+    /// and ≥ 5 000 standing mixed queries per slot across all four
+    /// campaign types. This is the tier the multi-threaded slot pipeline
+    /// targets; pair with
+    /// `workload::StandingMixProfile::metro`, which adds bursty arrivals
+    /// and a mixed aggregate-campaign profile on top of the density-true
+    /// arena.
+    pub fn metro() -> Self {
+        Self {
+            slots: 10,
+            query_factor: 14.0,
+            sensor_factor: 160.0,
+            seed: 2013,
+            threads: 0,
         }
     }
 
@@ -117,6 +145,19 @@ mod tests {
             "city must field ≥10k sensors"
         );
         assert!(s.queries(300) >= 1_000, "city must field ≥1k point queries");
+    }
+
+    #[test]
+    fn metro_scale_reaches_the_roadmap_floor() {
+        let s = Scale::metro();
+        assert!(
+            s.sensor_count(635) >= 100_000,
+            "metro must field ≥100k sensors"
+        );
+        // Standing mix: 300 points + 8 aggregates + 40 location + 25
+        // region monitors at the paper's scale.
+        let standing = s.queries(300) + s.queries(8) + s.queries(40) + s.queries(25);
+        assert!(standing >= 5_000, "metro must field ≥5k standing queries");
     }
 
     #[test]

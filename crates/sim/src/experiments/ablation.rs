@@ -88,6 +88,7 @@ fn run_region_variant(scale: &Scale, budget_factor: f64, variant: RegionVariant,
     );
     let quality = ps_core::valuation::quality::QualityModel::new(2.0);
     let mut engine = AggregatorBuilder::new(quality)
+        .threads(scale.threads)
         .scheduler(OptimalScheduler::new())
         .cost_weighting(variant.weighting)
         .sensor_sharing(variant.sharing)
@@ -182,6 +183,7 @@ pub fn ablation_objective(scale: &Scale) -> Vec<FigureTable> {
             );
             let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(500 + xi as u64));
             let mut engine = AggregatorBuilder::new(setting.quality)
+                .threads(scale.threads)
                 .scheduler(scheduler)
                 .build();
             for slot in 0..scale.slots {
@@ -227,6 +229,7 @@ mod tests {
             query_factor: 0.08,
             sensor_factor: 0.4,
             seed: 9,
+            threads: 0,
         }
     }
 

@@ -38,6 +38,7 @@ fn run_aggregate_simulation(
     workload_seed: u64,
 ) -> AggRunResult {
     let mut engine = AggregatorBuilder::new(setting.quality)
+        .threads(scale.threads)
         .sensing_range(SENSING_RANGE)
         .strategy(match algo {
             AggAlgo::Greedy => MixStrategy::Alg5,
@@ -146,6 +147,7 @@ mod tests {
             query_factor: 0.2,
             sensor_factor: 0.4,
             seed: 5,
+            threads: 0,
         };
         let setting = rnc_setting(&scale, 2);
         let cfg = SensorPoolConfig::paper_default(scale.slots, 2);

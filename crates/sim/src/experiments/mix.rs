@@ -40,6 +40,7 @@ fn run_mix_simulation(scale: &Scale, budget_factor: f64, algo: MixAlgo, seed: u6
     let mut pool = SensorPool::new(setting.num_agents, &pool_cfg);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(41));
     let mut engine = AggregatorBuilder::new(setting.quality)
+        .threads(scale.threads)
         .sensing_range(SENSING_RANGE)
         .strategy(match algo {
             MixAlgo::Alg5 => MixStrategy::Alg5,
@@ -206,6 +207,7 @@ mod tests {
             query_factor: 0.08,
             sensor_factor: 0.4,
             seed: 23,
+            threads: 0,
         };
         let alg5 = run_mix_simulation(&scale, 15.0, MixAlgo::Alg5, 5);
         let base = run_mix_simulation(&scale, 15.0, MixAlgo::Baseline, 5);

@@ -120,6 +120,7 @@ fn run_location_simulation(
     let pool_cfg = SensorPoolConfig::paper_default(scale.slots, seed ^ 0x1111);
     let mut pool = SensorPool::new(setting.num_agents, &pool_cfg);
     let mut engine = AggregatorBuilder::new(setting.quality)
+        .threads(scale.threads)
         .scheduler(algo.scheduler())
         .strategy(if algo.baseline_mode() {
             MixStrategy::SequentialBaseline
@@ -266,6 +267,7 @@ fn run_region_simulation(
         RegionAlgo::Baseline => (false, false),
     };
     let mut engine = AggregatorBuilder::new(quality)
+        .threads(scale.threads)
         .scheduler(scheduler)
         .cost_weighting(weighting)
         .sensor_sharing(sharing)
@@ -356,6 +358,7 @@ mod tests {
             query_factor: 0.1,
             sensor_factor: 0.4,
             seed: 3,
+            threads: 0,
         }
     }
 

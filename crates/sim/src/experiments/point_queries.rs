@@ -129,6 +129,7 @@ pub fn run_point_simulation(
     workload_seed: u64,
 ) -> PointRunResult {
     let mut engine = AggregatorBuilder::new(setting.quality)
+        .threads(scale.threads)
         .scheduler(algo.scheduler())
         .build();
     let mut pool = SensorPool::new(setting.num_agents, pool_cfg);
@@ -410,6 +411,7 @@ mod tests {
             query_factor: 0.05,
             sensor_factor: 0.3,
             seed: 7,
+            threads: 0,
         };
         let setting = rwm_setting(&scale, 3);
         let cfg = SensorPoolConfig::paper_default(scale.slots, 3);
@@ -439,6 +441,7 @@ mod tests {
             query_factor: 0.1,
             sensor_factor: 0.5,
             seed: 99,
+            threads: 0,
         };
         let setting = rwm_setting(&scale, 5);
         let cfg = SensorPoolConfig::paper_default(scale.slots, 5);

@@ -31,6 +31,7 @@
 //!     query_factor: 0.05,
 //!     sensor_factor: 0.25,
 //!     seed: 7,
+//!     threads: 0, // auto-detect workers for the slot pipeline
 //! };
 //! let tables = ExperimentId::Fig2.run(&scale);
 //!

@@ -209,10 +209,46 @@ pub fn spawn_region_monitor(
 /// sensor population through `Scale::sensor_count`, and an arena grown to
 /// keep the paper's RWM sensor *density* (635 sensors on the 80×80 grid)
 /// rather than its absolute size, so `Scale::city` yields a city-sized
-/// arena with ≥ 10k sensors and ≥ 1k standing mixed queries. Query
-/// footprints (aggregate regions, monitored regions) keep their
-/// neighbourhood scale: city load means *more* queries, not
+/// arena with ≥ 10k sensors and ≥ 1k standing mixed queries, and
+/// [`StandingMixProfile::metro`] a metro-sized one with ≥ 100k sensors,
+/// ≥ 5k standing queries, bursty arrivals, and mixed aggregate-campaign
+/// kinds. Query footprints (aggregate regions, monitored regions) keep
+/// their neighbourhood scale: city load means *more* queries, not
 /// arena-sized ones.
+///
+/// # Example: one slot of the city mix
+///
+/// ```rust
+/// use ps_core::aggregator::AggregatorBuilder;
+/// use ps_core::valuation::quality::QualityModel;
+/// use ps_sim::config::Scale;
+/// use ps_sim::workload::{test_monitoring_ctx, StandingMixProfile};
+/// use ps_gp::kernel::SquaredExponential;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// // The city profile meets the ROADMAP floors…
+/// let city = StandingMixProfile::from_scale(&Scale::city());
+/// assert!(city.sensors >= 10_000 && city.standing_queries() >= 1_000);
+///
+/// // …and drives an engine slot by slot. (Doctests build without
+/// // optimization, so step a down-scaled clone of the same mix here;
+/// // the bench and `repro --scale city` run it at full size.)
+/// let mut mix = city.clone();
+/// mix.sensors = 150;
+/// mix.points_per_slot = 30;
+/// mix.location_monitors = 4;
+/// mix.region_monitors = 2;
+/// let mut engine = AggregatorBuilder::new(QualityModel::new(5.0)).build();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let ctx = test_monitoring_ctx();
+/// let kernel = SquaredExponential::new(2.0, 2.0);
+/// let submitted = mix.submit_slot(&mut rng, 0, &mut engine, &ctx, &kernel);
+/// assert!(submitted >= mix.points_per_slot);
+/// let sensors = mix.sensors(&mut rng);
+/// let report = engine.step(0, &sensors);
+/// assert!(report.welfare.is_finite());
+/// ```
 #[derive(Debug, Clone)]
 pub struct StandingMixProfile {
     /// The working region queries and sensors are drawn from.
@@ -238,10 +274,25 @@ pub struct StandingMixProfile {
     pub aggregate_side: (f64, f64),
     /// Region-monitor side lengths `[min, max]` (§4.6 uses 4–10).
     pub region_side: (f64, f64),
+    /// Burst cadence: on every `burst_period`-th slot
+    /// (`t % burst_period == burst_period − 1`) the point-query arrivals
+    /// multiply by [`StandingMixProfile::burst_factor`] — the
+    /// rush-hour/incident load spikes a metro aggregator must absorb.
+    /// `0` (the default) disables bursts.
+    pub burst_period: usize,
+    /// Point-arrival multiplier applied on burst slots (≥ 1).
+    pub burst_factor: f64,
+    /// Campaign kinds cycled through by the per-slot aggregate queries
+    /// (heterogeneous concurrent campaigns; the default is
+    /// `[AggregateKind::Average]`, the §4.4 setup).
+    pub aggregate_kinds: Vec<AggregateKind>,
 }
 
 impl StandingMixProfile {
-    /// Sizes the profile from a [`Scale`] (see the type docs).
+    /// Sizes the profile from a [`Scale`] (see the type docs). Bursts
+    /// are off and aggregates are all [`AggregateKind::Average`], as in
+    /// §4.4; see [`StandingMixProfile::metro`] for the mixed-campaign
+    /// bursty variant.
     pub fn from_scale(scale: &Scale) -> Self {
         let sensors = scale.sensor_count(635);
         // Paper density: 635 sensors on an 80×80 arena.
@@ -259,13 +310,45 @@ impl StandingMixProfile {
             monitor_budget_factor: 12.0,
             aggregate_side: (6.0, 18.0),
             region_side: (4.0, 10.0),
+            burst_period: 0,
+            burst_factor: 1.0,
+            aggregate_kinds: vec![AggregateKind::Average],
         }
+    }
+
+    /// The metro workload: [`Scale::metro`]'s populations (≥ 100k
+    /// sensors, ≥ 5k standing queries) plus the load shape that actually
+    /// stresses a metropolitan aggregator — every 4th slot bursts to
+    /// 1.5× point arrivals, and the aggregate campaigns cycle through
+    /// all four [`AggregateKind`]s so concurrent heterogeneous campaigns
+    /// coexist in one slot.
+    pub fn metro() -> Self {
+        let mut profile = Self::from_scale(&Scale::metro());
+        profile.burst_period = 4;
+        profile.burst_factor = 1.5;
+        profile.aggregate_kinds = vec![
+            AggregateKind::Average,
+            AggregateKind::Max,
+            AggregateKind::Min,
+            AggregateKind::Sum,
+        ];
+        profile
     }
 
     /// Standing queries alive in a steady-state slot: the per-slot
     /// one-shots plus the monitor populations.
     pub fn standing_queries(&self) -> usize {
         self.points_per_slot + self.aggregates_mean + self.location_monitors + self.region_monitors
+    }
+
+    /// Point-query arrivals for slot `t`: the per-slot base, times
+    /// [`StandingMixProfile::burst_factor`] on burst slots.
+    pub fn point_arrivals(&self, t: usize) -> usize {
+        if self.burst_period > 0 && t % self.burst_period == self.burst_period - 1 {
+            (self.points_per_slot as f64 * self.burst_factor).round() as usize
+        } else {
+            self.points_per_slot
+        }
     }
 
     /// One slot's sensor announcement: uniform locations over the arena,
@@ -286,11 +369,13 @@ impl StandingMixProfile {
             .collect()
     }
 
-    /// Submits one slot of workload into `engine`: `points_per_slot`
-    /// point specs, ~`aggregates_mean` aggregate specs, and enough new
-    /// monitors (durations uniform in `[5, 20]`, desired times every 3rd
-    /// slot, α = 0.5) to top the standing populations back up. Returns
-    /// the number of queries submitted.
+    /// Submits one slot of workload into `engine`:
+    /// [`StandingMixProfile::point_arrivals`] point specs (the base rate,
+    /// burst-scaled on burst slots), ~`aggregates_mean` aggregate specs
+    /// cycling through [`StandingMixProfile::aggregate_kinds`], and
+    /// enough new monitors (durations uniform in `[5, 20]`, desired
+    /// times every 3rd slot, α = 0.5) to top the standing populations
+    /// back up. Returns the number of queries submitted.
     pub fn submit_slot(
         &self,
         rng: &mut StdRng,
@@ -302,7 +387,7 @@ impl StandingMixProfile {
         let mut submitted = 0;
         for spec in point_queries(
             rng,
-            self.points_per_slot,
+            self.point_arrivals(t),
             &self.arena,
             BudgetScheme::Fixed(self.point_budget),
         ) {
@@ -348,12 +433,13 @@ impl StandingMixProfile {
         submitted
     }
 
-    /// One slot's aggregate specs (§4.4 with this profile's region sizes).
+    /// One slot's aggregate specs (§4.4 with this profile's region sizes
+    /// and campaign kinds, cycled in submission order).
     fn aggregates(&self, rng: &mut StdRng) -> Vec<AggregateSpec> {
         let mean = self.aggregates_mean.max(1);
         let count = rng.gen_range((mean / 2).max(1)..=mean + mean / 2);
         (0..count)
-            .map(|_| {
+            .map(|i| {
                 let region = random_subregion(
                     rng,
                     &self.arena,
@@ -364,11 +450,34 @@ impl StandingMixProfile {
                 AggregateSpec {
                     region,
                     budget,
-                    kind: AggregateKind::Average,
+                    kind: self.aggregate_kinds[i % self.aggregate_kinds.len()],
                 }
             })
             .collect()
     }
+}
+
+/// A small synthetic phenomenon history for location monitors — a
+/// diurnal sinusoid over 120 past slots. The doctests and equivalence/
+/// determinism tests all need *a* [`MonitoringContext`] and none of
+/// them cares which; sharing one here keeps their workloads comparable.
+/// (The `slot_engine` bench keeps its own longer 200-slot history —
+/// changing that would change the committed `BENCH_slot_engine.json`
+/// workload.)
+pub fn test_monitoring_ctx() -> Arc<MonitoringContext> {
+    let times: Vec<f64> = (0..120).map(|i| i as f64 - 120.0).collect();
+    let values: Vec<f64> = times
+        .iter()
+        .map(|&t| 20.0 + 5.0 * (std::f64::consts::TAU * t / 50.0).sin())
+        .collect();
+    Arc::new(MonitoringContext {
+        basis: ps_stats::regression::DiurnalBasis {
+            period: 50.0,
+            harmonics: 1,
+        },
+        history: ps_stats::TimeSeries::new(times, values),
+        fold: None,
+    })
 }
 
 #[cfg(test)]
@@ -488,6 +597,50 @@ mod tests {
             (density / paper - 1.0).abs() < 0.2,
             "density {density} drifted"
         );
+    }
+
+    #[test]
+    fn metro_profile_hits_the_roadmap_floors_with_bursts_and_mixed_campaigns() {
+        let p = StandingMixProfile::metro();
+        assert!(
+            p.sensors >= 100_000,
+            "metro needs ≥100k sensors, got {}",
+            p.sensors
+        );
+        assert!(
+            p.standing_queries() >= 5_000,
+            "metro needs ≥5k standing queries, got {}",
+            p.standing_queries()
+        );
+        // Density stays at the paper's operating point (±20 %).
+        let density = p.sensors as f64 / p.arena.area();
+        let paper = 635.0 / 6400.0;
+        assert!(
+            (density / paper - 1.0).abs() < 0.2,
+            "density {density} drifted"
+        );
+        // Bursty arrivals: every 4th slot carries 1.5× the base load.
+        assert_eq!(p.point_arrivals(0), p.points_per_slot);
+        assert_eq!(
+            p.point_arrivals(3),
+            (p.points_per_slot as f64 * 1.5).round() as usize
+        );
+        assert_eq!(p.point_arrivals(4), p.points_per_slot);
+        // Mixed campaign types: all four aggregate kinds cycle.
+        assert_eq!(p.aggregate_kinds.len(), 4);
+        let specs = p.aggregates(&mut rng());
+        let kinds: std::collections::BTreeSet<String> =
+            specs.iter().map(|s| format!("{:?}", s.kind)).collect();
+        assert!(kinds.len() >= 2, "one slot should mix campaign kinds");
+    }
+
+    #[test]
+    fn burst_free_profiles_are_flat() {
+        let p = StandingMixProfile::from_scale(&Scale::test());
+        for t in 0..10 {
+            assert_eq!(p.point_arrivals(t), p.points_per_slot);
+        }
+        assert_eq!(p.aggregate_kinds, vec![AggregateKind::Average]);
     }
 
     #[test]

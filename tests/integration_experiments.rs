@@ -11,6 +11,7 @@ fn scale() -> Scale {
         query_factor: 0.15,
         sensor_factor: 0.5,
         seed: 20130318, // EDBT'13 conference date
+        threads: 0,
     }
 }
 
@@ -59,6 +60,7 @@ fn fig3_rnc_is_sparser_than_rwm() {
         query_factor: 0.3,
         sensor_factor: 1.0,
         seed: 20130318,
+        threads: 0,
     };
     let rwm = fig2(&s);
     let rnc = fig3(&s);
@@ -184,6 +186,7 @@ fn every_experiment_runs_at_test_scale() {
         query_factor: 0.08,
         sensor_factor: 0.35,
         seed: 77,
+        threads: 0,
     };
     for id in ExperimentId::ALL {
         let tables = id.run(&s);

@@ -20,6 +20,7 @@ fn scale() -> Scale {
         query_factor: 0.1,
         sensor_factor: 0.4,
         seed: 31337,
+        threads: 0,
     }
 }
 

@@ -23,6 +23,7 @@ fn scale() -> Scale {
         query_factor: 0.15,
         sensor_factor: 0.5,
         seed: 424242,
+        threads: 0,
     }
 }
 

@@ -1,0 +1,244 @@
+//! The `threads` knob is a pure accelerator: an `Aggregator` stepped
+//! with `threads(1)` and one stepped with `threads(N)` must produce
+//! **bit-identical** results — same `SlotReport`s (welfare bits,
+//! selections, per-query payments), same cumulative ledgers, same
+//! retired-monitor statistics — on the same seeded standing stream.
+//! This mirrors the `spatial_index` equivalence contract of
+//! `tests/index_equivalence.rs`, one abstraction layer up.
+
+use proptest::prelude::*;
+use ps_core::aggregator::{Aggregator, AggregatorBuilder, SlotReport};
+use ps_core::alloc::local_search::LocalSearchScheduler;
+use ps_core::alloc::optimal::OptimalScheduler;
+use ps_core::valuation::quality::QualityModel;
+use ps_gp::kernel::SquaredExponential;
+use ps_sim::config::Scale;
+use ps_sim::workload::{test_monitoring_ctx, StandingMixProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Small but genuinely mixed: every query type participates, bursts on.
+fn small_profile() -> StandingMixProfile {
+    let mut p = StandingMixProfile::from_scale(&Scale::test());
+    p.sensors = 120;
+    p.points_per_slot = 40;
+    p.aggregates_mean = 3;
+    p.location_monitors = 6;
+    p.region_monitors = 4;
+    p.burst_period = 2;
+    p.burst_factor = 1.5;
+    p
+}
+
+/// Everything one run produced, cumulative state included.
+struct RunOutcome {
+    reports: Vec<SlotReport>,
+    cumulative_payments: f64,
+    cumulative_receipts: f64,
+    retired: Vec<(u64, f64, f64, f64)>, // (id, value, spent, quality)
+    next_query_id: u64,
+}
+
+fn run(
+    engine: &mut Aggregator<'_>,
+    profile: &StandingMixProfile,
+    seed: u64,
+    slots: usize,
+) -> RunOutcome {
+    let ctx = test_monitoring_ctx();
+    let kernel = SquaredExponential::new(2.0, 2.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reports = (0..slots)
+        .map(|t| {
+            profile.submit_slot(&mut rng, t, engine, &ctx, &kernel);
+            let sensors = profile.sensors(&mut rng);
+            engine.step(t, &sensors)
+        })
+        .collect();
+    RunOutcome {
+        reports,
+        cumulative_payments: engine.ledger().total_payments(),
+        cumulative_receipts: engine.ledger().total_receipts(),
+        retired: engine
+            .retired_monitors()
+            .iter()
+            .map(|m| (m.id().0, m.value(), m.spent(), m.quality_of_results()))
+            .collect(),
+        next_query_id: engine.next_query_id(),
+    }
+}
+
+/// Exact comparison — sharding must not perturb a single bit.
+fn assert_outcomes_identical(a: &RunOutcome, b: &RunOutcome, label: &str) {
+    assert_eq!(a.reports.len(), b.reports.len());
+    for (x, y) in a.reports.iter().zip(&b.reports) {
+        let t = x.slot;
+        assert_eq!(
+            x.welfare, y.welfare,
+            "{label}: welfare diverged at slot {t}"
+        );
+        assert_eq!(
+            x.sensors_used, y.sensors_used,
+            "{label}: selections at slot {t}"
+        );
+        assert_eq!(
+            x.breakdown.point_satisfied, y.breakdown.point_satisfied,
+            "{label}: point satisfaction at slot {t}"
+        );
+        assert_eq!(
+            x.breakdown.aggregate_answered, y.breakdown.aggregate_answered,
+            "{label}: aggregates at slot {t}"
+        );
+        assert_eq!(
+            x.breakdown.monitor_samples, y.breakdown.monitor_samples,
+            "{label}: monitor samples at slot {t}"
+        );
+        assert_eq!(
+            x.ledger.total_payments(),
+            y.ledger.total_payments(),
+            "{label}: payments at slot {t}"
+        );
+        assert_eq!(
+            x.ledger.total_receipts(),
+            y.ledger.total_receipts(),
+            "{label}: receipts at slot {t}"
+        );
+        assert_eq!(x.point_results.len(), y.point_results.len());
+        for (pa, pb) in x.point_results.iter().zip(&y.point_results) {
+            assert_eq!(pa.id, pb.id, "{label}: point ids at slot {t}");
+            assert_eq!(pa.value, pb.value, "{label}: point value at slot {t}");
+            assert_eq!(pa.paid, pb.paid, "{label}: point payment at slot {t}");
+            assert_eq!(pa.sensor, pb.sensor, "{label}: serving sensor at slot {t}");
+        }
+        assert_eq!(x.aggregate_results.len(), y.aggregate_results.len());
+        for (aa, ab) in x.aggregate_results.iter().zip(&y.aggregate_results) {
+            assert_eq!(aa.id, ab.id, "{label}: aggregate ids at slot {t}");
+            assert_eq!(aa.value, ab.value, "{label}: aggregate value at slot {t}");
+            assert_eq!(aa.paid, ab.paid, "{label}: aggregate payment at slot {t}");
+            assert_eq!(
+                aa.sensors, ab.sensors,
+                "{label}: aggregate sensors at slot {t}"
+            );
+        }
+        assert_eq!(
+            x.totals.welfare, y.totals.welfare,
+            "{label}: cumulative welfare at slot {t}"
+        );
+    }
+    assert_eq!(
+        a.cumulative_payments, b.cumulative_payments,
+        "{label}: cumulative ledger payments"
+    );
+    assert_eq!(
+        a.cumulative_receipts, b.cumulative_receipts,
+        "{label}: cumulative ledger receipts"
+    );
+    assert_eq!(a.retired.len(), b.retired.len(), "{label}: retired count");
+    for (ra, rb) in a.retired.iter().zip(&b.retired) {
+        assert_eq!(ra, rb, "{label}: retired-monitor stats");
+    }
+    assert_eq!(a.next_query_id, b.next_query_id, "{label}: id minting");
+}
+
+fn run_at_threads(
+    profile: &StandingMixProfile,
+    threads: usize,
+    seed: u64,
+    slots: usize,
+) -> RunOutcome {
+    let mut engine = AggregatorBuilder::new(QualityModel::new(5.0))
+        .threads(threads)
+        .build();
+    run(&mut engine, profile, seed, slots)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// ISSUE 4's contract: identical seeded `StandingMixProfile` streams
+    /// at `threads ∈ {1, 2, 7}` yield equal `SlotReport`s, ledgers, and
+    /// retired-monitor stats — bit for bit.
+    fn threads_1_2_7_are_bit_identical(seed in 0u64..10_000, slots in 2usize..5) {
+        let profile = small_profile();
+        let serial = run_at_threads(&profile, 1, seed, slots);
+        for threads in [2usize, 7] {
+            let sharded = run_at_threads(&profile, threads, seed, slots);
+            assert_outcomes_identical(&serial, &sharded, &format!("threads={threads}"));
+        }
+        // The stream exercised the engine.
+        prop_assert!(serial.reports.iter().any(|r| r.breakdown.point_satisfied > 0));
+    }
+}
+
+#[test]
+fn scheduled_paths_are_thread_count_invariant() {
+    // The §4.5/§4.6 dedicated-scheduler paths shard the Eq. 9 problem
+    // build and the baseline candidate evaluation; both must stay exact.
+    for exact in [true, false] {
+        let build = |threads: usize| {
+            let b = AggregatorBuilder::new(QualityModel::new(5.0)).threads(threads);
+            if exact {
+                b.scheduler(OptimalScheduler::new()).build()
+            } else {
+                b.scheduler(LocalSearchScheduler::new()).build()
+            }
+        };
+        let profile = small_profile();
+        let mut serial = build(1);
+        let mut sharded = build(5);
+        let a = run(&mut serial, &profile, 42, 3);
+        let b = run(&mut sharded, &profile, 42, 3);
+        assert_outcomes_identical(&a, &b, if exact { "optimal" } else { "local-search" });
+    }
+}
+
+#[test]
+fn sequential_baseline_is_thread_count_invariant() {
+    use ps_core::aggregator::MixStrategy;
+    let profile = small_profile();
+    let build = |threads: usize| {
+        AggregatorBuilder::new(QualityModel::new(5.0))
+            .strategy(MixStrategy::SequentialBaseline)
+            .threads(threads)
+            .build()
+    };
+    let mut serial = build(1);
+    let mut sharded = build(3);
+    let a = run(&mut serial, &profile, 7, 3);
+    let b = run(&mut sharded, &profile, 7, 3);
+    assert_outcomes_identical(&a, &b, "sequential-baseline");
+}
+
+/// The city scenario end to end (ISSUE 4 acceptance): ≥10k sensors and
+/// ≥1k standing queries per slot, threads=1 vs threads=4 bit-identical.
+#[test]
+fn city_scenario_is_bit_identical_at_4_threads() {
+    let mut profile = StandingMixProfile::from_scale(&Scale::city());
+    assert!(profile.sensors >= 10_000 && profile.standing_queries() >= 1_000);
+    // Debug builds are ~30× slower than release; trim the *slot count*,
+    // never the populations — the scale floor is the point of the test.
+    let slots = 2;
+    // Keep monitor populations but skip the heaviest GP planning load.
+    profile.region_monitors = 20;
+    let serial = run_at_threads(&profile, 1, 2013, slots);
+    let sharded = run_at_threads(&profile, 4, 2013, slots);
+    assert_outcomes_identical(&serial, &sharded, "city");
+    assert!(serial.reports[0].breakdown.point_satisfied > 0);
+}
+
+/// The metro scenario (ISSUE 4 tentpole): ≥100k sensors, ≥5k standing
+/// queries, bursty mixed campaigns, threads=1 vs threads=4 bit-identical.
+#[test]
+fn metro_scenario_is_bit_identical_at_4_threads() {
+    let mut profile = StandingMixProfile::metro();
+    assert!(profile.sensors >= 100_000 && profile.standing_queries() >= 5_000);
+    // One full-population slot is what fits a debug-build test budget;
+    // the slot_engine bench drives the multi-slot release-build version.
+    let slots = 1;
+    profile.region_monitors = 10;
+    profile.location_monitors = 40;
+    let serial = run_at_threads(&profile, 1, 2013, slots);
+    let sharded = run_at_threads(&profile, 4, 2013, slots);
+    assert_outcomes_identical(&serial, &sharded, "metro");
+    assert!(serial.reports[0].breakdown.point_satisfied > 0);
+}
