@@ -1,7 +1,8 @@
-//! Aggregator engine throughput, the spatial-index scaling story, and
-//! the threads×scale parallel-pipeline grid.
+//! Aggregator engine throughput, the spatial-index scaling story, the
+//! threads×scale parallel-pipeline grid, and the shards×scale
+//! federation grid.
 //!
-//! Three parts:
+//! Four parts:
 //!
 //! 1. **Standing workload** (criterion group `slot_engine`): one
 //!    long-running `Aggregator` serves a steady stream — point and
@@ -17,6 +18,15 @@
 //!    vs the single-thread run are recorded, and the welfare trajectory
 //!    of every thread count is asserted **bit-identical** to threads=1
 //!    (the determinism contract of `ps_core::exec`).
+//! 4. **Shards×scale grid** (`slot_engine_shards`): the same city and
+//!    metro workloads driven through the `ps_cluster` federation at tile
+//!    grids 1×1 and 2×2. Per-slot medians, the measured **welfare gap**
+//!    of the partitioned greedy vs the 1-shard engine (cross-tile
+//!    workloads are where federation is *not* exact), and a
+//!    `tile_local_identical` flag from an explicit tile-local
+//!    micro-workload identity check run once per tile grid (the
+//!    `ps_cluster` exactness contract; the check is scale-independent,
+//!    so its verdict is shared by that grid's scale rows).
 //!
 //! All results are printed and written as machine-readable JSON to
 //! `BENCH_slot_engine.json` at the repo root (override the path with
@@ -34,9 +44,12 @@
 //! ```
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use ps_core::aggregator::{Aggregator, AggregatorBuilder};
+use ps_cluster::{ClusterBuilder, SlotEngine};
+use ps_core::aggregator::{AggregatorBuilder, PointSpec};
+use ps_core::model::SensorSnapshot;
 use ps_core::valuation::monitoring::MonitoringContext;
 use ps_core::valuation::quality::QualityModel;
+use ps_geo::{Point, Rect, TileGrid};
 use ps_gp::kernel::SquaredExponential;
 use ps_sim::config::Scale;
 use ps_sim::workload::StandingMixProfile;
@@ -62,6 +75,9 @@ const FULL_MEASURED_SLOTS: usize = 5;
 const FULL_WARMUP_SLOTS: usize = 2;
 /// Worker counts measured by the threads×scale grid in full mode.
 const FULL_THREADS_GRID: [usize; 3] = [1, 2, 4];
+/// Tile-grid sides measured by the shards×scale grid in full mode
+/// (1 = the plain engine, 2 = a 2×2 federation of 4 shards).
+const FULL_SHARDS_GRID: [usize; 2] = [1, 2];
 
 fn monitoring_ctx() -> Arc<MonitoringContext> {
     let times: Vec<f64> = (0..200).map(|i| i as f64 - 200.0).collect();
@@ -88,6 +104,7 @@ fn tier_profile(sensors: usize) -> StandingMixProfile {
         sensor_factor: sensors as f64 / 635.0,
         seed: SEED,
         threads: 0,
+        shards: 1,
     };
     let mut profile = StandingMixProfile::from_scale(&scale);
     profile.sensors = sensors;
@@ -100,8 +117,8 @@ fn tier_profile(sensors: usize) -> StandingMixProfile {
 /// One slot of standing workload: refresh one-shot queries, top the
 /// monitor populations back up, announce sensors, step. Returns the
 /// slot's welfare and the time spent inside `step`.
-fn drive_slot(
-    engine: &mut Aggregator<'static>,
+fn drive_slot<E: SlotEngine + ?Sized>(
+    engine: &mut E,
     profile: &StandingMixProfile,
     rng: &mut StdRng,
     ctx: &Arc<MonitoringContext>,
@@ -323,6 +340,209 @@ fn threads_grid(smoke: bool) -> Vec<ThreadsResult> {
     results
 }
 
+// ── Part 4: shards×scale federation grid ─────────────────────────────
+
+/// One (scale, grid) cell of the federation grid.
+struct ShardsResult {
+    scale: &'static str,
+    sensors: usize,
+    standing_queries: usize,
+    /// Tile-grid side g.
+    grid: usize,
+    /// Shard count g².
+    shards: usize,
+    ms_per_slot: f64,
+    /// `(welfare_1shard − welfare_g) / welfare_1shard` over the same
+    /// seeded slots: what the partitioned greedy loses (or gains, when
+    /// negative) to locally-optimal choices on cross-tile queries.
+    welfare_gap_vs_1shard: f64,
+    /// Whether an explicit tile-local workload was answered identically
+    /// by this cell's grid and the plain engine (always true for g = 1).
+    tile_local_identical: bool,
+}
+
+/// Runs one profile through a `g × g` federation. Every cell — g = 1
+/// included — is a `ClusterBuilder` cluster of single-threaded shard
+/// engines, so the grid isolates the *sharding* axis: the 1×1 cell is
+/// bit-identical to the plain engine (a proptested `ps_cluster`
+/// contract) and no cell's timing mixes in the `threads` knob. Returns
+/// per-slot times and the summed welfare.
+fn run_engine_sharded(
+    profile: &StandingMixProfile,
+    g: usize,
+    warmup: usize,
+    measured: usize,
+    ctx: &Arc<MonitoringContext>,
+    kernel: &SquaredExponential,
+) -> (Vec<Duration>, f64) {
+    let mut engine: Box<dyn SlotEngine> =
+        Box::new(ClusterBuilder::new(QualityModel::new(5.0), profile.arena, g).build());
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut times = Vec::with_capacity(measured);
+    let mut welfare = 0.0;
+    for slot in 0..warmup + measured {
+        let (w, elapsed) = drive_slot(engine.as_mut(), profile, &mut rng, ctx, kernel, slot);
+        welfare += w;
+        if slot >= warmup {
+            times.push(elapsed);
+        }
+    }
+    (times, welfare)
+}
+
+/// The `ps_cluster` exactness contract, checked explicitly: a workload
+/// whose every query support fits its home tile must be answered
+/// identically (per-sensor receipts bit for bit, welfare up to summation
+/// order) by the `g × g` federation and the plain engine.
+fn tile_local_identity(g: usize) -> bool {
+    let arena = Rect::with_size(100.0, 100.0);
+    let quality = QualityModel::new(5.0);
+    let tiles = TileGrid::new(arena, g);
+    let mut sensors: Vec<SensorSnapshot> = Vec::new();
+    let mut specs: Vec<PointSpec> = Vec::new();
+    for tile in 0..tiles.len() {
+        let r = tiles.tile_rect(tile);
+        for (i, &(fx, fy)) in [(0.3, 0.3), (0.7, 0.4), (0.4, 0.7), (0.65, 0.65)]
+            .iter()
+            .enumerate()
+        {
+            let loc = Point::new(r.min_x + fx * r.width(), r.min_y + fy * r.height());
+            sensors.push(SensorSnapshot {
+                id: sensors.len(),
+                loc,
+                cost: 8.0 + i as f64,
+                trust: 1.0,
+                inaccuracy: 0.0,
+            });
+            // Two co-located low-budget queries per sensor: they only
+            // succeed by sharing, exercising the payment split.
+            for _ in 0..2 {
+                specs.push(PointSpec {
+                    loc,
+                    budget: 9.0,
+                    theta_min: 0.2,
+                });
+            }
+        }
+    }
+    // The workload must satisfy the exactness precondition it claims to
+    // exercise: every query support inside its home tile.
+    for spec in &specs {
+        let support = ps_core::valuation::SpatialSupport::Disk {
+            center: spec.loc,
+            radius: 5.0,
+        };
+        assert!(
+            support.fits_within(&tiles.tile_rect(tiles.tile_of(spec.loc))),
+            "tile-local workload generator leaked a cross-tile support"
+        );
+    }
+    // Per slot: welfare, sorted selections, and every sensor's receipt
+    // bits — so a first-slot-only or money-shuffling regression cannot
+    // hide behind a later slot or a preserved total.
+    let run = |engine: &mut dyn SlotEngine| -> Vec<(f64, Vec<usize>, Vec<u64>)> {
+        (0..2)
+            .map(|t| {
+                for spec in &specs {
+                    engine.submit_point(*spec);
+                }
+                let report = engine.step(t, &sensors);
+                let mut used = report.sensors_used.clone();
+                used.sort_unstable();
+                let receipts: Vec<u64> = sensors
+                    .iter()
+                    .map(|s| report.ledger.sensor_receipt(s.id).to_bits())
+                    .collect();
+                (report.welfare, used, receipts)
+            })
+            .collect()
+    };
+    let mut plain = AggregatorBuilder::new(quality).build();
+    let plain_slots = run(&mut plain);
+    let mut cluster = ClusterBuilder::new(quality, arena, g).build();
+    let cluster_slots = run(&mut cluster);
+    plain_slots.iter().zip(&cluster_slots).all(
+        |((w1, used1, receipts1), (wg, usedg, receiptsg))| {
+            (w1 - wg).abs() <= 1e-9 * w1.abs().max(1.0) && used1 == usedg && receipts1 == receiptsg
+        },
+    )
+}
+
+fn shards_grid(smoke: bool) -> Vec<ShardsResult> {
+    let (scales, grids, warmup, measured): (
+        Vec<(&'static str, StandingMixProfile)>,
+        Vec<usize>,
+        usize,
+        usize,
+    ) = if smoke {
+        (
+            vec![("smoke", tier_profile(500))],
+            FULL_SHARDS_GRID.to_vec(),
+            1,
+            2,
+        )
+    } else {
+        (
+            vec![
+                ("city", StandingMixProfile::from_scale(&Scale::city())),
+                ("metro", StandingMixProfile::metro()),
+            ],
+            FULL_SHARDS_GRID.to_vec(),
+            FULL_WARMUP_SLOTS,
+            FULL_MEASURED_SLOTS,
+        )
+    };
+    let ctx = monitoring_ctx();
+    let kernel = SquaredExponential::new(2.0, 2.0);
+    // One identity check per tile grid — the check's fixed micro-workload
+    // is scale-independent, so running it again per scale row would just
+    // re-verify the same thing (the JSON field documents this).
+    let mut identity_by_grid: std::collections::HashMap<usize, bool> =
+        std::collections::HashMap::new();
+    let mut results = Vec::new();
+    for (name, profile) in &scales {
+        let mut welfare_1shard = f64::NAN;
+        for &g in &grids {
+            let (times, welfare) = run_engine_sharded(profile, g, warmup, measured, &ctx, &kernel);
+            let ms = median_ms(times);
+            let gap = if g == 1 {
+                welfare_1shard = welfare;
+                0.0
+            } else {
+                (welfare_1shard - welfare) / welfare_1shard
+            };
+            let identical = g == 1
+                || *identity_by_grid
+                    .entry(g)
+                    .or_insert_with(|| tile_local_identity(g));
+            println!(
+                "slot_engine_shards/{name:>5} ({} sensors, {} standing queries)  \
+                 grid={g}x{g} ({} shards)  {ms:>9.3} ms/slot  welfare gap {:>7.4}  \
+                 tile_local_identical={identical}",
+                profile.sensors,
+                profile.standing_queries(),
+                g * g,
+                gap,
+            );
+            assert!(
+                identical,
+                "tile-local workloads diverged from the plain engine at grid {g}x{g}"
+            );
+            results.push(ShardsResult {
+                scale: name,
+                sensors: profile.sensors,
+                standing_queries: profile.standing_queries(),
+                grid: g,
+                shards: g * g,
+                ms_per_slot: ms,
+                welfare_gap_vs_1shard: gap,
+                tile_local_identical: identical,
+            });
+        }
+    }
+    results
+}
+
 fn scaling() -> (Vec<TierResult>, &'static str) {
     let smoke = std::env::var("SLOT_ENGINE_SMOKE").is_ok_and(|v| v == "1");
     let (tiers, warmup, measured, mode): (Vec<usize>, usize, usize, &'static str) = if smoke {
@@ -355,7 +575,12 @@ fn scaling() -> (Vec<TierResult>, &'static str) {
     (results, mode)
 }
 
-fn render_json(results: &[TierResult], threads: &[ThreadsResult], mode: &str) -> String {
+fn render_json(
+    results: &[TierResult],
+    threads: &[ThreadsResult],
+    shards: &[ShardsResult],
+    mode: &str,
+) -> String {
     // The `config` object describes the *full-run* workload constants and
     // is emitted identically in smoke and full mode: CI regenerates the
     // file in smoke mode and fails when the committed config no longer
@@ -363,7 +588,7 @@ fn render_json(results: &[TierResult], threads: &[ThreadsResult], mode: &str) ->
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"slot_engine\",\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"command\": \"cargo bench -p ps-bench --bench slot_engine\",\n");
     out.push_str("  \"config\": {\n");
@@ -386,8 +611,13 @@ fn render_json(results: &[TierResult], threads: &[ThreadsResult], mode: &str) ->
     ));
     out.push_str("    \"full_threads_grid_scales\": [\"city\", \"metro\"],\n");
     out.push_str(&format!(
-        "    \"full_threads_grid\": [{}]\n",
+        "    \"full_threads_grid\": [{}],\n",
         FULL_THREADS_GRID.map(|t| t.to_string()).join(", ")
+    ));
+    out.push_str("    \"full_shards_grid_scales\": [\"city\", \"metro\"],\n");
+    out.push_str(&format!(
+        "    \"full_shards_grid\": [{}]\n",
+        FULL_SHARDS_GRID.map(|t| t.to_string()).join(", ")
     ));
     out.push_str("  },\n");
     out.push_str("  \"results\": [\n");
@@ -420,6 +650,24 @@ fn render_json(results: &[TierResult], threads: &[ThreadsResult], mode: &str) ->
             r.speedup_vs_1,
             r.identical_to_1,
             if i + 1 < threads.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"shards\": [\n");
+    for (i, r) in shards.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"scale\": \"{}\", \"sensors\": {}, \"standing_queries\": {}, \
+             \"grid\": {}, \"shards\": {}, \"ms_per_slot\": {:.3}, \
+             \"welfare_gap_vs_1shard\": {:.4}, \"tile_local_identical\": {} }}{}\n",
+            r.scale,
+            r.sensors,
+            r.standing_queries,
+            r.grid,
+            r.shards,
+            r.ms_per_slot,
+            r.welfare_gap_vs_1shard,
+            r.tile_local_identical,
+            if i + 1 < shards.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
@@ -456,8 +704,9 @@ fn main() {
     benches();
     let (results, mode) = scaling();
     let threads = threads_grid(mode == "smoke");
+    let shards = shards_grid(mode == "smoke");
     let path = json_path(mode);
-    std::fs::write(&path, render_json(&results, &threads, mode))
+    std::fs::write(&path, render_json(&results, &threads, &shards, mode))
         .expect("write BENCH_slot_engine.json");
     println!("wrote {}", path.display());
 }

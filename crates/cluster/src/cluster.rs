@@ -1,0 +1,714 @@
+//! The tiled multi-aggregator cluster: builder, routing, parallel
+//! stepping, and the global settlement pass (see the [crate docs](crate)).
+
+use ps_core::aggregator::{
+    AggregateSpec, Aggregator, AggregatorBuilder, LocationMonitorSpec, MixBreakdown, PointSpec,
+    RegionMonitorSpec, RetiredMonitor, SlotReport, Totals,
+};
+use ps_core::exec::Threads;
+use ps_core::model::{QueryId, SensorSnapshot, Slot};
+use ps_core::monitor::location::LocationMonitor;
+use ps_core::monitor::region::RegionMonitor;
+use ps_core::payment::Ledger;
+use ps_core::valuation::quality::QualityModel;
+use ps_core::valuation::{SetValuation, SpatialSupport};
+use ps_geo::{Point, Rect, TileGrid};
+use std::collections::{HashMap, HashSet};
+
+/// Size of each shard's query-id block: shard `k` mints ids in
+/// `[k · 2⁴⁰, (k + 1) · 2⁴⁰)`, so ids stay globally unique without any
+/// cross-shard coordination (a shard would need to mint a trillion
+/// queries to overrun its block; [`ShardedAggregator::step`] asserts it
+/// never does).
+pub const SHARD_ID_BLOCK: u64 = 1 << 40;
+
+/// Per-shard builder configuration hook (applied to every shard's
+/// [`AggregatorBuilder`] before the cluster overrides the thread count
+/// and the id-block seed).
+type ConfigureFn<'s> = Box<dyn Fn(AggregatorBuilder<'s>) -> AggregatorBuilder<'s> + 's>;
+
+/// Configures and builds a [`ShardedAggregator`]. The type is
+/// `#[must_use]` like [`AggregatorBuilder`]: chain methods take `self`,
+/// so a dropped return value is dropped configuration.
+///
+/// # Example
+///
+/// ```rust
+/// use ps_cluster::ClusterBuilder;
+/// use ps_core::aggregator::PointSpec;
+/// use ps_core::model::SensorSnapshot;
+/// use ps_core::valuation::quality::QualityModel;
+/// use ps_geo::{Point, Rect};
+///
+/// let sensors = vec![SensorSnapshot {
+///     id: 0, loc: Point::new(20.0, 20.0), cost: 10.0, trust: 1.0, inaccuracy: 0.0,
+/// }];
+/// let mut cluster = ClusterBuilder::new(QualityModel::new(5.0), Rect::with_size(80.0, 80.0), 2)
+///     .threads(2)
+///     .build();
+/// assert_eq!(cluster.shards().len(), 4);
+/// cluster.submit_point(PointSpec { loc: Point::new(20.0, 20.0), budget: 15.0, theta_min: 0.2 });
+/// let report = cluster.step(0, &sensors);
+/// assert_eq!(report.breakdown.point_satisfied, 1);
+/// assert_eq!(cluster.last_settlement().duplicates, 0);
+/// ```
+#[must_use = "builder methods take `self` — reassign or chain the result, or the configuration is dropped"]
+pub struct ClusterBuilder<'s> {
+    quality: QualityModel,
+    arena: Rect,
+    g: usize,
+    halo: Option<f64>,
+    threads: Threads,
+    shard_threads: usize,
+    configure: ConfigureFn<'s>,
+}
+
+impl<'s> ClusterBuilder<'s> {
+    /// Starts a builder for a `g × g` cluster over `arena`, every shard
+    /// running the Eq. 4 quality model. Defaults: halo =
+    /// `max(d_max, sensing range)`, cluster fork-join threads
+    /// auto-detected, one worker thread inside each shard engine, and
+    /// shard engines at [`AggregatorBuilder::new`]'s defaults (customize
+    /// with [`ClusterBuilder::configure_shards`]).
+    ///
+    /// # Panics
+    /// [`ClusterBuilder::build`] panics (via [`TileGrid::new`]) when `g`
+    /// is zero — the same loud rejection `repro --shards` gives, rather
+    /// than a silent clamp.
+    pub fn new(quality: QualityModel, arena: Rect, g: usize) -> Self {
+        Self {
+            quality,
+            arena,
+            g,
+            halo: None,
+            threads: Threads::default(),
+            shard_threads: 1,
+            configure: Box::new(|b| b),
+        }
+    }
+
+    /// Overrides the halo width — the ring around each tile from which a
+    /// shard still receives sensor announcements. The default,
+    /// `max(d_max, sensing range)`, is the widest distance at which a
+    /// tile-interior query can value a sensor, which is what makes
+    /// tile-local workloads exact (see the [crate docs](crate)).
+    pub fn halo(mut self, h: f64) -> Self {
+        self.halo = Some(h.max(0.0));
+        self
+    }
+
+    /// Worker threads for stepping shards in parallel (`0` = available
+    /// parallelism). Purely a wall-clock knob: shards merge in ascending
+    /// shard order, so every thread count produces bit-identical output.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Threads::new(n);
+        self
+    }
+
+    /// Worker threads *inside* each shard engine (default 1: with the
+    /// cluster already fanning out one thread per shard, serial shards
+    /// avoid oversubscription). Any value keeps outputs bit-identical —
+    /// the engine's own `threads` contract.
+    pub fn shard_threads(mut self, n: usize) -> Self {
+        self.shard_threads = n;
+        self
+    }
+
+    /// Applies `f` to every shard's [`AggregatorBuilder`] — strategy,
+    /// scheduler, sensing range, cost weighting, and so on. Called once
+    /// per shard; the cluster then overrides the builder's `threads`
+    /// (with [`ClusterBuilder::shard_threads`]) and `next_query_id` (the
+    /// shard's id block), so those two knobs have no effect here.
+    pub fn configure_shards(
+        mut self,
+        f: impl Fn(AggregatorBuilder<'s>) -> AggregatorBuilder<'s> + 's,
+    ) -> Self {
+        self.configure = Box::new(f);
+        self
+    }
+
+    /// Builds the cluster: `g²` engines, one per tile, each minting query
+    /// ids from its own [`SHARD_ID_BLOCK`].
+    #[must_use = "dropping the built cluster discards all the configuration"]
+    pub fn build(self) -> ShardedAggregator<'s> {
+        let grid = TileGrid::new(self.arena, self.g);
+        let shards: Vec<Aggregator<'s>> = (0..grid.len())
+            .map(|k| {
+                (self.configure)(AggregatorBuilder::new(self.quality))
+                    .threads(self.shard_threads)
+                    .next_query_id(k as u64 * SHARD_ID_BLOCK)
+                    .build()
+            })
+            .collect();
+        let halo = self
+            .halo
+            .unwrap_or_else(|| self.quality.d_max.max(shards[0].sensing_range()));
+        ShardedAggregator {
+            quality: self.quality,
+            grid,
+            halo,
+            threads: self.threads,
+            shards,
+            ledger: Ledger::new(),
+            totals: Totals::default(),
+            last_settlement: Settlement::default(),
+            total_settlement: Settlement::default(),
+        }
+    }
+}
+
+/// What the global settlement pass did to one slot (or cumulatively).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Settlement {
+    /// Halo sensors selected by more than one shard (one count per
+    /// losing shard, so a sensor bought by three shards counts twice).
+    pub duplicates: usize,
+    /// Total announced cost restored to welfare by deduplication.
+    pub cost_restored: f64,
+    /// Total payments refunded to losing shards' queries.
+    pub refunded: f64,
+}
+
+impl Settlement {
+    fn absorb(&mut self, other: &Settlement) {
+        self.duplicates += other.duplicates;
+        self.cost_restored += other.cost_restored;
+        self.refunded += other.refunded;
+    }
+}
+
+/// A tiled cluster of [`Aggregator`]s behind the single-engine API (see
+/// the [crate docs](crate) for routing, halo, settlement, and the
+/// exactness contract).
+pub struct ShardedAggregator<'s> {
+    quality: QualityModel,
+    grid: TileGrid,
+    halo: f64,
+    threads: Threads,
+    shards: Vec<Aggregator<'s>>,
+    ledger: Ledger,
+    totals: Totals,
+    last_settlement: Settlement,
+    total_settlement: Settlement,
+}
+
+impl<'s> ShardedAggregator<'s> {
+    // ── Routing ───────────────────────────────────────────────────────
+
+    /// The shard owning `support`'s anchor — where a query with that
+    /// support is routed.
+    pub fn shard_of(&self, support: &SpatialSupport) -> usize {
+        self.grid.tile_of(support.anchor())
+    }
+
+    fn shard_of_point(&self, loc: Point) -> usize {
+        self.shard_of(&SpatialSupport::Disk {
+            center: loc,
+            radius: self.quality.d_max,
+        })
+    }
+
+    // ── Query intake (routed) ─────────────────────────────────────────
+
+    /// Submits an end-user point query, routed by its `d_max`-disk
+    /// support anchor (= its location).
+    pub fn submit_point(&mut self, spec: PointSpec) -> QueryId {
+        let k = self.shard_of_point(spec.loc);
+        self.shards[k].submit_point(spec)
+    }
+
+    /// Submits a spatial aggregate query, routed by its expanded-rect
+    /// support anchor (= its region centroid).
+    pub fn submit_aggregate(&mut self, spec: AggregateSpec) -> QueryId {
+        let k = self.shard_of(&SpatialSupport::Rect(spec.region));
+        self.shards[k].submit_aggregate(spec)
+    }
+
+    /// Submits a location monitor, routed by the monitored location.
+    pub fn submit_location_monitor(&mut self, spec: LocationMonitorSpec) -> QueryId {
+        let k = self.shard_of_point(spec.loc);
+        self.shards[k].submit_location_monitor(spec)
+    }
+
+    /// Submits a region monitor, routed by the monitored region's
+    /// centroid.
+    pub fn submit_region_monitor(&mut self, spec: RegionMonitorSpec) -> QueryId {
+        let k = self.shard_of(&SpatialSupport::Rect(*spec.valuation.region()));
+        self.shards[k].submit_region_monitor(spec)
+    }
+
+    /// Submits a custom [`SetValuation`], routed by its declared support.
+    ///
+    /// # Panics
+    /// Panics when the valuation returns no
+    /// [`support`](SetValuation::support): a support-less valuation is
+    /// relevant everywhere and cannot be owned by one tile — run it on a
+    /// single [`Aggregator`] instead.
+    pub fn submit_valuation(&mut self, v: impl SetValuation + 's) -> QueryId {
+        let support = v
+            .support()
+            .expect("cluster routing requires the valuation to declare a spatial support");
+        let k = self.shard_of(&support);
+        self.shards[k].submit_valuation(v)
+    }
+
+    // ── Introspection ─────────────────────────────────────────────────
+
+    /// The tile grid shards are keyed by.
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// The halo width sensors are replicated by.
+    pub fn halo(&self) -> f64 {
+        self.halo
+    }
+
+    /// The per-tile engines, in shard (row-major tile) order.
+    ///
+    /// **Pre-settlement views.** Each shard keeps its own cumulative
+    /// ledger and totals, absorbed during its `step` — *before* the
+    /// cluster's settlement strips duplicate halo purchases. On
+    /// cross-tile workloads the sum of shard books therefore exceeds
+    /// the cluster's settled [`ShardedAggregator::ledger`]/
+    /// [`ShardedAggregator::totals`] by one announced cost per settled
+    /// duplicate. Reconcile against the cluster's books (or the merged
+    /// [`SlotReport`]s), never by summing shard state.
+    pub fn shards(&self) -> &[Aggregator<'s>] {
+        &self.shards
+    }
+
+    /// Cumulative merged money flows across all slots — settled: every
+    /// measurement counted once, unlike the per-shard books behind
+    /// [`ShardedAggregator::shards`].
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// Cumulative merged statistics across all slots.
+    pub fn totals(&self) -> &Totals {
+        &self.totals
+    }
+
+    /// What settlement did in the most recent slot.
+    pub fn last_settlement(&self) -> Settlement {
+        self.last_settlement
+    }
+
+    /// What settlement did across all slots.
+    pub fn total_settlement(&self) -> Settlement {
+        self.total_settlement
+    }
+
+    /// Number of live location monitors across all shards (O(shards),
+    /// no collation — the workload top-up loops call this per spawn).
+    pub fn location_monitor_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.location_monitors().len())
+            .sum()
+    }
+
+    /// Number of live region monitors across all shards.
+    pub fn region_monitor_count(&self) -> usize {
+        self.shards.iter().map(|s| s.region_monitors().len()).sum()
+    }
+
+    /// Live location monitors, collated in shard order.
+    pub fn location_monitors(&self) -> Vec<&LocationMonitor> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.location_monitors())
+            .collect()
+    }
+
+    /// Live region monitors, collated in shard order.
+    pub fn region_monitors(&self) -> Vec<&RegionMonitor> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.region_monitors())
+            .collect()
+    }
+
+    /// Retired monitors, collated in shard order.
+    pub fn retired_monitors(&self) -> Vec<&RetiredMonitor> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.retired_monitors())
+            .collect()
+    }
+
+    /// Drops retained retired-monitor state in every shard.
+    pub fn clear_retired(&mut self) {
+        for s in &mut self.shards {
+            s.clear_retired();
+        }
+    }
+
+    // ── The tick ──────────────────────────────────────────────────────
+
+    /// Runs one time slot: announces each sensor to its home tile plus
+    /// every tile whose halo ring contains it, steps all shards in
+    /// parallel, and settles the per-shard reports into one merged
+    /// [`SlotReport`] (global snapshot indices, shard-order result
+    /// concatenation, deduplicated sensors, budget-balanced merged
+    /// ledger).
+    pub fn step(&mut self, slot: Slot, sensors: &[SensorSnapshot]) -> SlotReport {
+        let n = self.shards.len();
+        // Route the announcement: per-shard snapshot slices plus the
+        // local-index → global-index maps settlement needs later.
+        let mut local: Vec<Vec<SensorSnapshot>> = vec![Vec::new(); n];
+        let mut to_global: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (gi, s) in sensors.iter().enumerate() {
+            for k in self.grid.tiles_seeing(s.loc, self.halo) {
+                local[k].push(*s);
+                to_global[k].push(gi);
+            }
+        }
+
+        let reports = self.step_shards(slot, &local);
+        for (k, shard) in self.shards.iter().enumerate() {
+            assert!(
+                shard.next_query_id() < (k as u64 + 1) * SHARD_ID_BLOCK,
+                "shard {k} overran its query-id block"
+            );
+        }
+
+        let mut report = self.settle(slot, sensors, reports, &to_global);
+        self.ledger.absorb(&report.ledger);
+        self.totals.absorb_report(&report);
+        self.totals.monitors_retired = self
+            .shards
+            .iter()
+            .map(|s| s.totals().monitors_retired)
+            .sum();
+        report.totals = self.totals.clone();
+        report
+    }
+
+    /// Steps every shard against its routed announcement, in parallel on
+    /// a scoped fork-join pool. Reports come back in ascending shard
+    /// order regardless of the worker count, which is the whole
+    /// determinism argument: the merge below never observes scheduling.
+    fn step_shards(&mut self, slot: Slot, local: &[Vec<SensorSnapshot>]) -> Vec<SlotReport> {
+        let n = self.shards.len();
+        let ranges = Threads::new(self.threads.get().min(n)).shard_ranges(n);
+        if ranges.len() <= 1 {
+            return self
+                .shards
+                .iter_mut()
+                .zip(local)
+                .map(|(shard, sensors)| shard.step(slot, sensors))
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(ranges.len());
+            let mut shard_rest: &mut [Aggregator<'s>] = &mut self.shards;
+            let mut local_rest: &[Vec<SensorSnapshot>] = local;
+            for range in &ranges {
+                let (chunk, rest) = shard_rest.split_at_mut(range.len());
+                shard_rest = rest;
+                let (sensors, lrest) = local_rest.split_at(range.len());
+                local_rest = lrest;
+                handles.push(scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .zip(sensors)
+                        .map(|(shard, sensors)| shard.step(slot, sensors))
+                        .collect::<Vec<SlotReport>>()
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+
+    /// The global settlement pass: remaps every per-shard result to
+    /// global snapshot indices, merges reports in shard order, and
+    /// resolves halo sensors selected by multiple shards — the lowest
+    /// shard id keeps the purchase, each losing shard's ledger refunds
+    /// its payers ([`Ledger::strip_sensor`]) and the duplicate's cost
+    /// returns to welfare, so the merged ledger pays every measurement
+    /// exactly once.
+    fn settle(
+        &mut self,
+        slot: Slot,
+        sensors: &[SensorSnapshot],
+        reports: Vec<SlotReport>,
+        to_global: &[Vec<usize>],
+    ) -> SlotReport {
+        let mut settlement = Settlement::default();
+        let mut claimed: HashSet<usize> = HashSet::new();
+        let mut welfare = 0.0;
+        let mut breakdown = MixBreakdown::default();
+        let mut ledger = Ledger::new();
+        let mut sensors_used = Vec::new();
+        let mut point_results = Vec::new();
+        let mut aggregate_results = Vec::new();
+        let mut custom_results = Vec::new();
+
+        for (k, mut rep) in reports.into_iter().enumerate() {
+            let map = &to_global[k];
+            for r in &mut rep.point_results {
+                r.sensor = r.sensor.map(|si| map[si]);
+            }
+            for r in &mut rep.aggregate_results {
+                for si in &mut r.sensors {
+                    *si = map[*si];
+                }
+            }
+            for r in &mut rep.custom_results {
+                for si in &mut r.sensors {
+                    *si = map[*si];
+                }
+            }
+            for si in &mut rep.sensors_used {
+                *si = map[*si];
+            }
+
+            let mut refunds: Vec<(QueryId, f64)> = Vec::new();
+            for &gi in &rep.sensors_used {
+                if claimed.insert(gi) {
+                    sensors_used.push(gi);
+                } else {
+                    // A lower shard already owns this measurement: undo
+                    // this shard's purchase.
+                    settlement.duplicates += 1;
+                    settlement.cost_restored += sensors[gi].cost;
+                    refunds.extend(rep.ledger.sensor_payers(sensors[gi].id));
+                    settlement.refunded += rep.ledger.strip_sensor(sensors[gi].id);
+                }
+            }
+            // Keep the per-query `paid` fields consistent with the
+            // settled ledger: a refunded query's result must not still
+            // claim the pre-settlement payment. (Monitor-owned query ids
+            // have no entry in the result lists; their refunds live only
+            // in the ledger.)
+            apply_refunds_to_results(&mut rep, refunds);
+
+            welfare += rep.welfare;
+            breakdown.absorb(&rep.breakdown);
+            ledger.absorb(&rep.ledger);
+            point_results.extend(rep.point_results);
+            aggregate_results.extend(rep.aggregate_results);
+            custom_results.extend(rep.custom_results);
+        }
+        welfare += settlement.cost_restored;
+
+        self.last_settlement = settlement;
+        self.total_settlement.absorb(&settlement);
+
+        SlotReport {
+            slot,
+            welfare,
+            breakdown,
+            ledger,
+            sensors_used,
+            point_results,
+            aggregate_results,
+            custom_results,
+            totals: Totals::default(),
+        }
+    }
+}
+
+/// Subtracts settlement refunds from the `paid` fields of the results
+/// they belong to. One id → result-slot map is built per report that
+/// actually has refunds, so settlement stays O(results + refunds) even
+/// on seam-heavy metro slots. Ids not present in any result list
+/// (monitor-generated queries, sharing contributors) are ledger-only
+/// and need no rewrite.
+fn apply_refunds_to_results(rep: &mut SlotReport, refunds: Vec<(QueryId, f64)>) {
+    if refunds.is_empty() {
+        return;
+    }
+    let mut slots: HashMap<QueryId, (u8, usize)> = HashMap::new();
+    for (i, r) in rep.point_results.iter().enumerate() {
+        slots.insert(r.id, (0, i));
+    }
+    for (i, r) in rep.aggregate_results.iter().enumerate() {
+        slots.insert(r.id, (1, i));
+    }
+    for (i, r) in rep.custom_results.iter().enumerate() {
+        slots.insert(r.id, (2, i));
+    }
+    for (qid, amount) in refunds {
+        match slots.get(&qid) {
+            Some(&(0, i)) => rep.point_results[i].paid -= amount,
+            Some(&(1, i)) => rep.aggregate_results[i].paid -= amount,
+            Some(&(2, i)) => rep.custom_results[i].paid -= amount,
+            _ => {}
+        }
+    }
+}
+
+// The cluster's whole reason to exist is stepping engines on worker
+// threads; if `Aggregator` ever stops being `Send`, fail loudly at
+// compile time rather than in a trait bound three layers up.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Aggregator<'static>>();
+    assert_send::<ShardedAggregator<'static>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_geo::Rect;
+
+    fn quality() -> QualityModel {
+        QualityModel::new(5.0)
+    }
+
+    fn arena() -> Rect {
+        Rect::with_size(100.0, 100.0)
+    }
+
+    fn sensor(id: usize, x: f64, y: f64) -> SensorSnapshot {
+        SensorSnapshot {
+            id,
+            loc: Point::new(x, y),
+            cost: 10.0,
+            trust: 1.0,
+            inaccuracy: 0.0,
+        }
+    }
+
+    fn point_spec(x: f64, y: f64, budget: f64) -> PointSpec {
+        PointSpec {
+            loc: Point::new(x, y),
+            budget,
+            theta_min: 0.2,
+        }
+    }
+
+    #[test]
+    fn queries_route_to_the_anchor_tile_with_disjoint_id_blocks() {
+        let mut cluster = ClusterBuilder::new(quality(), arena(), 2).build();
+        let a = cluster.submit_point(point_spec(10.0, 10.0, 15.0)); // tile 0
+        let b = cluster.submit_point(point_spec(90.0, 10.0, 15.0)); // tile 1
+        let c = cluster.submit_point(point_spec(10.0, 90.0, 15.0)); // tile 2
+        let d = cluster.submit_point(point_spec(90.0, 90.0, 15.0)); // tile 3
+        assert_eq!(a, QueryId(1));
+        assert_eq!(b, QueryId(SHARD_ID_BLOCK + 1));
+        assert_eq!(c, QueryId(2 * SHARD_ID_BLOCK + 1));
+        assert_eq!(d, QueryId(3 * SHARD_ID_BLOCK + 1));
+        let e = cluster.submit_aggregate(AggregateSpec {
+            region: Rect::new(60.0, 60.0, 80.0, 80.0),
+            budget: 40.0,
+            kind: ps_core::query::AggregateKind::Average,
+        });
+        assert_eq!(e, QueryId(3 * SHARD_ID_BLOCK + 2), "centroid routes to 3");
+    }
+
+    #[test]
+    fn one_by_one_cluster_is_the_plain_engine() {
+        let sensors = vec![sensor(0, 5.0, 5.0), sensor(1, 60.0, 60.0)];
+        let specs = [
+            point_spec(5.0, 5.0, 12.0),
+            point_spec(60.0, 60.0, 12.0),
+            point_spec(7.0, 5.0, 9.0),
+        ];
+        let mut plain = AggregatorBuilder::new(quality()).threads(1).build();
+        let mut cluster = ClusterBuilder::new(quality(), arena(), 1).build();
+        for spec in specs {
+            let a = plain.submit_point(spec);
+            let b = cluster.submit_point(spec);
+            assert_eq!(a, b, "1x1 cluster must mint the engine's ids");
+        }
+        for t in 0..2 {
+            let a = plain.step(t, &sensors);
+            let b = cluster.step(t, &sensors);
+            assert_eq!(a.welfare, b.welfare);
+            assert_eq!(a.sensors_used, b.sensors_used);
+            assert_eq!(a.ledger.total_payments(), b.ledger.total_payments());
+            assert_eq!(a.point_results.len(), b.point_results.len());
+        }
+        assert_eq!(cluster.total_settlement(), Settlement::default());
+    }
+
+    #[test]
+    fn halo_duplicates_settle_to_one_payment() {
+        // One sensor on the 2×2 seam, one generous query in tile 0 and
+        // one in tile 3: each shard buys the sensor on its own, and
+        // settlement must collapse the two purchases into one.
+        let sensors = vec![sensor(7, 50.0, 50.0)];
+        let build_cluster = |threads: usize| {
+            ClusterBuilder::new(quality(), arena(), 2)
+                .threads(threads)
+                .build()
+        };
+        let mut cluster = build_cluster(1);
+        cluster.submit_point(point_spec(48.0, 48.0, 30.0));
+        cluster.submit_point(point_spec(52.0, 52.0, 30.0));
+        let report = cluster.step(0, &sensors);
+
+        assert_eq!(cluster.last_settlement().duplicates, 1);
+        assert_eq!(cluster.last_settlement().cost_restored, 10.0);
+        assert_eq!(report.sensors_used, vec![0], "one merged usage entry");
+        assert_eq!(report.breakdown.point_satisfied, 2);
+        report
+            .ledger
+            .verify_cost_recovery(|_| 10.0, 1e-9)
+            .expect("the measurement is paid exactly once");
+        assert!((report.ledger.total_receipts() - report.ledger.total_payments()).abs() < 1e-9);
+        // Per-query `paid` fields are settled too, not just the ledger:
+        // each result agrees with the merged ledger, and their sum is
+        // the sensor's one cost.
+        let paid_sum: f64 = report.point_results.iter().map(|r| r.paid).sum();
+        assert!(
+            (paid_sum - 10.0).abs() < 1e-9,
+            "results double-count: {paid_sum}"
+        );
+        for r in &report.point_results {
+            assert!(
+                (r.paid - report.ledger.query_payment(r.id)).abs() < 1e-9,
+                "result paid {} disagrees with ledger {}",
+                r.paid,
+                report.ledger.query_payment(r.id)
+            );
+        }
+
+        // And the settled welfare equals the plain engine's on the same
+        // slot (both queries value the sensor, its cost counted once).
+        let mut plain = AggregatorBuilder::new(quality()).threads(1).build();
+        plain.submit_point(point_spec(48.0, 48.0, 30.0));
+        plain.submit_point(point_spec(52.0, 52.0, 30.0));
+        let plain_report = plain.step(0, &sensors);
+        assert!((report.welfare - plain_report.welfare).abs() < 1e-9);
+
+        // Determinism: the same slot at a different fork-join width is
+        // bit-identical.
+        let mut wide = build_cluster(7);
+        wide.submit_point(point_spec(48.0, 48.0, 30.0));
+        wide.submit_point(point_spec(52.0, 52.0, 30.0));
+        let wide_report = wide.step(0, &sensors);
+        assert_eq!(report.welfare, wide_report.welfare);
+        assert_eq!(
+            report.ledger.total_payments(),
+            wide_report.ledger.total_payments()
+        );
+    }
+
+    #[test]
+    fn boundary_query_sees_halo_sensors() {
+        // Query in tile 0 near the seam; its only viable sensor sits in
+        // tile 1. Without the halo the query would go unanswered.
+        let sensors = vec![sensor(0, 52.0, 25.0)];
+        let mut cluster = ClusterBuilder::new(quality(), arena(), 2).build();
+        cluster.submit_point(point_spec(49.0, 25.0, 30.0));
+        let report = cluster.step(0, &sensors);
+        assert_eq!(report.breakdown.point_satisfied, 1);
+        assert_eq!(report.point_results[0].sensor, Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "spatial support")]
+    fn supportless_valuations_are_rejected() {
+        use ps_core::valuation::FnValuation;
+        let mut cluster = ClusterBuilder::new(quality(), arena(), 2).build();
+        cluster.submit_valuation(FnValuation::new(|_: &[SensorSnapshot]| 0.0, 1.0));
+    }
+}

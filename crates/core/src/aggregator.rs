@@ -190,7 +190,10 @@ pub struct MixBreakdown {
 }
 
 impl MixBreakdown {
-    fn absorb(&mut self, other: &MixBreakdown) {
+    /// Adds `other`'s counts into this breakdown — slot-into-totals
+    /// accumulation, and the federation layer's shard-order merge of
+    /// per-shard breakdowns into one cluster breakdown.
+    pub fn absorb(&mut self, other: &MixBreakdown) {
         self.point_total += other.point_total;
         self.point_satisfied += other.point_satisfied;
         self.point_quality_sum += other.point_quality_sum;
@@ -289,6 +292,18 @@ pub struct Totals {
     pub monitors_retired: usize,
 }
 
+impl Totals {
+    /// Accumulates one (possibly merged) slot report into these totals.
+    /// The federation layer uses this to keep cluster-level totals over
+    /// settled cross-shard reports; `monitors_retired` is not derivable
+    /// from a report and is tracked by the caller.
+    pub fn absorb_report(&mut self, report: &SlotReport) {
+        self.slots += 1;
+        self.welfare += report.welfare;
+        self.breakdown.absorb(&report.breakdown);
+    }
+}
+
 /// Everything one [`Aggregator::step`] produced.
 #[derive(Debug, Clone)]
 pub struct SlotReport {
@@ -321,6 +336,11 @@ pub struct SlotReport {
 /// The lifetime parameter bounds a borrowed [`PointScheduler`] (or custom
 /// valuations submitted later); owned schedulers give `'static` and can be
 /// elided.
+///
+/// The type is `#[must_use]`: every knob takes `self` and returns the
+/// configured builder, so dropping the return value of a chain method
+/// silently discards that configuration.
+#[must_use = "builder methods take `self` — reassign or chain the result, or the configuration is dropped"]
 pub struct AggregatorBuilder<'s> {
     quality: QualityModel,
     sensing_range: f64,
@@ -420,6 +440,7 @@ impl<'s> AggregatorBuilder<'s> {
     }
 
     /// Builds the engine.
+    #[must_use = "dropping the built engine discards all the configuration"]
     pub fn build(self) -> Aggregator<'s> {
         Aggregator {
             quality: self.quality,
@@ -831,7 +852,11 @@ impl<'s> Aggregator<'s> {
             };
             let contributions = m.apply_results(&rm_satisfied[mi], &rm_plans[mi], &shared);
             for (sensor_id, contribution) in contributions {
-                ledger.charge(m.id, contribution);
+                // Sensor-attributed: if a settlement pass later unwinds
+                // this sensor (`Ledger::strip_sensor`), the monitor's
+                // contribution is refunded along with the payers' net
+                // payments, keeping the merged ledger balanced per query.
+                ledger.charge_for(m.id, sensor_id, contribution);
                 refund_proportionally(
                     ledger,
                     per_query_payments,
@@ -1513,7 +1538,7 @@ fn refund_proportionally(
         return;
     }
     for (qid, p) in payers {
-        ledger.refund(qid, amount * p / total);
+        ledger.refund_for(qid, sensor_id, amount * p / total);
     }
 }
 
@@ -1836,6 +1861,87 @@ mod tests {
         );
         assert!(alg5.breakdown.point_satisfied >= baseline.breakdown.point_satisfied);
         assert!(alg5.breakdown.point_satisfied > 0);
+    }
+
+    /// Spec-based intake produces the same slot as adopted pre-built
+    /// queries (ids aside) — the state-restoration path `adopt_*` exists
+    /// for. (Ported from the deleted `ps_core::mix` shim tests.)
+    #[test]
+    fn spec_intake_matches_adopted_queries() {
+        use crate::monitor::location::LocationMonitor;
+        use crate::monitor::region::RegionMonitor;
+        use crate::query::AggregateKind;
+        use ps_gp::kernel::SquaredExponential;
+
+        let sensors: Vec<SensorSnapshot> = (0..3)
+            .map(|i| sensor(i, 3.0 + 3.0 * i as f64, 4.0))
+            .collect();
+        let mut by_spec = AggregatorBuilder::new(quality()).build();
+        by_spec.submit_point(point_spec(3.0, 4.0, 15.0));
+        by_spec.submit_aggregate(AggregateSpec {
+            region: Rect::new(0.0, 0.0, 12.0, 8.0),
+            budget: 40.0,
+            kind: AggregateKind::Average,
+        });
+        by_spec.submit_location_monitor(LocationMonitorSpec {
+            loc: Point::new(6.0, 4.0),
+            t1: 0,
+            t2: 10,
+            alpha: 0.5,
+            theta_min: 0.2,
+            valuation: MonitoringValuation::new(monitoring_ctx(), 80.0, vec![0.0, 4.0]),
+        });
+        by_spec.submit_region_monitor(RegionMonitorSpec {
+            t1: 0,
+            t2: 10,
+            alpha: 0.5,
+            theta_min: 0.2,
+            valuation: RegionValuation::new(
+                60.0,
+                Rect::new(0.0, 0.0, 9.0, 8.0),
+                &SquaredExponential::new(2.0, 2.0),
+                0.1,
+            ),
+        });
+        let spec_report = by_spec.step(0, &sensors);
+
+        let mut adopted = AggregatorBuilder::new(quality()).build();
+        adopted.adopt_point_query(PointQuery::new(QueryId(1), Point::new(3.0, 4.0), 15.0, 0.2));
+        adopted.adopt_aggregate_query(AggregateQuery {
+            id: QueryId(2),
+            region: Rect::new(0.0, 0.0, 12.0, 8.0),
+            budget: 40.0,
+            kind: AggregateKind::Average,
+        });
+        adopted.adopt_location_monitor(LocationMonitor::new(
+            QueryId(3),
+            Point::new(6.0, 4.0),
+            0,
+            10,
+            0.5,
+            0.2,
+            MonitoringValuation::new(monitoring_ctx(), 80.0, vec![0.0, 4.0]),
+        ));
+        adopted.adopt_region_monitor(RegionMonitor::new(
+            QueryId(4),
+            0,
+            10,
+            0.5,
+            0.2,
+            RegionValuation::new(
+                60.0,
+                Rect::new(0.0, 0.0, 9.0, 8.0),
+                &SquaredExponential::new(2.0, 2.0),
+                0.1,
+            ),
+        ));
+        let adopted_report = adopted.step(0, &sensors);
+        assert!((spec_report.welfare - adopted_report.welfare).abs() < 1e-9);
+        assert_eq!(
+            spec_report.breakdown.point_satisfied,
+            adopted_report.breakdown.point_satisfied
+        );
+        assert_eq!(spec_report.sensors_used, adopted_report.sensors_used);
     }
 
     #[test]

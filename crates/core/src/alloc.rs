@@ -77,7 +77,13 @@ impl PointAllocation {
 }
 
 /// A scheduler of single-sensor point queries for one slot.
-pub trait PointScheduler {
+///
+/// `Send + Sync` is a supertrait because engines owning a scheduler cross
+/// thread boundaries in the federation layer (`ps_cluster` steps whole
+/// `Aggregator`s on scoped worker threads). Every in-tree scheduler is a
+/// plain stateless struct, so the bounds are free; custom schedulers with
+/// interior state must make it thread-safe.
+pub trait PointScheduler: Send + Sync {
     /// Chooses sensors for `queries` among `sensors`, computing values,
     /// payments, and welfare.
     fn schedule(

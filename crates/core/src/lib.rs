@@ -32,8 +32,9 @@
 //! The public entry point is the stateful [`aggregator::Aggregator`]
 //! engine: builder-configured, owning query intake, monitor lifecycle,
 //! and a cumulative ledger, with one [`aggregator::Aggregator::step`]
-//! per time slot. The free functions in [`mix`] are deprecated shims
-//! kept for one release.
+//! per time slot. (The deprecated `mix` free-function shims were removed
+//! after one release; `docs/MIGRATION.md` maps every removed symbol to
+//! its builder-API replacement.)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,7 +43,6 @@ pub mod aggregator;
 pub mod alloc;
 pub mod cost;
 pub mod exec;
-pub mod mix;
 pub mod model;
 pub mod monitor;
 pub mod payment;

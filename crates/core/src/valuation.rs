@@ -47,6 +47,33 @@ impl SpatialSupport {
             SpatialSupport::Rect(rect) => index.query_rect_into(&rect, out),
         }
     }
+
+    /// The support's anchor point — the disk centre or the rectangle
+    /// centroid. This is the federation layer's routing key: a sharded
+    /// cluster sends a query to the tile owning its support's anchor
+    /// (`ps_cluster`), so the anchor must be a pure function of the
+    /// support, independent of any sensor announcement.
+    pub fn anchor(&self) -> Point {
+        match *self {
+            SpatialSupport::Disk { center, .. } => center,
+            SpatialSupport::Rect(rect) => rect.center(),
+        }
+    }
+
+    /// Whether the support lies entirely inside `rect` — the exactness
+    /// test of the federation layer: a query whose support fits its
+    /// shard's tile+halo rectangle sees its full candidate set.
+    pub fn fits_within(&self, rect: &Rect) -> bool {
+        match *self {
+            SpatialSupport::Disk { center, radius } => {
+                center.x - radius >= rect.min_x
+                    && center.x + radius <= rect.max_x
+                    && center.y - radius >= rect.min_y
+                    && center.y + radius <= rect.max_y
+            }
+            SpatialSupport::Rect(r) => rect.contains_rect(&r),
+        }
+    }
 }
 
 /// A query's valuation over *sets* of sensors, consumed incrementally by

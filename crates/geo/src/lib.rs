@@ -17,6 +17,7 @@ pub mod grid;
 pub mod index;
 pub mod point;
 pub mod rect;
+pub mod tiles;
 pub mod trajectory;
 
 pub use coverage::{covered_fraction, covered_fraction_indexed, CoverageMap};
@@ -24,4 +25,5 @@ pub use grid::{Cell, Grid};
 pub use index::SensorIndex;
 pub use point::Point;
 pub use rect::Rect;
+pub use tiles::TileGrid;
 pub use trajectory::Trajectory;

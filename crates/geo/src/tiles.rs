@@ -1,0 +1,210 @@
+//! Tiling an arena into a g×g grid of shard-owned rectangles.
+//!
+//! The federation layer (`ps_cluster`) partitions the working region into
+//! equal tiles, runs one aggregator per tile, and routes queries to the
+//! tile owning their spatial support's anchor. [`TileGrid`] is the pure
+//! geometry underneath: tile lookup by point (with out-of-arena points
+//! clamped to the nearest tile), per-tile rectangles, and the *halo*
+//! expansion — the ring of width `h` around a tile from which boundary
+//! queries may still draw candidate sensors.
+
+use crate::{Point, Rect};
+
+/// A g×g partition of an arena rectangle into equal tiles, numbered
+/// row-major from the arena's min corner: tile `i = row · g + col`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileGrid {
+    arena: Rect,
+    g: usize,
+}
+
+impl TileGrid {
+    /// Partitions `arena` into `g × g` equal tiles.
+    ///
+    /// # Panics
+    /// Panics when `g` is zero or the arena is degenerate (zero width or
+    /// height) with `g > 1` — a line cannot be tiled.
+    pub fn new(arena: Rect, g: usize) -> Self {
+        assert!(g > 0, "tile grid needs g >= 1");
+        assert!(
+            g == 1 || (arena.width() > 0.0 && arena.height() > 0.0),
+            "cannot tile a degenerate arena into {g}x{g}"
+        );
+        Self { arena, g }
+    }
+
+    /// The arena being tiled.
+    pub fn arena(&self) -> &Rect {
+        &self.arena
+    }
+
+    /// Tiles per side.
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Total number of tiles (`g²`).
+    pub fn len(&self) -> usize {
+        self.g * self.g
+    }
+
+    /// True only for the degenerate zero-tile grid (never constructible —
+    /// kept for the conventional `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Column of the tile owning `x`, clamping coordinates outside the
+    /// arena to the nearest edge tile.
+    fn col_of(&self, x: f64) -> usize {
+        let w = self.arena.width() / self.g as f64;
+        if w <= 0.0 {
+            return 0;
+        }
+        let c = ((x - self.arena.min_x) / w).floor();
+        (c.max(0.0) as usize).min(self.g - 1)
+    }
+
+    /// Row of the tile owning `y` (clamped like [`TileGrid::col_of`]).
+    fn row_of(&self, y: f64) -> usize {
+        let h = self.arena.height() / self.g as f64;
+        if h <= 0.0 {
+            return 0;
+        }
+        let r = ((y - self.arena.min_y) / h).floor();
+        (r.max(0.0) as usize).min(self.g - 1)
+    }
+
+    /// Index of the tile owning `p` (row-major). Points outside the arena
+    /// are clamped to the nearest tile, so every point routes somewhere.
+    pub fn tile_of(&self, p: Point) -> usize {
+        self.row_of(p.y) * self.g + self.col_of(p.x)
+    }
+
+    /// The tile's own rectangle (no halo).
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`.
+    pub fn tile_rect(&self, i: usize) -> Rect {
+        assert!(i < self.len(), "tile {i} out of range");
+        let (row, col) = (i / self.g, i % self.g);
+        let w = self.arena.width() / self.g as f64;
+        let h = self.arena.height() / self.g as f64;
+        Rect::new(
+            self.arena.min_x + col as f64 * w,
+            self.arena.min_y + row as f64 * h,
+            self.arena.min_x + (col + 1) as f64 * w,
+            self.arena.min_y + (row + 1) as f64 * h,
+        )
+    }
+
+    /// The tile's rectangle expanded by the halo width `h` on every side
+    /// — the region a shard draws candidate sensors from. Not clamped to
+    /// the arena: sensors may announce from slightly outside it.
+    pub fn halo_rect(&self, i: usize, h: f64) -> Rect {
+        let r = self.tile_rect(i);
+        Rect::new(r.min_x - h, r.min_y - h, r.max_x + h, r.max_y + h)
+    }
+
+    /// Indices of every tile that must see a sensor announced at `p`:
+    /// the tiles whose halo-expanded rectangles contain `p`, computed
+    /// with the same edge clamping as [`TileGrid::tile_of`]. For points
+    /// inside the arena (or within `halo` of it) this is exactly
+    /// halo-rect membership; points further out still map to the nearest
+    /// edge tiles — deliberately, so a far-out sensor remains visible to
+    /// the shard whose clamped queries could still be served by it,
+    /// matching what a single un-tiled engine would do. Ascending
+    /// (row-major) order; always contains `tile_of(p)`.
+    pub fn tiles_seeing(&self, p: Point, halo: f64) -> impl Iterator<Item = usize> + '_ {
+        let g = self.g;
+        let col_lo = self.col_of(p.x + halo).min(self.col_of(p.x - halo));
+        let col_hi = self.col_of(p.x + halo).max(self.col_of(p.x - halo));
+        let row_lo = self.row_of(p.y + halo).min(self.row_of(p.y - halo));
+        let row_hi = self.row_of(p.y + halo).max(self.row_of(p.y - halo));
+        (row_lo..=row_hi).flat_map(move |row| (col_lo..=col_hi).map(move |col| row * g + col))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> TileGrid {
+        TileGrid::new(Rect::new(0.0, 0.0, 100.0, 100.0), 2)
+    }
+
+    #[test]
+    fn tiles_partition_the_arena() {
+        let g = grid();
+        assert_eq!(g.len(), 4);
+        let total: f64 = (0..g.len()).map(|i| g.tile_rect(i).area()).sum();
+        assert!((total - g.arena().area()).abs() < 1e-9);
+        assert_eq!(g.tile_rect(0), Rect::new(0.0, 0.0, 50.0, 50.0));
+        assert_eq!(g.tile_rect(3), Rect::new(50.0, 50.0, 100.0, 100.0));
+    }
+
+    #[test]
+    fn tile_of_routes_row_major_and_clamps() {
+        let g = grid();
+        assert_eq!(g.tile_of(Point::new(10.0, 10.0)), 0);
+        assert_eq!(g.tile_of(Point::new(60.0, 10.0)), 1);
+        assert_eq!(g.tile_of(Point::new(10.0, 60.0)), 2);
+        assert_eq!(g.tile_of(Point::new(60.0, 60.0)), 3);
+        // Outside the arena: clamped to the nearest tile.
+        assert_eq!(g.tile_of(Point::new(-5.0, -5.0)), 0);
+        assert_eq!(g.tile_of(Point::new(200.0, 200.0)), 3);
+        // The seam belongs to the higher tile (floor semantics).
+        assert_eq!(g.tile_of(Point::new(50.0, 0.0)), 1);
+    }
+
+    #[test]
+    fn halo_expands_every_side() {
+        let g = grid();
+        assert_eq!(g.halo_rect(0, 5.0), Rect::new(-5.0, -5.0, 55.0, 55.0));
+    }
+
+    #[test]
+    fn tiles_seeing_matches_halo_rect_membership() {
+        let g = TileGrid::new(Rect::new(0.0, 0.0, 90.0, 90.0), 3);
+        let halo = 7.0;
+        for &p in &[
+            Point::new(1.0, 1.0),
+            Point::new(29.0, 45.0),
+            Point::new(30.0, 30.0),
+            Point::new(88.0, 2.0),
+            Point::new(45.0, 45.0),
+            Point::new(-3.0, 95.0),
+        ] {
+            let seen: Vec<usize> = g.tiles_seeing(p, halo).collect();
+            let expect: Vec<usize> = (0..g.len())
+                .filter(|&i| g.halo_rect(i, halo).contains(p))
+                .collect();
+            assert_eq!(seen, expect, "at {p:?}");
+            assert!(seen.contains(&g.tile_of(p)), "home tile missing at {p:?}");
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            assert_eq!(seen, sorted, "ascending order at {p:?}");
+        }
+    }
+
+    #[test]
+    fn far_outside_points_clamp_to_their_edge_tile() {
+        // Beyond the halo, membership degrades to tile_of's clamping:
+        // the far corner sensor stays visible to the corner shard, as a
+        // single un-tiled engine would keep it visible to clamped
+        // queries.
+        let g = grid();
+        let p = Point::new(250.0, 250.0);
+        let seen: Vec<usize> = g.tiles_seeing(p, 5.0).collect();
+        assert_eq!(seen, vec![g.tile_of(p)]);
+        assert_eq!(g.tile_of(p), 3);
+    }
+
+    #[test]
+    fn single_tile_grid_sees_everything() {
+        let g = TileGrid::new(Rect::new(0.0, 0.0, 10.0, 10.0), 1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.tile_of(Point::new(4.0, 4.0)), 0);
+        assert_eq!(g.tiles_seeing(Point::new(4.0, 4.0), 3.0).count(), 1);
+    }
+}

@@ -1,12 +1,19 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! repro [--scale full|test|bench|smoke|city|metro] [--threads N] [fig2 … | all]
+//! repro [--scale full|test|bench|smoke|city|metro] [--threads N] [--shards g] [fig2 … | all]
 //! ```
 //!
 //! `--threads N` sets the worker count for the engine's parallel
 //! evaluate phases (0 = auto-detect); outputs are bit-identical for
 //! every value, so it only changes wall-clock time.
+//!
+//! `--shards g` sets the federation tile-grid side: `1` runs the single
+//! engine, `g >= 2` a `g × g` `ps_cluster::ShardedAggregator` (g² tile
+//! engines, halo routing, global settlement). City and metro scales
+//! default to 2. Unlike `--threads`, sharding may change results on
+//! cross-tile workloads (see docs/PERFORMANCE.md for the measured
+//! welfare gap).
 //!
 //! Prints each figure's series as an aligned table and writes
 //! `results/<figure>.csv`.
@@ -21,6 +28,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::full();
     let mut threads: Option<usize> = None;
+    let mut shards: Option<usize> = None;
     let mut wanted: Vec<ExperimentId> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -51,10 +59,18 @@ fn main() {
                 };
                 threads = Some(n);
             }
+            "--shards" => {
+                let parsed = iter.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(g) = parsed.filter(|&g| g >= 1) else {
+                    eprintln!("--shards expects a tile-grid side >= 1");
+                    std::process::exit(2);
+                };
+                shards = Some(g);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale full|test|bench|smoke|city|metro] [--threads N] \
-                     [fig2 … fig10 trust | all]"
+                     [--shards g] [fig2 … fig10 trust | all]"
                 );
                 return;
             }
@@ -74,6 +90,9 @@ fn main() {
     }
     if let Some(n) = threads {
         scale.threads = n;
+    }
+    if let Some(g) = shards {
+        scale.shards = g;
     }
 
     let results_dir = PathBuf::from("results");

@@ -30,6 +30,13 @@ pub struct Scale {
     /// wall-clock knob — every experiment's output is bit-identical for
     /// every value.
     pub threads: usize,
+    /// Tile-grid side for the federation layer: `1` runs the single
+    /// `Aggregator`, `g ≥ 2` a `ps_cluster::ShardedAggregator` over a
+    /// `g × g` grid (g² shards) with halo routing and global settlement.
+    /// Unlike `threads`, sharding may change results on cross-tile
+    /// workloads; the slot-engine bench reports the measured welfare gap
+    /// (`docs/PERFORMANCE.md`).
+    pub shards: usize,
 }
 
 impl Scale {
@@ -41,6 +48,7 @@ impl Scale {
             sensor_factor: 1.0,
             seed: 2013,
             threads: 0,
+            shards: 1,
         }
     }
 
@@ -52,6 +60,7 @@ impl Scale {
             sensor_factor: 0.5,
             seed: 2013,
             threads: 0,
+            shards: 1,
         }
     }
 
@@ -63,6 +72,7 @@ impl Scale {
             sensor_factor: 0.6,
             seed: 2013,
             threads: 0,
+            shards: 1,
         }
     }
 
@@ -76,6 +86,7 @@ impl Scale {
             sensor_factor: 0.3,
             seed: 2013,
             threads: 0,
+            shards: 1,
         }
     }
 
@@ -93,6 +104,7 @@ impl Scale {
             sensor_factor: 16.0,
             seed: 2013,
             threads: 0,
+            shards: 2,
         }
     }
 
@@ -111,6 +123,7 @@ impl Scale {
             sensor_factor: 160.0,
             seed: 2013,
             threads: 0,
+            shards: 2,
         }
     }
 
@@ -158,6 +171,17 @@ mod tests {
         // region monitors at the paper's scale.
         let standing = s.queries(300) + s.queries(8) + s.queries(40) + s.queries(25);
         assert!(standing >= 5_000, "metro must field ≥5k standing queries");
+    }
+
+    #[test]
+    fn shard_defaults_follow_the_tier() {
+        // Paper-sized tiers run the single engine; the city and metro
+        // operating points default to a 2×2 federation.
+        for s in [Scale::full(), Scale::test(), Scale::bench(), Scale::smoke()] {
+            assert_eq!(s.shards, 1);
+        }
+        assert_eq!(Scale::city().shards, 2);
+        assert_eq!(Scale::metro().shards, 2);
     }
 
     #[test]

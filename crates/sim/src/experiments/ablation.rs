@@ -10,10 +10,10 @@
 //!   metrics for both objectives.
 
 use crate::config::Scale;
+use crate::engine::engine_for;
 use crate::metrics::FigureTable;
 use crate::sensors::{SensorPool, SensorPoolConfig};
 use crate::workload::{point_queries, spawn_region_monitor, BudgetScheme};
-use ps_core::aggregator::AggregatorBuilder;
 use ps_core::alloc::egalitarian::EgalitarianScheduler;
 use ps_core::alloc::optimal::OptimalScheduler;
 use ps_core::alloc::PointScheduler;
@@ -87,12 +87,11 @@ fn run_region_variant(scale: &Scale, budget_factor: f64, variant: RegionVariant,
         &SensorPoolConfig::paper_default(scale.slots, seed),
     );
     let quality = ps_core::valuation::quality::QualityModel::new(2.0);
-    let mut engine = AggregatorBuilder::new(quality)
-        .threads(scale.threads)
-        .scheduler(OptimalScheduler::new())
-        .cost_weighting(variant.weighting)
-        .sensor_sharing(variant.sharing)
-        .build();
+    let mut engine = engine_for(scale, &bounds, quality, move |b| {
+        b.scheduler(OptimalScheduler::new())
+            .cost_weighting(variant.weighting)
+            .sensor_sharing(variant.sharing)
+    });
 
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
     for slot in 0..scale.slots {
@@ -182,10 +181,9 @@ pub fn ablation_objective(scale: &Scale) -> Vec<FigureTable> {
                 &SensorPoolConfig::paper_default(scale.slots, scale.seed ^ 0x66),
             );
             let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(500 + xi as u64));
-            let mut engine = AggregatorBuilder::new(setting.quality)
-                .threads(scale.threads)
-                .scheduler(scheduler)
-                .build();
+            let mut engine = engine_for(scale, &setting.working_region, setting.quality, |b| {
+                b.scheduler(scheduler)
+            });
             for slot in 0..scale.slots {
                 let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
                 for spec in point_queries(
@@ -230,6 +228,7 @@ mod tests {
             sensor_factor: 0.4,
             seed: 9,
             threads: 0,
+            shards: 1,
         }
     }
 

@@ -2,10 +2,11 @@
 //! sequential baseline, on the RNC substitute.
 
 use crate::config::Scale;
+use crate::engine::engine_for;
 use crate::metrics::FigureTable;
 use crate::sensors::{SensorPool, SensorPoolConfig};
 use crate::workload::aggregate_queries;
-use ps_core::aggregator::{AggregatorBuilder, MixStrategy};
+use ps_core::aggregator::MixStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,14 +38,12 @@ fn run_aggregate_simulation(
     algo: AggAlgo,
     workload_seed: u64,
 ) -> AggRunResult {
-    let mut engine = AggregatorBuilder::new(setting.quality)
-        .threads(scale.threads)
-        .sensing_range(SENSING_RANGE)
-        .strategy(match algo {
+    let mut engine = engine_for(scale, &setting.working_region, setting.quality, move |b| {
+        b.sensing_range(SENSING_RANGE).strategy(match algo {
             AggAlgo::Greedy => MixStrategy::Alg5,
             AggAlgo::Baseline => MixStrategy::SequentialBaseline,
         })
-        .build();
+    });
     let mut pool = SensorPool::new(setting.num_agents, pool_cfg);
     let mut rng = StdRng::seed_from_u64(workload_seed);
 
@@ -148,6 +147,7 @@ mod tests {
             sensor_factor: 0.4,
             seed: 5,
             threads: 0,
+            shards: 1,
         };
         let setting = rnc_setting(&scale, 2);
         let cfg = SensorPoolConfig::paper_default(scale.slots, 2);

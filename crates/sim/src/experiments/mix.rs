@@ -4,10 +4,11 @@
 //! to the lack of complete measurement data in RNC").
 
 use crate::config::Scale;
+use crate::engine::engine_for;
 use crate::metrics::FigureTable;
 use crate::sensors::{SensorPool, SensorPoolConfig};
 use crate::workload::{aggregate_queries, point_queries, spawn_location_monitors, BudgetScheme};
-use ps_core::aggregator::{AggregatorBuilder, MixStrategy};
+use ps_core::aggregator::MixStrategy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -39,14 +40,12 @@ fn run_mix_simulation(scale: &Scale, budget_factor: f64, algo: MixAlgo, seed: u6
     let pool_cfg = SensorPoolConfig::privacy_energy(lifetime, seed ^ 0x4444);
     let mut pool = SensorPool::new(setting.num_agents, &pool_cfg);
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(41));
-    let mut engine = AggregatorBuilder::new(setting.quality)
-        .threads(scale.threads)
-        .sensing_range(SENSING_RANGE)
-        .strategy(match algo {
+    let mut engine = engine_for(scale, &setting.working_region, setting.quality, move |b| {
+        b.sensing_range(SENSING_RANGE).strategy(match algo {
             MixAlgo::Alg5 => MixStrategy::Alg5,
             MixAlgo::Baseline => MixStrategy::SequentialBaseline,
         })
-        .build();
+    });
 
     let points_per_slot = scale.queries(300);
     let agg_mean = scale.queries(30);
@@ -57,7 +56,7 @@ fn run_mix_simulation(scale: &Scale, budget_factor: f64, algo: MixAlgo, seed: u6
         for spec in spawn_location_monitors(
             &mut rng,
             slot,
-            engine.location_monitors().len(),
+            engine.location_monitor_count(),
             max_monitors,
             monitor_spawn,
             &setting.working_region,
@@ -96,12 +95,12 @@ fn run_mix_simulation(scale: &Scale, budget_factor: f64, algo: MixAlgo, seed: u6
     let totals = engine.totals().clone();
     let finished_quality: Vec<f64> = engine
         .retired_monitors()
-        .iter()
+        .into_iter()
         .map(|m| m.quality_of_results())
         .chain(
             engine
                 .location_monitors()
-                .iter()
+                .into_iter()
                 .map(|m| m.quality_of_results()),
         )
         .collect();
@@ -208,6 +207,7 @@ mod tests {
             sensor_factor: 0.4,
             seed: 23,
             threads: 0,
+            shards: 1,
         };
         let alg5 = run_mix_simulation(&scale, 15.0, MixAlgo::Alg5, 5);
         let base = run_mix_simulation(&scale, 15.0, MixAlgo::Baseline, 5);

@@ -2,10 +2,12 @@
 //! substitute, region monitoring on the Intel-Lab substitute.
 
 use crate::config::Scale;
+use crate::engine::engine_for;
 use crate::metrics::FigureTable;
 use crate::sensors::{SensorPool, SensorPoolConfig};
 use crate::workload::{spawn_location_monitors, spawn_region_monitor};
-use ps_core::aggregator::{Aggregator, AggregatorBuilder, MixStrategy};
+use ps_cluster::SlotEngine;
+use ps_core::aggregator::MixStrategy;
 use ps_core::alloc::baseline::BaselinePointScheduler;
 use ps_core::alloc::local_search::LocalSearchScheduler;
 use ps_core::alloc::optimal::OptimalScheduler;
@@ -84,21 +86,21 @@ struct MonitorRunResult {
 
 /// Average quality-of-results over every monitor the engine ever ran
 /// (retired ones plus those still live at the end of the horizon).
-fn monitor_quality(engine: &Aggregator) -> f64 {
+fn monitor_quality(engine: &dyn SlotEngine) -> f64 {
     let qualities: Vec<f64> = engine
         .retired_monitors()
-        .iter()
+        .into_iter()
         .map(|m| m.quality_of_results())
         .chain(
             engine
                 .location_monitors()
-                .iter()
+                .into_iter()
                 .map(|m| m.quality_of_results()),
         )
         .chain(
             engine
                 .region_monitors()
-                .iter()
+                .into_iter()
                 .map(|m| m.quality_of_results()),
         )
         .collect();
@@ -119,15 +121,14 @@ fn run_location_simulation(
     let ctx = ozone_context(scale);
     let pool_cfg = SensorPoolConfig::paper_default(scale.slots, seed ^ 0x1111);
     let mut pool = SensorPool::new(setting.num_agents, &pool_cfg);
-    let mut engine = AggregatorBuilder::new(setting.quality)
-        .threads(scale.threads)
-        .scheduler(algo.scheduler())
-        .strategy(if algo.baseline_mode() {
-            MixStrategy::SequentialBaseline
-        } else {
-            MixStrategy::Alg5
-        })
-        .build();
+    let mut engine = engine_for(scale, &setting.working_region, setting.quality, move |b| {
+        b.scheduler(algo.scheduler())
+            .strategy(if algo.baseline_mode() {
+                MixStrategy::SequentialBaseline
+            } else {
+                MixStrategy::Alg5
+            })
+    });
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(17));
     let max_concurrent = scale.queries(100);
     let spawn_mean = scale.queries(5);
@@ -137,7 +138,7 @@ fn run_location_simulation(
         for spec in spawn_location_monitors(
             &mut rng,
             slot,
-            engine.location_monitors().len(),
+            engine.location_monitor_count(),
             max_concurrent,
             spawn_mean,
             &setting.working_region,
@@ -154,7 +155,7 @@ fn run_location_simulation(
 
     MonitorRunResult {
         avg_utility: engine.totals().welfare / scale.slots as f64,
-        avg_quality: monitor_quality(&engine),
+        avg_quality: monitor_quality(engine.as_ref()),
     }
 }
 
@@ -258,20 +259,19 @@ fn run_region_simulation(
     let mut pool = SensorPool::new(num_agents, &pool_cfg);
     let quality = QualityModel::new(2.0); // r_s = 2 (§4.6)
 
-    let scheduler: Box<dyn PointScheduler> = match algo {
-        RegionAlgo::Alg3 => Box::new(OptimalScheduler::new()),
-        RegionAlgo::Baseline => Box::new(BaselinePointScheduler::new()),
-    };
     let (weighting, sharing) = match algo {
         RegionAlgo::Alg3 => (true, true),
         RegionAlgo::Baseline => (false, false),
     };
-    let mut engine = AggregatorBuilder::new(quality)
-        .threads(scale.threads)
-        .scheduler(scheduler)
-        .cost_weighting(weighting)
-        .sensor_sharing(sharing)
-        .build();
+    let mut engine = engine_for(scale, &bounds, quality, move |b| {
+        let scheduler: Box<dyn PointScheduler> = match algo {
+            RegionAlgo::Alg3 => Box::new(OptimalScheduler::new()),
+            RegionAlgo::Baseline => Box::new(BaselinePointScheduler::new()),
+        };
+        b.scheduler(scheduler)
+            .cost_weighting(weighting)
+            .sensor_sharing(sharing)
+    });
 
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(29));
 
@@ -294,7 +294,7 @@ fn run_region_simulation(
 
     MonitorRunResult {
         avg_utility: engine.totals().welfare / scale.slots as f64,
-        avg_quality: monitor_quality(&engine),
+        avg_quality: monitor_quality(engine.as_ref()),
     }
 }
 
@@ -359,6 +359,7 @@ mod tests {
             sensor_factor: 0.4,
             seed: 3,
             threads: 0,
+            shards: 1,
         }
     }
 

@@ -2,10 +2,10 @@
 //! sweep.
 
 use crate::config::Scale;
+use crate::engine::engine_for;
 use crate::metrics::FigureTable;
 use crate::sensors::{SensorPool, SensorPoolConfig, TrustAssignment};
 use crate::workload::{point_queries, BudgetScheme};
-use ps_core::aggregator::AggregatorBuilder;
 use ps_core::alloc::baseline::BaselinePointScheduler;
 use ps_core::alloc::local_search::LocalSearchScheduler;
 use ps_core::alloc::optimal::OptimalScheduler;
@@ -115,10 +115,10 @@ pub struct PointRunResult {
     pub satisfaction: f64,
 }
 
-/// Runs one point-query simulation: a single [`AggregatorBuilder`]-built
-/// engine serves `scale.slots` slots, consuming freshly generated query
-/// specs each slot and updating sensor lifetimes/privacy histories with
-/// the chosen sensors.
+/// Runs one point-query simulation: an [`engine_for`]-selected engine
+/// (single or sharded, per `scale.shards`) serves `scale.slots` slots,
+/// consuming freshly generated query specs each slot and updating sensor
+/// lifetimes/privacy histories with the chosen sensors.
 pub fn run_point_simulation(
     setting: &PointSetting,
     scale: &Scale,
@@ -128,10 +128,9 @@ pub fn run_point_simulation(
     algo: PointAlgo,
     workload_seed: u64,
 ) -> PointRunResult {
-    let mut engine = AggregatorBuilder::new(setting.quality)
-        .threads(scale.threads)
-        .scheduler(algo.scheduler())
-        .build();
+    let mut engine = engine_for(scale, &setting.working_region, setting.quality, move |b| {
+        b.scheduler(algo.scheduler())
+    });
     let mut pool = SensorPool::new(setting.num_agents, pool_cfg);
     let mut rng = StdRng::seed_from_u64(workload_seed);
 
@@ -412,6 +411,7 @@ mod tests {
             sensor_factor: 0.3,
             seed: 7,
             threads: 0,
+            shards: 1,
         };
         let setting = rwm_setting(&scale, 3);
         let cfg = SensorPoolConfig::paper_default(scale.slots, 3);
@@ -442,6 +442,7 @@ mod tests {
             sensor_factor: 0.5,
             seed: 99,
             threads: 0,
+            shards: 1,
         };
         let setting = rwm_setting(&scale, 5);
         let cfg = SensorPoolConfig::paper_default(scale.slots, 5);

@@ -32,6 +32,7 @@
 //!     sensor_factor: 0.25,
 //!     seed: 7,
 //!     threads: 0, // auto-detect workers for the slot pipeline
+//!     shards: 1,  // one engine (2+ = a ShardedAggregator tile grid)
 //! };
 //! let tables = ExperimentId::Fig2.run(&scale);
 //!
@@ -51,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod experiments;
 pub mod metrics;
 pub mod report;

@@ -7,9 +7,8 @@
 //! here.
 
 use crate::config::{Scale, THETA_MIN};
-use ps_core::aggregator::{
-    AggregateSpec, Aggregator, LocationMonitorSpec, PointSpec, RegionMonitorSpec,
-};
+use ps_cluster::SlotEngine;
+use ps_core::aggregator::{AggregateSpec, LocationMonitorSpec, PointSpec, RegionMonitorSpec};
 use ps_core::model::SensorSnapshot;
 use ps_core::query::AggregateKind;
 use ps_core::valuation::monitoring::MonitoringContext;
@@ -200,7 +199,7 @@ pub fn spawn_region_monitor(
     }
 }
 
-/// A standing mixed workload for a long-running [`Aggregator`]: fresh
+/// A standing mixed workload for a long-running [`SlotEngine`]: fresh
 /// point and aggregate queries every slot plus monitor populations that
 /// are topped back up as members retire.
 ///
@@ -369,18 +368,21 @@ impl StandingMixProfile {
             .collect()
     }
 
-    /// Submits one slot of workload into `engine`:
+    /// Submits one slot of workload into `engine` — any [`SlotEngine`]:
+    /// the single `Aggregator` or a `ps_cluster::ShardedAggregator`.
     /// [`StandingMixProfile::point_arrivals`] point specs (the base rate,
     /// burst-scaled on burst slots), ~`aggregates_mean` aggregate specs
     /// cycling through [`StandingMixProfile::aggregate_kinds`], and
     /// enough new monitors (durations uniform in `[5, 20]`, desired
     /// times every 3rd slot, α = 0.5) to top the standing populations
-    /// back up. Returns the number of queries submitted.
-    pub fn submit_slot(
+    /// back up. Returns the number of queries submitted. The RNG draw
+    /// sequence depends only on the profile and the monitor counts, so
+    /// two engines fed from equally-seeded RNGs receive identical specs.
+    pub fn submit_slot<E: SlotEngine + ?Sized>(
         &self,
         rng: &mut StdRng,
         t: usize,
-        engine: &mut Aggregator<'_>,
+        engine: &mut E,
         ctx: &Arc<MonitoringContext>,
         kernel: &SquaredExponential,
     ) -> usize {
@@ -398,7 +400,7 @@ impl StandingMixProfile {
             engine.submit_aggregate(spec);
             submitted += 1;
         }
-        while engine.location_monitors().len() < self.location_monitors {
+        while engine.location_monitor_count() < self.location_monitors {
             let duration = rng.gen_range(5..=20usize);
             let desired: Vec<f64> = (t..t + duration).step_by(3).map(|s| s as f64).collect();
             engine.submit_location_monitor(LocationMonitorSpec {
@@ -415,7 +417,7 @@ impl StandingMixProfile {
             });
             submitted += 1;
         }
-        while engine.region_monitors().len() < self.region_monitors {
+        while engine.region_monitor_count() < self.region_monitors {
             let duration = rng.gen_range(5..=20usize);
             let region = random_subregion(rng, &self.arena, self.region_side.0, self.region_side.1);
             let r_s = 2.0f64;

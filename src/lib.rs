@@ -9,6 +9,7 @@
 //! | Crate | Role |
 //! |---|---|
 //! | [`core`] (`ps_core`) | Queries, valuations, scheduling algorithms, payments (the paper's §2–§3) |
+//! | [`cluster`] (`ps_cluster`) | Sharded federation: tiled multi-aggregator cluster, halo routing, settlement |
 //! | [`geo`] (`ps_geo`) | Grid geometry: points, rectangles, cells, trajectories, coverage |
 //! | [`sim`] (`ps_sim`) | Time-slotted simulator + one experiment driver per figure (§4) |
 //! | [`stats`] (`ps_stats`) | Regression, sampling-time selection, descriptive statistics |
@@ -58,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ps_cluster as cluster;
 pub use ps_core as core;
 pub use ps_data as data;
 pub use ps_geo as geo;

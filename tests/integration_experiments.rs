@@ -12,6 +12,7 @@ fn scale() -> Scale {
         sensor_factor: 0.5,
         seed: 20130318, // EDBT'13 conference date
         threads: 0,
+        shards: 1,
     }
 }
 
@@ -61,6 +62,7 @@ fn fig3_rnc_is_sparser_than_rwm() {
         sensor_factor: 1.0,
         seed: 20130318,
         threads: 0,
+        shards: 1,
     };
     let rwm = fig2(&s);
     let rnc = fig3(&s);
@@ -187,6 +189,7 @@ fn every_experiment_runs_at_test_scale() {
         sensor_factor: 0.35,
         seed: 77,
         threads: 0,
+        shards: 1,
     };
     for id in ExperimentId::ALL {
         let tables = id.run(&s);

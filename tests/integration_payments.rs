@@ -21,6 +21,7 @@ fn scale() -> Scale {
         sensor_factor: 0.4,
         seed: 31337,
         threads: 0,
+        shards: 1,
     }
 }
 

@@ -24,6 +24,7 @@ fn scale() -> Scale {
         sensor_factor: 0.5,
         seed: 424242,
         threads: 0,
+        shards: 1,
     }
 }
 
