@@ -1,8 +1,8 @@
 //! Aggregator engine throughput, the spatial-index scaling story, the
-//! threads×scale parallel-pipeline grid, and the shards×scale
-//! federation grid.
+//! threads×scale parallel-pipeline grid, the shards×scale federation
+//! grid, and the streaming-intake latency/welfare part.
 //!
-//! Four parts:
+//! Five parts:
 //!
 //! 1. **Standing workload** (criterion group `slot_engine`): one
 //!    long-running `Aggregator` serves a steady stream — point and
@@ -27,6 +27,13 @@
 //!    micro-workload identity check run once per tile grid (the
 //!    `ps_cluster` exactness contract; the check is scale-independent,
 //!    so its verdict is shared by that grid's scale rows).
+//! 5. **Streaming intake** (`slot_engine_streaming`): the city and metro
+//!    standing workloads as bursty timestamped event streams
+//!    (`StandingMixProfile::slot_events`) driven through the
+//!    `MixStrategy::OnlineAuction` engine via `step_streaming`. Records
+//!    per-slot step time, p50/p99 per-query decision latency in ticks,
+//!    the fraction of point queries matched mid-slot, and the welfare
+//!    gap against a batch Alg5 engine fed the *identical* event stream.
 //!
 //! All results are printed and written as machine-readable JSON to
 //! `BENCH_slot_engine.json` at the repo root (override the path with
@@ -78,6 +85,12 @@ const FULL_THREADS_GRID: [usize; 3] = [1, 2, 4];
 /// Tile-grid sides measured by the shards×scale grid in full mode
 /// (1 = the plain engine, 2 = a 2×2 federation of 4 shards).
 const FULL_SHARDS_GRID: [usize; 2] = [1, 2];
+/// Event-time resolution of the streaming part (`ps_core`'s default).
+const STREAMING_TICKS_PER_SLOT: u64 = ps_core::aggregator::DEFAULT_TICKS_PER_SLOT;
+/// Burst cadence/height applied to the streaming scales that do not
+/// already carry one (`StandingMixProfile::metro`'s shape).
+const STREAMING_BURST_PERIOD: usize = 4;
+const STREAMING_BURST_FACTOR: f64 = 1.5;
 
 fn monitoring_ctx() -> Arc<MonitoringContext> {
     let times: Vec<f64> = (0..200).map(|i| i as f64 - 200.0).collect();
@@ -543,6 +556,141 @@ fn shards_grid(smoke: bool) -> Vec<ShardsResult> {
     results
 }
 
+// ── Part 5: streaming intake — decision latency and welfare gap ──────
+
+/// One scale row of the streaming part.
+struct StreamingResult {
+    scale: &'static str,
+    sensors: usize,
+    standing_queries: usize,
+    ms_per_slot: f64,
+    p50_decision_ticks: u64,
+    p99_decision_ticks: u64,
+    /// Fraction of one-shot point queries matched mid-slot by the
+    /// online auction (the rest waited for the boundary pass).
+    matched_at_arrival_fraction: f64,
+    /// `(welfare_batch − welfare_online) / |welfare_batch|` on the
+    /// identical event stream: what arrival-time matching gives up to
+    /// boundary-time Alg5 (negative when the online auction wins).
+    welfare_gap_vs_batch_alg5: f64,
+}
+
+/// Drives one profile's bursty event stream through an
+/// `OnlineAuction` engine and a batch Alg5 engine slot-locked on the
+/// *same* events, timing only the online engine's `step_streaming`.
+fn run_streaming_pair(
+    name: &'static str,
+    profile: &StandingMixProfile,
+    warmup: usize,
+    measured: usize,
+    ctx: &Arc<MonitoringContext>,
+    kernel: &SquaredExponential,
+) -> StreamingResult {
+    use ps_core::aggregator::MixStrategy;
+    use ps_core::streaming::StreamStats;
+    let tps = STREAMING_TICKS_PER_SLOT;
+    let mut online = AggregatorBuilder::new(QualityModel::new(5.0))
+        .strategy(MixStrategy::OnlineAuction)
+        .build();
+    let mut batch = AggregatorBuilder::new(QualityModel::new(5.0)).build();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut times = Vec::with_capacity(measured);
+    let mut stats = StreamStats::new(tps);
+    let (mut online_welfare, mut batch_welfare) = (0.0f64, 0.0f64);
+    for slot in 0..warmup + measured {
+        // Both engines see the same admitted monitors, so the online
+        // engine's standing populations speak for both.
+        let events = profile.slot_events(
+            &mut rng,
+            slot,
+            tps,
+            online.location_monitors().len(),
+            online.region_monitors().len(),
+            ctx,
+            kernel,
+        );
+        let start = Instant::now();
+        let report = online.step_streaming(slot, &events);
+        let elapsed = start.elapsed();
+        let batch_report = batch.step_streaming(slot, &events);
+        online.clear_retired();
+        batch.clear_retired();
+        online_welfare += report.welfare;
+        batch_welfare += batch_report.welfare;
+        if slot >= warmup {
+            times.push(elapsed);
+            if let Some(s) = &report.streaming {
+                stats.absorb(s);
+            }
+        }
+    }
+    StreamingResult {
+        scale: name,
+        sensors: profile.sensors,
+        standing_queries: profile.standing_queries(),
+        ms_per_slot: median_ms(times),
+        p50_decision_ticks: stats.p50().unwrap_or(0),
+        p99_decision_ticks: stats.p99().unwrap_or(0),
+        matched_at_arrival_fraction: stats.matched_at_arrival as f64
+            / stats.decision_ticks.len().max(1) as f64,
+        welfare_gap_vs_batch_alg5: if batch_welfare.abs() > f64::EPSILON {
+            (batch_welfare - online_welfare) / batch_welfare.abs()
+        } else {
+            0.0
+        },
+    }
+}
+
+fn streaming_grid(smoke: bool) -> Vec<StreamingResult> {
+    let with_bursts = |mut profile: StandingMixProfile| {
+        if profile.burst_period == 0 {
+            profile.burst_period = STREAMING_BURST_PERIOD;
+            profile.burst_factor = STREAMING_BURST_FACTOR;
+        }
+        profile
+    };
+    let (scales, warmup, measured): (Vec<(&'static str, StandingMixProfile)>, usize, usize) =
+        if smoke {
+            (vec![("smoke", with_bursts(tier_profile(500)))], 1, 2)
+        } else {
+            (
+                vec![
+                    (
+                        "city",
+                        with_bursts(StandingMixProfile::from_scale(&Scale::city())),
+                    ),
+                    ("metro", StandingMixProfile::metro()),
+                ],
+                FULL_WARMUP_SLOTS,
+                FULL_MEASURED_SLOTS,
+            )
+        };
+    let ctx = monitoring_ctx();
+    let kernel = SquaredExponential::new(2.0, 2.0);
+    let mut results = Vec::new();
+    for (name, profile) in &scales {
+        let r = run_streaming_pair(name, profile, warmup, measured, &ctx, &kernel);
+        println!(
+            "slot_engine_streaming/{name:>5} ({} sensors, {} standing queries)  \
+             {:>9.3} ms/slot  decision ticks p50 {} / p99 {}  \
+             matched at arrival {:.2}  welfare gap vs batch {:+.4}",
+            r.sensors,
+            r.standing_queries,
+            r.ms_per_slot,
+            r.p50_decision_ticks,
+            r.p99_decision_ticks,
+            r.matched_at_arrival_fraction,
+            r.welfare_gap_vs_batch_alg5,
+        );
+        assert!(
+            r.p99_decision_ticks <= STREAMING_TICKS_PER_SLOT,
+            "no decision can wait past the slot boundary on the {name} scenario"
+        );
+        results.push(r);
+    }
+    results
+}
+
 fn scaling() -> (Vec<TierResult>, &'static str) {
     let smoke = std::env::var("SLOT_ENGINE_SMOKE").is_ok_and(|v| v == "1");
     let (tiers, warmup, measured, mode): (Vec<usize>, usize, usize, &'static str) = if smoke {
@@ -579,6 +727,7 @@ fn render_json(
     results: &[TierResult],
     threads: &[ThreadsResult],
     shards: &[ShardsResult],
+    streaming: &[StreamingResult],
     mode: &str,
 ) -> String {
     // The `config` object describes the *full-run* workload constants and
@@ -588,7 +737,7 @@ fn render_json(
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"slot_engine\",\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"command\": \"cargo bench -p ps-bench --bench slot_engine\",\n");
     out.push_str("  \"config\": {\n");
@@ -616,8 +765,18 @@ fn render_json(
     ));
     out.push_str("    \"full_shards_grid_scales\": [\"city\", \"metro\"],\n");
     out.push_str(&format!(
-        "    \"full_shards_grid\": [{}]\n",
+        "    \"full_shards_grid\": [{}],\n",
         FULL_SHARDS_GRID.map(|t| t.to_string()).join(", ")
+    ));
+    out.push_str("    \"full_streaming_scales\": [\"city\", \"metro\"],\n");
+    out.push_str(&format!(
+        "    \"streaming_ticks_per_slot\": {STREAMING_TICKS_PER_SLOT},\n"
+    ));
+    out.push_str(&format!(
+        "    \"streaming_burst_period\": {STREAMING_BURST_PERIOD},\n"
+    ));
+    out.push_str(&format!(
+        "    \"streaming_burst_factor\": {STREAMING_BURST_FACTOR}\n"
     ));
     out.push_str("  },\n");
     out.push_str("  \"results\": [\n");
@@ -671,6 +830,24 @@ fn render_json(
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"streaming\": [\n");
+    for (i, r) in streaming.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"scale\": \"{}\", \"sensors\": {}, \"standing_queries\": {}, \
+             \"ms_per_slot\": {:.3}, \"p50_decision_ticks\": {}, \"p99_decision_ticks\": {}, \
+             \"matched_at_arrival_fraction\": {:.4}, \"welfare_gap_vs_batch_alg5\": {:.4} }}{}\n",
+            r.scale,
+            r.sensors,
+            r.standing_queries,
+            r.ms_per_slot,
+            r.p50_decision_ticks,
+            r.p99_decision_ticks,
+            r.matched_at_arrival_fraction,
+            r.welfare_gap_vs_batch_alg5,
+            if i + 1 < streaming.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
     // Hardware context matters for the threads grid: a speedup of ~1.0
     // on a 1-core runner is the expected reading, not a regression.
     out.push_str(&format!(
@@ -705,8 +882,12 @@ fn main() {
     let (results, mode) = scaling();
     let threads = threads_grid(mode == "smoke");
     let shards = shards_grid(mode == "smoke");
+    let streaming = streaming_grid(mode == "smoke");
     let path = json_path(mode);
-    std::fs::write(&path, render_json(&results, &threads, &shards, mode))
-        .expect("write BENCH_slot_engine.json");
+    std::fs::write(
+        &path,
+        render_json(&results, &threads, &shards, &streaming, mode),
+    )
+    .expect("write BENCH_slot_engine.json");
     println!("wrote {}", path.display());
 }

@@ -10,6 +10,7 @@ use ps_core::model::{QueryId, SensorSnapshot, Slot};
 use ps_core::monitor::location::LocationMonitor;
 use ps_core::monitor::region::RegionMonitor;
 use ps_core::payment::Ledger;
+use ps_core::streaming::{ArrivalEvent, ArrivalPayload, StreamStats};
 use ps_core::valuation::quality::QualityModel;
 use ps_core::valuation::{SetValuation, SpatialSupport};
 use ps_geo::{Point, Rect, TileGrid};
@@ -386,11 +387,98 @@ impl<'s> ShardedAggregator<'s> {
         report
     }
 
+    /// Runs one time slot against a stream of intra-slot
+    /// [`ArrivalEvent`]s: every query event is routed by the same
+    /// support-anchor rule as the `submit_*` methods, every sensor event
+    /// goes to its home tile plus the halo ring (stamped with its global
+    /// arrival ordinal for settlement), and each shard consumes its
+    /// sub-stream through [`Aggregator::step_streaming`]. Settlement is
+    /// the ordinary budget-balanced pass; the merged report carries the
+    /// shard-order concatenation of the per-shard latency statistics. A
+    /// stream whose events all carry tick 0 in submission order is
+    /// bit-identical to routing the submissions up front and calling
+    /// [`ShardedAggregator::step`].
+    pub fn step_streaming(&mut self, slot: Slot, events: &[ArrivalEvent]) -> SlotReport {
+        let n = self.shards.len();
+        let mut local: Vec<Vec<ArrivalEvent>> = vec![Vec::new(); n];
+        let mut to_global: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut sensors: Vec<SensorSnapshot> = Vec::new();
+        for ev in events {
+            match &ev.payload {
+                ArrivalPayload::Sensor(s) => {
+                    let gi = sensors.len();
+                    sensors.push(*s);
+                    for k in self.grid.tiles_seeing(s.loc, self.halo) {
+                        local[k].push(ev.clone());
+                        to_global[k].push(gi);
+                    }
+                }
+                ArrivalPayload::Point(spec) => {
+                    local[self.shard_of_point(spec.loc)].push(ev.clone());
+                }
+                ArrivalPayload::Aggregate(spec) => {
+                    let k = self.shard_of(&SpatialSupport::Rect(spec.region));
+                    local[k].push(ev.clone());
+                }
+                ArrivalPayload::LocationMonitor(spec) => {
+                    local[self.shard_of_point(spec.loc)].push(ev.clone());
+                }
+                ArrivalPayload::RegionMonitor(spec) => {
+                    let k = self.shard_of(&SpatialSupport::Rect(*spec.valuation.region()));
+                    local[k].push(ev.clone());
+                }
+            }
+        }
+
+        let mut reports =
+            self.step_shards_with(&local, |shard, events| shard.step_streaming(slot, events));
+        for (k, shard) in self.shards.iter().enumerate() {
+            assert!(
+                shard.next_query_id() < (k as u64 + 1) * SHARD_ID_BLOCK,
+                "shard {k} overran its query-id block"
+            );
+        }
+
+        // Pull the per-shard latency statistics out before settlement
+        // merges the reports (settlement is latency-agnostic).
+        let mut stats = StreamStats::new(0);
+        for rep in &mut reports {
+            if let Some(s) = rep.streaming.take() {
+                stats.absorb(&s);
+            }
+        }
+
+        let mut report = self.settle(slot, &sensors, reports, &to_global);
+        report.streaming = Some(stats);
+        self.ledger.absorb(&report.ledger);
+        self.totals.absorb_report(&report);
+        self.totals.monitors_retired = self
+            .shards
+            .iter()
+            .map(|s| s.totals().monitors_retired)
+            .sum();
+        report.totals = self.totals.clone();
+        report
+    }
+
     /// Steps every shard against its routed announcement, in parallel on
     /// a scoped fork-join pool. Reports come back in ascending shard
     /// order regardless of the worker count, which is the whole
     /// determinism argument: the merge below never observes scheduling.
     fn step_shards(&mut self, slot: Slot, local: &[Vec<SensorSnapshot>]) -> Vec<SlotReport> {
+        self.step_shards_with(local, |shard, sensors| shard.step(slot, sensors))
+    }
+
+    /// The shared fork-join skeleton behind [`ShardedAggregator::step`]
+    /// and [`ShardedAggregator::step_streaming`]: applies `f` to every
+    /// (shard, routed input) pair — serially below two worker ranges,
+    /// otherwise on scoped threads over contiguous shard chunks — and
+    /// returns the reports in ascending shard order either way.
+    fn step_shards_with<I: Sync>(
+        &mut self,
+        local: &[Vec<I>],
+        f: impl Fn(&mut Aggregator<'s>, &[I]) -> SlotReport + Sync,
+    ) -> Vec<SlotReport> {
         let n = self.shards.len();
         let ranges = Threads::new(self.threads.get().min(n)).shard_ranges(n);
         if ranges.len() <= 1 {
@@ -398,23 +486,24 @@ impl<'s> ShardedAggregator<'s> {
                 .shards
                 .iter_mut()
                 .zip(local)
-                .map(|(shard, sensors)| shard.step(slot, sensors))
+                .map(|(shard, inputs)| f(shard, inputs))
                 .collect();
         }
         std::thread::scope(|scope| {
+            let f = &f;
             let mut handles = Vec::with_capacity(ranges.len());
             let mut shard_rest: &mut [Aggregator<'s>] = &mut self.shards;
-            let mut local_rest: &[Vec<SensorSnapshot>] = local;
+            let mut local_rest: &[Vec<I>] = local;
             for range in &ranges {
                 let (chunk, rest) = shard_rest.split_at_mut(range.len());
                 shard_rest = rest;
-                let (sensors, lrest) = local_rest.split_at(range.len());
+                let (inputs, lrest) = local_rest.split_at(range.len());
                 local_rest = lrest;
                 handles.push(scope.spawn(move || {
                     chunk
                         .iter_mut()
-                        .zip(sensors)
-                        .map(|(shard, sensors)| shard.step(slot, sensors))
+                        .zip(inputs)
+                        .map(|(shard, inputs)| f(shard, inputs))
                         .collect::<Vec<SlotReport>>()
                 }));
             }
@@ -510,6 +599,7 @@ impl<'s> ShardedAggregator<'s> {
             aggregate_results,
             custom_results,
             totals: Totals::default(),
+            streaming: None,
         }
     }
 }

@@ -10,6 +10,7 @@ use ps_core::model::{QueryId, SensorSnapshot, Slot};
 use ps_core::monitor::location::LocationMonitor;
 use ps_core::monitor::region::RegionMonitor;
 use ps_core::payment::Ledger;
+use ps_core::streaming::ArrivalEvent;
 
 /// What a slot-stepped acquisition engine looks like from the outside:
 /// query intake, one [`SlotEngine::step`] per tick, and cumulative
@@ -35,6 +36,13 @@ pub trait SlotEngine {
 
     /// Executes one time slot against the announced sensors.
     fn step(&mut self, slot: Slot, sensors: &[SensorSnapshot]) -> SlotReport;
+
+    /// Executes one time slot against a stream of intra-slot arrival
+    /// events (queries and sensors stamped with ticks). A stream whose
+    /// events all carry tick 0 in submission order is bit-identical to
+    /// the batch [`SlotEngine::step`]; the report carries decision
+    /// latencies in [`SlotReport::streaming`].
+    fn step_streaming(&mut self, slot: Slot, events: &[ArrivalEvent]) -> SlotReport;
 
     /// Cumulative statistics since construction.
     fn totals(&self) -> &Totals;
@@ -84,6 +92,10 @@ impl<'s> SlotEngine for Aggregator<'s> {
 
     fn step(&mut self, slot: Slot, sensors: &[SensorSnapshot]) -> SlotReport {
         Aggregator::step(self, slot, sensors)
+    }
+
+    fn step_streaming(&mut self, slot: Slot, events: &[ArrivalEvent]) -> SlotReport {
+        Aggregator::step_streaming(self, slot, events)
     }
 
     fn totals(&self) -> &Totals {
@@ -138,6 +150,10 @@ impl<'s> SlotEngine for ShardedAggregator<'s> {
 
     fn step(&mut self, slot: Slot, sensors: &[SensorSnapshot]) -> SlotReport {
         ShardedAggregator::step(self, slot, sensors)
+    }
+
+    fn step_streaming(&mut self, slot: Slot, events: &[ArrivalEvent]) -> SlotReport {
+        ShardedAggregator::step_streaming(self, slot, events)
     }
 
     fn totals(&self) -> &Totals {

@@ -83,6 +83,7 @@ use crate::monitor::location::LocationMonitor;
 use crate::monitor::region::{sharing_weight, RegionMonitor, RegionPlan};
 use crate::payment::Ledger;
 use crate::query::{AggregateKind, AggregateQuery, PointQuery, QueryOrigin};
+use crate::streaming::{ArrivalEvent, ArrivalPayload, StreamStats};
 use crate::valuation::aggregate::AggregateValuation;
 use crate::valuation::monitoring::MonitoringValuation;
 use crate::valuation::point::PointValuation;
@@ -90,7 +91,20 @@ use crate::valuation::quality::QualityModel;
 use crate::valuation::region::RegionValuation;
 use crate::valuation::SetValuation;
 use ps_geo::{Point, Rect, SensorIndex};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+
+/// Announcements smaller than this skip the per-slot [`SensorIndex`]
+/// even when [`AggregatorBuilder::spatial_index`] is on: at populations
+/// this small the index build costs more than the brute-force scans it
+/// replaces (the 100-sensor tier of `BENCH_slot_engine.json` measured a
+/// 0.96× *slowdown* with the index). Selections are identical either
+/// way — the index is a scaling device, never a correctness one — so
+/// the cutover is invisible except in wall-clock time.
+pub const SPATIAL_INDEX_MIN_SENSORS: usize = 256;
+
+/// Default intra-slot tick resolution for the streaming path (see
+/// [`AggregatorBuilder::ticks_per_slot`]).
+pub const DEFAULT_TICKS_PER_SLOT: u64 = 1_000;
 
 /// Per-monitor `(serving sensor, payment)` lists paired with the slot's
 /// region plans.
@@ -113,6 +127,19 @@ pub enum MixStrategy {
     /// baseline scheduler; location monitors only sample at their desired
     /// times.
     SequentialBaseline,
+    /// The quality-adaptive online double auction (Mukhopadhyay et al.,
+    /// arXiv:1608.04857): point queries and sensors are matched at
+    /// arrival time by surplus (value of quality minus the sensor's
+    /// remaining price — a sensor already bought this slot resells its
+    /// buffered reading free), and whatever is still open at the slot
+    /// boundary clears through the ordinary Algorithm 5 batch with the
+    /// bought sensors cost-discounted. Batch [`Aggregator::step`] under
+    /// this strategy is the degenerate stream in which every sensor
+    /// arrives at tick 0; feed mid-slot [`ArrivalEvent`]s through
+    /// [`Aggregator::step_streaming`] to see arrival-time clearing. A
+    /// configured [`AggregatorBuilder::scheduler`] takes precedence over
+    /// this strategy, exactly as it does over [`MixStrategy::Alg5`].
+    OnlineAuction,
 }
 
 /// Intake spec for an end-user point query (§2.2.1, Eq. 3). The engine
@@ -329,6 +356,9 @@ pub struct SlotReport {
     pub custom_results: Vec<SetQueryResult>,
     /// Cumulative statistics after this slot.
     pub totals: Totals,
+    /// Decision-latency statistics when the slot was driven through
+    /// [`Aggregator::step_streaming`]; `None` for batch slots.
+    pub streaming: Option<StreamStats>,
 }
 
 /// Configures and builds an [`Aggregator`].
@@ -351,6 +381,7 @@ pub struct AggregatorBuilder<'s> {
     spatial_index: bool,
     threads: Threads,
     next_query_id: u64,
+    ticks_per_slot: u64,
 }
 
 impl<'s> AggregatorBuilder<'s> {
@@ -370,6 +401,7 @@ impl<'s> AggregatorBuilder<'s> {
             spatial_index: true,
             threads: Threads::default(),
             next_query_id: 0,
+            ticks_per_slot: DEFAULT_TICKS_PER_SLOT,
         }
     }
 
@@ -439,6 +471,16 @@ impl<'s> AggregatorBuilder<'s> {
         self
     }
 
+    /// Intra-slot tick resolution for [`Aggregator::step_streaming`]
+    /// (default [`DEFAULT_TICKS_PER_SLOT`]): arrival-event ticks live in
+    /// `[0, n)` and boundary decisions are recorded at latency
+    /// `n − arrival_tick`. Must be positive.
+    pub fn ticks_per_slot(mut self, n: u64) -> Self {
+        assert!(n > 0, "ticks_per_slot must be positive");
+        self.ticks_per_slot = n;
+        self
+    }
+
     /// Builds the engine.
     #[must_use = "dropping the built engine discards all the configuration"]
     pub fn build(self) -> Aggregator<'s> {
@@ -452,6 +494,7 @@ impl<'s> AggregatorBuilder<'s> {
             spatial_index: self.spatial_index,
             threads: self.threads,
             next_query_id: self.next_query_id,
+            ticks_per_slot: self.ticks_per_slot,
             pending_points: Vec::new(),
             pending_aggregates: Vec::new(),
             pending_customs: Vec::new(),
@@ -479,6 +522,7 @@ pub struct Aggregator<'s> {
     spatial_index: bool,
     threads: Threads,
     next_query_id: u64,
+    ticks_per_slot: u64,
     pending_points: Vec<PointQuery>,
     pending_aggregates: Vec<AggregateQuery>,
     pending_customs: Vec<(QueryId, Box<dyn SetValuation + 's>)>,
@@ -642,6 +686,12 @@ impl<'s> Aggregator<'s> {
         self.threads.get()
     }
 
+    /// The configured intra-slot tick resolution (see
+    /// [`AggregatorBuilder::ticks_per_slot`]).
+    pub fn ticks_per_slot(&self) -> u64 {
+        self.ticks_per_slot
+    }
+
     // ── The tick ──────────────────────────────────────────────────────
 
     /// Runs one time slot against the announced sensors: consumes the
@@ -650,27 +700,106 @@ impl<'s> Aggregator<'s> {
     /// results and the Algorithm 5 payment adjustment, and retires
     /// monitors whose window ended at `slot`.
     pub fn step(&mut self, slot: Slot, sensors: &[SensorSnapshot]) -> SlotReport {
+        // The online auction treats the batch announcement as the
+        // degenerate stream where every sensor arrives at tick 0 — one
+        // code path, so batch and all-arrivals-at-start streaming runs
+        // are bit-identical by construction.
+        if self.scheduler.is_none() && self.strategy == MixStrategy::OnlineAuction {
+            let events: Vec<ArrivalEvent> = sensors
+                .iter()
+                .map(|&s| ArrivalEvent::sensor(0, s))
+                .collect();
+            return self.step_streaming(slot, &events);
+        }
+
         let points = std::mem::take(&mut self.pending_points);
         let aggregates = std::mem::take(&mut self.pending_aggregates);
         let customs = std::mem::take(&mut self.pending_customs);
 
         // One spatial index per slot, shared by every hot path below.
-        let index: Option<SensorIndex> = (self.spatial_index && !sensors.is_empty()).then(|| {
-            let positions: Vec<Point> = sensors.iter().map(|s| s.loc).collect();
-            SensorIndex::build(&positions)
-        });
+        let index = self.build_index(sensors);
         let index = index.as_ref();
 
-        let mut report = match (&self.scheduler, self.strategy) {
+        let report = match (&self.scheduler, self.strategy) {
             (Some(_), _) => self.step_scheduled(slot, sensors, points, aggregates, customs, index),
-            (None, MixStrategy::Alg5) => {
-                self.step_alg5(slot, sensors, points, aggregates, customs, index)
+            (None, MixStrategy::Alg5) | (None, MixStrategy::OnlineAuction) => {
+                let none = HashSet::new();
+                self.step_alg5(slot, sensors, points, aggregates, customs, index, &none)
             }
             (None, MixStrategy::SequentialBaseline) => {
                 self.step_baseline(slot, sensors, points, aggregates, customs, index)
             }
         };
+        self.finalize(slot, report)
+    }
 
+    /// Runs one time slot against a stream of intra-slot
+    /// [`ArrivalEvent`]s instead of a boundary announcement. Under
+    /// [`MixStrategy::OnlineAuction`] (and no dedicated scheduler),
+    /// point queries are matched at arrival time by the online double
+    /// auction and whatever remains open clears at the boundary; every
+    /// other configuration replays the events into the ordinary intake
+    /// in order and executes the batch pipeline, recording boundary
+    /// decision latencies. Either way [`SlotReport::streaming`] is
+    /// populated, and a stream whose events all carry tick 0 in
+    /// submission order is bit-identical to the batch [`Aggregator::step`].
+    pub fn step_streaming(&mut self, slot: Slot, events: &[ArrivalEvent]) -> SlotReport {
+        if self.scheduler.is_none() && self.strategy == MixStrategy::OnlineAuction {
+            let report = self.step_online(slot, events);
+            return self.finalize(slot, report);
+        }
+
+        // Batch fallback: replay the stream into the intake (preserving
+        // event order, hence the minted id sequence) and resolve
+        // everything at the boundary.
+        let tps = self.ticks_per_slot;
+        let mut stats = StreamStats::new(tps);
+        let mut sensors: Vec<SensorSnapshot> = Vec::new();
+        for ev in events {
+            let tick = ev.tick.min(tps);
+            match &ev.payload {
+                ArrivalPayload::Point(spec) => {
+                    self.submit_point(*spec);
+                    stats.query_arrivals += 1;
+                    stats.decision_ticks.push(tps - tick);
+                }
+                ArrivalPayload::Aggregate(spec) => {
+                    self.submit_aggregate(spec.clone());
+                    stats.query_arrivals += 1;
+                    stats.decision_ticks.push(tps - tick);
+                }
+                ArrivalPayload::LocationMonitor(spec) => {
+                    self.submit_location_monitor(spec.clone());
+                    stats.query_arrivals += 1;
+                }
+                ArrivalPayload::RegionMonitor(spec) => {
+                    self.submit_region_monitor(spec.clone());
+                    stats.query_arrivals += 1;
+                }
+                ArrivalPayload::Sensor(s) => sensors.push(*s),
+            }
+        }
+        stats.sensor_arrivals = sensors.len();
+        let mut report = self.step(slot, &sensors);
+        report.streaming = Some(stats);
+        report
+    }
+
+    /// Builds the slot's shared [`SensorIndex`] — unless the knob is off
+    /// or the announcement is below [`SPATIAL_INDEX_MIN_SENSORS`], where
+    /// brute-force scans are cheaper than the build.
+    fn build_index(&self, sensors: &[SensorSnapshot]) -> Option<SensorIndex> {
+        (self.spatial_index && sensors.len() >= SPATIAL_INDEX_MIN_SENSORS).then(|| {
+            let positions: Vec<Point> = sensors.iter().map(|s| s.loc).collect();
+            SensorIndex::build(&positions)
+        })
+    }
+
+    /// Post-dispatch bookkeeping shared by the batch and streaming
+    /// paths: absorb the slot ledger, roll the totals, retire monitors
+    /// whose window ended at `slot`, and stamp the cumulative totals
+    /// into the report.
+    fn finalize(&mut self, slot: Slot, mut report: SlotReport) -> SlotReport {
         self.ledger.absorb(&report.ledger);
         self.totals.slots += 1;
         self.totals.welfare += report.welfare;
@@ -872,6 +1001,15 @@ impl<'s> Aggregator<'s> {
     }
 
     /// Algorithm 5 with joint Algorithm 1 selection over every query type.
+    ///
+    /// `prebought` lists snapshot indices the caller already bought this
+    /// slot (the online auction's boundary stage): those sensors arrive
+    /// here cost-discounted to 0, are excluded from the report's
+    /// `sensors_used` (the caller owns them), and are not region-sharing
+    /// candidates — a free-riding contribution must have payers to
+    /// refund. The batch path passes an empty set, making every one of
+    /// those filters a no-op.
+    #[allow(clippy::too_many_arguments)]
     fn step_alg5(
         &mut self,
         t: Slot,
@@ -880,6 +1018,7 @@ impl<'s> Aggregator<'s> {
         aggregates: Vec<AggregateQuery>,
         mut customs: Vec<(QueryId, Box<dyn SetValuation + 's>)>,
         index: Option<&SensorIndex>,
+        prebought: &HashSet<usize>,
     ) -> SlotReport {
         // ── Stage 1: point-query creation for continuous queries ──────
         let mut lm_queries: Vec<(usize, PointQuery)> = Vec::new();
@@ -1080,8 +1219,12 @@ impl<'s> Aggregator<'s> {
             welfare += m.value() - before;
         }
 
-        let selected_snapshots: Vec<SensorSnapshot> =
-            selection.selected.iter().map(|&si| sensors[si]).collect();
+        let selected_snapshots: Vec<SensorSnapshot> = selection
+            .selected
+            .iter()
+            .filter(|si| !prebought.contains(si))
+            .map(|&si| sensors[si])
+            .collect();
         welfare += self.apply_region_sharing(
             t,
             sensors,
@@ -1091,17 +1234,325 @@ impl<'s> Aggregator<'s> {
             &mut ledger,
         );
 
+        let sensors_used: Vec<usize> = selection
+            .selected
+            .into_iter()
+            .filter(|si| !prebought.contains(si))
+            .collect();
         SlotReport {
             slot: t,
             welfare,
             breakdown,
             ledger,
-            sensors_used: selection.selected,
+            sensors_used,
             point_results,
             aggregate_results,
             custom_results,
             totals: Totals::default(),
+            streaming: None,
         }
+    }
+
+    /// The quality-adaptive online double auction over one slot's event
+    /// stream (`MixStrategy::OnlineAuction`, no dedicated scheduler).
+    ///
+    /// Arrival-time clearing: an arriving point query is matched
+    /// immediately to the in-range sensor offering the highest surplus
+    /// (value of quality minus the sensor's remaining price — the first
+    /// buyer pays the announced cost, later queries reuse the buffered
+    /// reading free), or joins a waiting book; an arriving sensor is
+    /// offered, in arrival order, to every waiting point whose surplus
+    /// with it is positive. Aggregates, monitors, and custom valuations
+    /// wait for the slot boundary, where everything still open — plus
+    /// the unmatched points — clears through the ordinary Algorithm 5
+    /// batch with the online-bought sensors cost-discounted to 0 (their
+    /// data is buffered, exactly as in the scheduled path).
+    ///
+    /// Money stays conserved: the online ledger holds exactly one
+    /// full-cost receipt per bought sensor, the boundary stage sees
+    /// those sensors at cost 0 and excludes them from region sharing,
+    /// and the merged slot ledger is budget-balanced and
+    /// cost-recovering (proptested in `tests/streaming_equivalence.rs`).
+    fn step_online(&mut self, t: Slot, events: &[ArrivalEvent]) -> SlotReport {
+        let tps = self.ticks_per_slot;
+        // Cell grid over arrived sensors, cell side d_max: a point's
+        // candidates all live in the 3×3 neighborhood of its cell.
+        let cell = self.quality.d_max;
+        let cell_of =
+            |p: Point| -> (i64, i64) { ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64) };
+
+        let mut sensors: Vec<SensorSnapshot> = Vec::new();
+        let mut bought: Vec<bool> = Vec::new();
+        let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+
+        // One-shot arrival bookkeeping (points + aggregates, in arrival
+        // order) for the decision-latency statistics.
+        let mut oneshot_ticks: Vec<u64> = Vec::new();
+        let mut decisions: Vec<Option<u64>> = Vec::new();
+
+        // Point-query state: every arrival owns a result slot; matched
+        // ones fill it online, the rest go to the boundary.
+        let mut point_slots: Vec<Option<PointResult>> = Vec::new();
+        // Waiting book entries: (query, result slot, one-shot index).
+        let mut waiting: Vec<(PointQuery, usize, usize)> = Vec::new();
+        let mut aggregates: Vec<AggregateQuery> = Vec::new();
+
+        let mut online_ledger = Ledger::new();
+        let mut online_welfare = 0.0;
+        let mut online_satisfied = 0usize;
+        let mut online_quality_sum = 0.0;
+        let mut matched_at_arrival = 0usize;
+        let mut query_arrivals = 0usize;
+        let mut sensor_arrivals = 0usize;
+
+        // Commits `q` to sensor `si`: first buyer pays the full cost.
+        let mut commit = |q: &PointQuery,
+                          si: usize,
+                          theta: f64,
+                          value: f64,
+                          tick: u64,
+                          slot_idx: usize,
+                          oneshot: usize,
+                          sensors: &[SensorSnapshot],
+                          bought: &mut [bool],
+                          point_slots: &mut [Option<PointResult>],
+                          decisions: &mut [Option<u64>],
+                          oneshot_ticks: &[u64]| {
+            let price = if bought[si] { 0.0 } else { sensors[si].cost };
+            if !bought[si] {
+                bought[si] = true;
+                online_welfare -= sensors[si].cost;
+            }
+            if price > 0.0 {
+                online_ledger.record(q.id, sensors[si].id, price);
+            }
+            online_welfare += value;
+            online_satisfied += 1;
+            online_quality_sum += value / q.max_value();
+            matched_at_arrival += 1;
+            point_slots[slot_idx] = Some(PointResult {
+                id: q.id,
+                value,
+                paid: price,
+                quality: theta,
+                sensor: Some(si),
+            });
+            decisions[oneshot] = Some(tick.saturating_sub(oneshot_ticks[oneshot]));
+        };
+
+        // Pending one-shot queries submitted before the slot started are
+        // tick-0 arrivals preceding the event stream — this is what makes
+        // the batch `step` (sensor-only events) literally this code path.
+        let pending_points = std::mem::take(&mut self.pending_points);
+        let pending_aggregates = std::mem::take(&mut self.pending_aggregates);
+        enum Arrival {
+            Point(PointQuery),
+            Aggregate(AggregateQuery),
+            Monitor,
+            Sensor(SensorSnapshot),
+        }
+        let mut process: Vec<(u64, Arrival)> = Vec::new();
+        for q in pending_points {
+            process.push((0, Arrival::Point(q)));
+        }
+        for q in pending_aggregates {
+            process.push((0, Arrival::Aggregate(q)));
+        }
+        for ev in events {
+            let tick = ev.tick.min(tps);
+            let arrival = match &ev.payload {
+                ArrivalPayload::Point(spec) => {
+                    let id = self.mint();
+                    Arrival::Point(PointQuery {
+                        id,
+                        loc: spec.loc,
+                        budget: spec.budget,
+                        offset: 0.0,
+                        theta_min: spec.theta_min,
+                        origin: QueryOrigin::EndUser,
+                    })
+                }
+                ArrivalPayload::Aggregate(spec) => {
+                    let id = self.mint();
+                    Arrival::Aggregate(AggregateQuery {
+                        id,
+                        region: spec.region,
+                        budget: spec.budget,
+                        kind: spec.kind,
+                    })
+                }
+                ArrivalPayload::LocationMonitor(spec) => {
+                    self.submit_location_monitor(spec.clone());
+                    Arrival::Monitor
+                }
+                ArrivalPayload::RegionMonitor(spec) => {
+                    self.submit_region_monitor(spec.clone());
+                    Arrival::Monitor
+                }
+                ArrivalPayload::Sensor(s) => Arrival::Sensor(*s),
+            };
+            process.push((tick, arrival));
+        }
+
+        for (tick, arrival) in process {
+            match arrival {
+                Arrival::Point(q) => {
+                    query_arrivals += 1;
+                    let oneshot = oneshot_ticks.len();
+                    oneshot_ticks.push(tick);
+                    decisions.push(None);
+                    let slot_idx = point_slots.len();
+                    point_slots.push(None);
+                    // Best-surplus match among the arrived sensors.
+                    let (cx, cy) = cell_of(q.loc);
+                    let mut cand: Vec<usize> = Vec::new();
+                    for dx in -1..=1 {
+                        for dy in -1..=1 {
+                            if let Some(v) = grid.get(&(cx + dx, cy + dy)) {
+                                cand.extend_from_slice(v);
+                            }
+                        }
+                    }
+                    // Ascending snapshot order + strict `>` ⇒ ties go to
+                    // the earliest-arrived sensor, deterministically.
+                    cand.sort_unstable();
+                    let mut best: Option<(f64, usize, f64, f64)> = None;
+                    for &si in &cand {
+                        let theta = self.quality.quality(&sensors[si], q.loc);
+                        let value = q.value_of_quality(theta);
+                        if value <= 0.0 {
+                            continue;
+                        }
+                        let price = if bought[si] { 0.0 } else { sensors[si].cost };
+                        let surplus = value - price;
+                        if surplus > 1e-9 && best.is_none_or(|(b, _, _, _)| surplus > b) {
+                            best = Some((surplus, si, theta, value));
+                        }
+                    }
+                    if let Some((_, si, theta, value)) = best {
+                        commit(
+                            &q,
+                            si,
+                            theta,
+                            value,
+                            tick,
+                            slot_idx,
+                            oneshot,
+                            &sensors,
+                            &mut bought,
+                            &mut point_slots,
+                            &mut decisions,
+                            &oneshot_ticks,
+                        );
+                    } else {
+                        waiting.push((q, slot_idx, oneshot));
+                    }
+                }
+                Arrival::Aggregate(q) => {
+                    query_arrivals += 1;
+                    oneshot_ticks.push(tick);
+                    decisions.push(None);
+                    aggregates.push(q);
+                }
+                Arrival::Monitor => query_arrivals += 1,
+                Arrival::Sensor(s) => {
+                    sensor_arrivals += 1;
+                    let si = sensors.len();
+                    sensors.push(s);
+                    bought.push(false);
+                    grid.entry(cell_of(s.loc)).or_default().push(si);
+                    // Offer the new sensor to the waiting book in
+                    // arrival order; earlier waiters buy first (and
+                    // later ones then see the reading free).
+                    let book = std::mem::take(&mut waiting);
+                    for (q, slot_idx, oneshot) in book {
+                        let theta = self.quality.quality(&s, q.loc);
+                        let value = q.value_of_quality(theta);
+                        let price = if bought[si] { 0.0 } else { s.cost };
+                        if value > 0.0 && value - price > 1e-9 {
+                            commit(
+                                &q,
+                                si,
+                                theta,
+                                value,
+                                tick,
+                                slot_idx,
+                                oneshot,
+                                &sensors,
+                                &mut bought,
+                                &mut point_slots,
+                                &mut decisions,
+                                &oneshot_ticks,
+                            );
+                        } else {
+                            waiting.push((q, slot_idx, oneshot));
+                        }
+                    }
+                }
+            }
+        }
+
+        // ── Boundary: everything still open clears through Algorithm 5
+        // with the online-bought sensors cost-discounted. ──────────────
+        let customs = std::mem::take(&mut self.pending_customs);
+        let prebought: HashSet<usize> = (0..sensors.len()).filter(|&si| bought[si]).collect();
+        let boundary_sensors: Vec<SensorSnapshot> = sensors
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                let mut s = *s;
+                if bought[si] {
+                    s.cost = 0.0;
+                }
+                s
+            })
+            .collect();
+        let index = self.build_index(&boundary_sensors);
+        let leftover_points: Vec<PointQuery> = waiting.iter().map(|(q, _, _)| *q).collect();
+        let leftover_slots: Vec<usize> = waiting.iter().map(|&(_, s, _)| s).collect();
+        let total_points = point_slots.len();
+        let total_aggregates = aggregates.len();
+        let mut report = self.step_alg5(
+            t,
+            &boundary_sensors,
+            leftover_points,
+            aggregates,
+            customs,
+            index.as_ref(),
+            &prebought,
+        );
+
+        // Merge the online phase into the boundary report.
+        report.welfare += online_welfare;
+        report.ledger.absorb(&online_ledger);
+        let boundary_results = std::mem::take(&mut report.point_results);
+        for (res, &slot_idx) in boundary_results.into_iter().zip(&leftover_slots) {
+            point_slots[slot_idx] = Some(res);
+        }
+        report.point_results = point_slots
+            .into_iter()
+            .map(|r| r.expect("every point arrival has a result"))
+            .collect();
+        report.breakdown.point_total = total_points;
+        report.breakdown.point_satisfied += online_satisfied;
+        report.breakdown.point_quality_sum += online_quality_sum;
+        report.breakdown.aggregate_total = total_aggregates;
+        let mut used: Vec<usize> = prebought.iter().copied().collect();
+        used.sort_unstable();
+        used.extend(std::mem::take(&mut report.sensors_used));
+        report.sensors_used = used;
+
+        let mut stats = StreamStats::new(tps);
+        stats.query_arrivals = query_arrivals;
+        stats.sensor_arrivals = sensor_arrivals;
+        stats.matched_at_arrival = matched_at_arrival;
+        stats.decision_ticks = decisions
+            .into_iter()
+            .zip(&oneshot_ticks)
+            .map(|(d, &arrived)| d.unwrap_or(tps - arrived))
+            .collect();
+        report.streaming = Some(stats);
+        report
     }
 
     /// The §4.7 sequential baseline: aggregates (and custom valuations)
@@ -1269,6 +1720,7 @@ impl<'s> Aggregator<'s> {
             aggregate_results,
             custom_results,
             totals: Totals::default(),
+            streaming: None,
         }
     }
 
@@ -1510,6 +1962,7 @@ impl<'s> Aggregator<'s> {
             aggregate_results,
             custom_results,
             totals: Totals::default(),
+            streaming: None,
         }
     }
 }

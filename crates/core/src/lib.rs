@@ -47,10 +47,12 @@ pub mod model;
 pub mod monitor;
 pub mod payment;
 pub mod query;
+pub mod streaming;
 pub mod valuation;
 
 pub use aggregator::{Aggregator, AggregatorBuilder, MixStrategy, SlotReport};
 pub use exec::Threads;
 pub use model::{QueryId, SensorSnapshot, Slot};
 pub use query::{AggregateQuery, PointQuery, QueryOrigin, TrajectoryQuery};
+pub use streaming::{ArrivalEvent, ArrivalPayload, StreamStats};
 pub use valuation::quality::QualityModel;

@@ -1,7 +1,8 @@
 //! Regenerates the paper's figures.
 //!
 //! ```text
-//! repro [--scale full|test|bench|smoke|city|metro] [--threads N] [--shards g] [fig2 … | all]
+//! repro [--scale full|test|bench|smoke|city|metro] [--threads N] [--shards g] \
+//!       [--streaming] [fig2 … | all]
 //! ```
 //!
 //! `--threads N` sets the worker count for the engine's parallel
@@ -14,6 +15,11 @@
 //! default to 2. Unlike `--threads`, sharding may change results on
 //! cross-tile workloads (see docs/PERFORMANCE.md for the measured
 //! welfare gap).
+//!
+//! `--streaming` runs the streaming-intake scenario instead of the
+//! figure experiments: bursty mid-slot arrivals through admission
+//! control into the online double auction, raced against batch Alg5 on
+//! the identical admitted stream (`results/streaming.csv`).
 //!
 //! Prints each figure's series as an aligned table and writes
 //! `results/<figure>.csv`.
@@ -29,6 +35,7 @@ fn main() {
     let mut scale = Scale::full();
     let mut threads: Option<usize> = None;
     let mut shards: Option<usize> = None;
+    let mut streaming = false;
     let mut wanted: Vec<ExperimentId> = Vec::new();
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
@@ -67,10 +74,11 @@ fn main() {
                 };
                 shards = Some(g);
             }
+            "--streaming" => streaming = true,
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale full|test|bench|smoke|city|metro] [--threads N] \
-                     [--shards g] [fig2 … fig10 trust | all]"
+                     [--shards g] [--streaming] [fig2 … fig10 trust | all]"
                 );
                 return;
             }
@@ -85,7 +93,7 @@ fn main() {
             },
         }
     }
-    if wanted.is_empty() {
+    if wanted.is_empty() && !streaming {
         wanted.extend(ExperimentId::ALL);
     }
     if let Some(n) = threads {
@@ -96,6 +104,32 @@ fn main() {
     }
 
     let results_dir = PathBuf::from("results");
+    if streaming {
+        let started = Instant::now();
+        eprintln!("running streaming …");
+        let (summary, table) = ps_sim::streaming::run(&scale);
+        print!("{}", report::render(&table));
+        println!();
+        println!(
+            "streaming summary: welfare {:.1} vs batch {:.1} (gap {:+.2}%), \
+             decision ticks p50 {} / p99 {}, {}/{} matched at arrival, \
+             {} admitted / {} deferred / {} rejected",
+            summary.streaming_welfare,
+            summary.batch_welfare,
+            summary.welfare_gap * 100.0,
+            summary.p50_decision_ticks,
+            summary.p99_decision_ticks,
+            summary.matched_at_arrival,
+            summary.query_arrivals,
+            summary.admitted,
+            summary.deferred,
+            summary.rejected,
+        );
+        if let Err(e) = report::write_csv(&table, &results_dir) {
+            eprintln!("warning: could not write CSV for {}: {e}", table.id);
+        }
+        eprintln!("streaming done in {:.1?}", started.elapsed());
+    }
     for id in wanted {
         let started = Instant::now();
         eprintln!("running {} …", id.name());

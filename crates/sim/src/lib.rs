@@ -11,6 +11,9 @@
 //!   schemes);
 //! * [`experiments`] — one driver per figure (`fig2` … `fig10`, plus the
 //!   §4.7 trust sweep), each returning a [`metrics::FigureTable`];
+//! * [`streaming`] — the streaming-intake scenario (`repro --streaming`):
+//!   bursty mid-slot arrivals through admission control into the online
+//!   auction, raced against batch Alg5 on the identical stream;
 //! * [`report`] — console rendering and CSV output under `results/`.
 //!
 //! Experiments accept a [`config::Scale`] so integration tests and
@@ -57,6 +60,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod sensors;
+pub mod streaming;
 pub mod workload;
 
 pub use config::Scale;

@@ -11,6 +11,7 @@ use ps_cluster::SlotEngine;
 use ps_core::aggregator::{AggregateSpec, LocationMonitorSpec, PointSpec, RegionMonitorSpec};
 use ps_core::model::SensorSnapshot;
 use ps_core::query::AggregateKind;
+use ps_core::streaming::{ArrivalEvent, ArrivalPayload};
 use ps_core::valuation::monitoring::MonitoringContext;
 use ps_core::valuation::monitoring::MonitoringValuation;
 use ps_core::valuation::region::RegionValuation;
@@ -433,6 +434,106 @@ impl StandingMixProfile {
             submitted += 1;
         }
         submitted
+    }
+
+    /// One slot's workload as a timestamped *event stream* for
+    /// [`SlotEngine::step_streaming`]: the same populations
+    /// [`StandingMixProfile::submit_slot`] would submit, but every query
+    /// and sensor carries an arrival tick inside the slot instead of
+    /// lining up at the boundary.
+    ///
+    /// Arrival shape:
+    /// * **sensors** announce through the first half of the slot
+    ///   (uniform ticks in `[0, ticks_per_slot/2]`), so early queries
+    ///   see a thin market that fills in;
+    /// * **base point arrivals** spread uniformly over the whole slot;
+    ///   on burst slots the burst *extras* land clustered in a narrow
+    ///   rush window (one tenth of the slot starting at 60 %) — the
+    ///   spike the admission controller and online auction must absorb;
+    /// * **aggregates** spread uniformly (they clear at the boundary
+    ///   regardless);
+    /// * **monitor top-ups** (up from the `active_*` counts to the
+    ///   standing populations) arrive at tick 0 — monitors are
+    ///   boundary-valued, so mid-slot arrival would only delay them.
+    ///
+    /// Events come back stably sorted by tick, ready to feed an intake
+    /// queue or an engine directly. The draw sequence depends only on
+    /// the profile, the slot, and the active-monitor counts, so
+    /// equally-seeded RNGs replay the identical stream.
+    #[allow(clippy::too_many_arguments)]
+    pub fn slot_events(
+        &self,
+        rng: &mut StdRng,
+        t: usize,
+        ticks_per_slot: u64,
+        active_location_monitors: usize,
+        active_region_monitors: usize,
+        ctx: &Arc<MonitoringContext>,
+        kernel: &SquaredExponential,
+    ) -> Vec<ArrivalEvent> {
+        let tps = ticks_per_slot.max(1);
+        let mut events = Vec::new();
+        for s in self.sensors(rng) {
+            events.push(ArrivalEvent::sensor(rng.gen_range(0..=tps / 2), s));
+        }
+        let base = self.points_per_slot;
+        let specs = point_queries(
+            rng,
+            self.point_arrivals(t),
+            &self.arena,
+            BudgetScheme::Fixed(self.point_budget),
+        );
+        let rush_start = tps * 3 / 5;
+        let rush_len = (tps / 10).max(1);
+        for (i, spec) in specs.into_iter().enumerate() {
+            let tick = if i < base {
+                rng.gen_range(0..tps)
+            } else {
+                rush_start + rng.gen_range(0..rush_len)
+            };
+            events.push(ArrivalEvent::point(tick, spec));
+        }
+        for spec in self.aggregates(rng) {
+            events.push(ArrivalEvent::aggregate(rng.gen_range(0..tps), spec));
+        }
+        for _ in active_location_monitors..self.location_monitors {
+            let duration = rng.gen_range(5..=20usize);
+            let desired: Vec<f64> = (t..t + duration).step_by(3).map(|s| s as f64).collect();
+            events.push(ArrivalEvent {
+                tick: 0,
+                payload: ArrivalPayload::LocationMonitor(LocationMonitorSpec {
+                    loc: random_cell_center(rng, &self.arena),
+                    t1: t,
+                    t2: t + duration,
+                    alpha: 0.5,
+                    theta_min: THETA_MIN,
+                    valuation: MonitoringValuation::new(
+                        ctx.clone(),
+                        duration as f64 * self.monitor_budget_factor,
+                        desired,
+                    ),
+                }),
+            });
+        }
+        for _ in active_region_monitors..self.region_monitors {
+            let duration = rng.gen_range(5..=20usize);
+            let region = random_subregion(rng, &self.arena, self.region_side.0, self.region_side.1);
+            let r_s = 2.0f64;
+            let budget = region.area() / (3.0 * std::f64::consts::PI * r_s * r_s)
+                * self.monitor_budget_factor;
+            events.push(ArrivalEvent {
+                tick: 0,
+                payload: ArrivalPayload::RegionMonitor(RegionMonitorSpec {
+                    t1: t,
+                    t2: t + duration,
+                    alpha: 0.5,
+                    theta_min: THETA_MIN,
+                    valuation: RegionValuation::new(budget, region, kernel, 0.1),
+                }),
+            });
+        }
+        events.sort_by_key(|e| e.tick);
+        events
     }
 
     /// One slot's aggregate specs (§4.4 with this profile's region sizes

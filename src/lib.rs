@@ -10,6 +10,7 @@
 //! |---|---|
 //! | [`core`] (`ps_core`) | Queries, valuations, scheduling algorithms, payments (the paper's §2–§3) |
 //! | [`cluster`] (`ps_cluster`) | Sharded federation: tiled multi-aggregator cluster, halo routing, settlement |
+//! | [`intake`] (`ps_intake`) | Event-time intake queue + per-slot admission control for mid-slot arrivals |
 //! | [`geo`] (`ps_geo`) | Grid geometry: points, rectangles, cells, trajectories, coverage |
 //! | [`sim`] (`ps_sim`) | Time-slotted simulator + one experiment driver per figure (§4) |
 //! | [`stats`] (`ps_stats`) | Regression, sampling-time selection, descriptive statistics |
@@ -64,6 +65,7 @@ pub use ps_core as core;
 pub use ps_data as data;
 pub use ps_geo as geo;
 pub use ps_gp as gp;
+pub use ps_intake as intake;
 pub use ps_linalg as linalg;
 pub use ps_mobility as mobility;
 pub use ps_sim as sim;

@@ -1,0 +1,352 @@
+//! The streaming ↔ batch equivalence contract and the admission-control
+//! money-conservation properties.
+//!
+//! * A stream whose events all carry tick 0 in submission order (queries
+//!   first, then the slot's sensor announcement — exactly what "every
+//!   arrival at the slot boundary" means) must be **bit-identical** to
+//!   the batch `step`, for both `MixStrategy::Alg5` and
+//!   `MixStrategy::OnlineAuction`, at threads ∈ {1, 2, 7} and federation
+//!   grids {1×1, 2×2}.
+//! * Queries the admission controller defers or rejects pay nothing —
+//!   they never reach an engine — and the money that *does* flow stays
+//!   budget-balanced (payments = receipts) and cost-recovering (every
+//!   paid sensor recovers exactly its announced cost).
+
+use proptest::prelude::*;
+use ps_cluster::{ClusterBuilder, SlotEngine};
+use ps_core::aggregator::{AggregatorBuilder, MixStrategy, SlotReport};
+use ps_core::streaming::{ArrivalEvent, ArrivalPayload};
+use ps_core::valuation::quality::QualityModel;
+use ps_geo::Rect;
+use ps_gp::kernel::SquaredExponential;
+use ps_intake::{Admission, AdmissionController, AdmissionPolicy};
+use ps_sim::config::Scale;
+use ps_sim::workload::{test_monitoring_ctx, StandingMixProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Small but genuinely mixed: every query type participates.
+fn small_profile() -> StandingMixProfile {
+    let mut p = StandingMixProfile::from_scale(&Scale::test());
+    p.sensors = 90;
+    p.points_per_slot = 30;
+    p.aggregates_mean = 3;
+    p.location_monitors = 5;
+    p.region_monitors = 3;
+    p.burst_period = 2;
+    p.burst_factor = 1.5;
+    p
+}
+
+/// One slot's arrivals, all at tick 0 in submission order: queries
+/// first (the submissions that were waiting when the slot opened), then
+/// the sensor announcement.
+fn tick0_events(
+    profile: &StandingMixProfile,
+    rng: &mut StdRng,
+    t: usize,
+    active_lm: usize,
+    active_rm: usize,
+) -> Vec<ArrivalEvent> {
+    let ctx = test_monitoring_ctx();
+    let kernel = SquaredExponential::new(2.0, 2.0);
+    let mut events = profile.slot_events(rng, t, 1_000, active_lm, active_rm, &ctx, &kernel);
+    for ev in &mut events {
+        ev.tick = 0;
+    }
+    // Stable: relative order within queries and within sensors survives.
+    events.sort_by_key(|ev| matches!(ev.payload, ArrivalPayload::Sensor(_)));
+    events
+}
+
+/// Feeds one slot's tick-0 events through the *batch* API: queries via
+/// the submit intake in event order, sensors via `step`.
+fn replay_batch(engine: &mut dyn SlotEngine, t: usize, events: &[ArrivalEvent]) -> SlotReport {
+    let mut sensors = Vec::new();
+    for ev in events {
+        match &ev.payload {
+            ArrivalPayload::Point(spec) => {
+                engine.submit_point(*spec);
+            }
+            ArrivalPayload::Aggregate(spec) => {
+                engine.submit_aggregate(spec.clone());
+            }
+            ArrivalPayload::LocationMonitor(spec) => {
+                engine.submit_location_monitor(spec.clone());
+            }
+            ArrivalPayload::RegionMonitor(spec) => {
+                engine.submit_region_monitor(spec.clone());
+            }
+            ArrivalPayload::Sensor(s) => sensors.push(*s),
+        }
+    }
+    engine.step(t, &sensors)
+}
+
+/// Bit-exact report comparison — everything except the `streaming`
+/// latency stats, which only the streaming entry point records.
+fn assert_reports_identical(a: &SlotReport, b: &SlotReport, label: &str) {
+    let t = a.slot;
+    assert_eq!(a.slot, b.slot, "{label}: slot id");
+    assert_eq!(a.welfare, b.welfare, "{label}: welfare at slot {t}");
+    assert_eq!(
+        a.sensors_used, b.sensors_used,
+        "{label}: selections at slot {t}"
+    );
+    assert_eq!(
+        a.ledger.total_payments(),
+        b.ledger.total_payments(),
+        "{label}: payments at slot {t}"
+    );
+    assert_eq!(
+        a.ledger.total_receipts(),
+        b.ledger.total_receipts(),
+        "{label}: receipts at slot {t}"
+    );
+    assert_eq!(a.point_results.len(), b.point_results.len());
+    for (pa, pb) in a.point_results.iter().zip(&b.point_results) {
+        assert_eq!(pa.id, pb.id, "{label}: point ids at slot {t}");
+        assert_eq!(pa.value, pb.value, "{label}: point value at slot {t}");
+        assert_eq!(pa.paid, pb.paid, "{label}: point payment at slot {t}");
+        assert_eq!(pa.sensor, pb.sensor, "{label}: serving sensor at slot {t}");
+    }
+    assert_eq!(a.aggregate_results.len(), b.aggregate_results.len());
+    for (aa, ab) in a.aggregate_results.iter().zip(&b.aggregate_results) {
+        assert_eq!(aa.id, ab.id, "{label}: aggregate ids at slot {t}");
+        assert_eq!(aa.value, ab.value, "{label}: aggregate value at slot {t}");
+        assert_eq!(aa.paid, ab.paid, "{label}: aggregate payment at slot {t}");
+    }
+    assert_eq!(
+        a.breakdown.point_satisfied, b.breakdown.point_satisfied,
+        "{label}: point satisfaction at slot {t}"
+    );
+    assert_eq!(
+        a.breakdown.monitor_samples, b.breakdown.monitor_samples,
+        "{label}: monitor samples at slot {t}"
+    );
+    assert_eq!(
+        a.totals.welfare, b.totals.welfare,
+        "{label}: cumulative welfare at slot {t}"
+    );
+}
+
+/// Builds the engine under test: a plain aggregator when `grid == 1`
+/// (with the worker knob), a `grid × grid` federation otherwise.
+fn build_engine(
+    strategy: MixStrategy,
+    threads: usize,
+    grid: usize,
+    arena: Rect,
+) -> Box<dyn SlotEngine + 'static> {
+    if grid <= 1 {
+        Box::new(
+            AggregatorBuilder::new(QualityModel::new(5.0))
+                .strategy(strategy)
+                .threads(threads)
+                .build(),
+        )
+    } else {
+        Box::new(
+            ClusterBuilder::new(QualityModel::new(5.0), arena, grid)
+                .threads(threads)
+                .configure_shards(move |b| b.strategy(strategy))
+                .build(),
+        )
+    }
+}
+
+/// Runs the batch leg, recording each slot's event list so the
+/// streaming leg replays the *identical* input.
+fn run_batch(
+    strategy: MixStrategy,
+    threads: usize,
+    grid: usize,
+    profile: &StandingMixProfile,
+    seed: u64,
+    slots: usize,
+) -> (Vec<Vec<ArrivalEvent>>, Vec<SlotReport>) {
+    let mut engine = build_engine(strategy, threads, grid, profile.arena);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut streams = Vec::with_capacity(slots);
+    let mut reports = Vec::with_capacity(slots);
+    for t in 0..slots {
+        let events = tick0_events(
+            profile,
+            &mut rng,
+            t,
+            engine.location_monitor_count(),
+            engine.region_monitor_count(),
+        );
+        reports.push(replay_batch(engine.as_mut(), t, &events));
+        streams.push(events);
+    }
+    (streams, reports)
+}
+
+fn assert_streaming_matches_batch(
+    strategy: MixStrategy,
+    threads: usize,
+    grid: usize,
+    seed: u64,
+    slots: usize,
+) {
+    let profile = small_profile();
+    let label = format!("{strategy:?} threads={threads} grid={grid}x{grid}");
+    let (streams, batch_reports) = run_batch(strategy, threads, grid, &profile, seed, slots);
+    let mut engine = build_engine(strategy, threads, grid, profile.arena);
+    for (t, events) in streams.iter().enumerate() {
+        let report = engine.step_streaming(t, events);
+        assert!(
+            report.streaming.is_some(),
+            "{label}: streaming entry point must report latency stats"
+        );
+        assert_reports_identical(&batch_reports[t], &report, &label);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The tentpole contract: an all-arrivals-at-slot-start stream is
+    /// bit-identical to the batch `step` — for the batch strategy *and*
+    /// the online auction, across the threads grid and the federation.
+    fn tick0_streaming_is_bit_identical_to_batch(seed in 0u64..10_000, slots in 2usize..4) {
+        for strategy in [MixStrategy::Alg5, MixStrategy::OnlineAuction] {
+            for threads in [1usize, 2, 7] {
+                assert_streaming_matches_batch(strategy, threads, 1, seed, slots);
+            }
+            for grid in [1usize, 2] {
+                assert_streaming_matches_batch(strategy, 0, grid, seed, slots);
+            }
+        }
+    }
+
+    /// Money conservation through admission control: deferred and
+    /// rejected queries pay nothing (they never reach the engine), and
+    /// the admitted flows stay budget-balanced and cost-recovering.
+    fn admission_outcomes_conserve_money(
+        seed in 0u64..10_000,
+        max_queries in 1usize..6,
+        max_budget in 20.0f64..120.0,
+        max_defer in 0usize..3,
+    ) {
+        let profile = small_profile();
+        let mut intake = AdmissionController::new(AdmissionPolicy {
+            max_queries_per_slot: max_queries,
+            max_budget_per_slot: max_budget,
+            max_defer_slots: max_defer,
+        });
+        let mut engine = AggregatorBuilder::new(QualityModel::new(5.0))
+            .strategy(MixStrategy::OnlineAuction)
+            .build();
+        let ctx = test_monitoring_ctx();
+        let kernel = SquaredExponential::new(2.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut submitted_queries = 0usize;
+        let mut admitted_queries = 0usize;
+        let mut decided = 0usize; // admitted ∪ rejected, queries only
+        for t in 0..4 {
+            let events = profile.slot_events(
+                &mut rng,
+                t,
+                1_000,
+                engine.location_monitors().len(),
+                engine.region_monitors().len(),
+                &ctx,
+                &kernel,
+            );
+            let mut costs = std::collections::HashMap::new();
+            let mut tickets = Vec::new();
+            for ev in events {
+                if let ArrivalPayload::Sensor(s) = &ev.payload {
+                    costs.insert(s.id, s.cost);
+                } else {
+                    submitted_queries += 1;
+                }
+                tickets.push(intake.submit(ev));
+            }
+            let batch = intake.admit_slot(t);
+            for (_, outcome) in batch.outcomes() {
+                match outcome {
+                    Admission::Admitted => {}
+                    Admission::Deferred { until_slot } => {
+                        prop_assert_eq!(*until_slot, t + 1, "deferral targets the next slot");
+                    }
+                    Admission::Rejected { .. } => {}
+                }
+            }
+            let slot_admitted = batch
+                .admitted
+                .iter()
+                .filter(|ev| !matches!(ev.payload, ArrivalPayload::Sensor(_)))
+                .count();
+            admitted_queries += slot_admitted;
+            decided += slot_admitted + batch.rejected();
+            let report = engine.step_streaming(t, &batch.admitted);
+            engine.clear_retired();
+            // Budget balance: every unit paid lands with a sensor.
+            prop_assert!(
+                (report.ledger.total_payments() - report.ledger.total_receipts()).abs() < 1e-9,
+                "slot {} not budget-balanced", t
+            );
+            // Cost recovery: each paid sensor recovers its announced cost.
+            if let Err(e) = report
+                .ledger
+                .verify_cost_recovery(|s| costs.get(&s).copied().unwrap_or(0.0), 1e-9)
+            {
+                prop_assert!(false, "slot {} cost recovery: {}", t, e);
+            }
+            // The engine sees exactly the one-shot queries admission
+            // let in — deferred and rejected ones never reach it.
+            let one_shots = batch
+                .admitted
+                .iter()
+                .filter(|ev| {
+                    matches!(
+                        ev.payload,
+                        ArrivalPayload::Point(_) | ArrivalPayload::Aggregate(_)
+                    )
+                })
+                .count();
+            prop_assert_eq!(
+                report.breakdown.point_total + report.breakdown.aggregate_total,
+                one_shots,
+                "slot {}: engine query count must match admissions", t
+            );
+            let _ = tickets;
+        }
+        // Every submitted query is eventually admitted, still deferred,
+        // or rejected — none vanish, and the deferred remainder is
+        // bounded by what the final slots could not seat.
+        prop_assert!(decided <= submitted_queries);
+        prop_assert!(admitted_queries <= submitted_queries);
+        prop_assert!(
+            submitted_queries - decided <= intake.pending(),
+            "undecided queries must still be pending"
+        );
+    }
+}
+
+/// Monitors retire identically through either entry point (windows are
+/// slot-based, so latency stats must not perturb retirement).
+#[test]
+fn retirement_matches_across_entry_points() {
+    let profile = small_profile();
+    let (streams, _) = run_batch(MixStrategy::OnlineAuction, 1, 1, &profile, 99, 3);
+    let run = |use_streaming: bool| {
+        let mut engine = build_engine(MixStrategy::OnlineAuction, 1, 1, profile.arena);
+        for (t, events) in streams.iter().enumerate() {
+            if use_streaming {
+                engine.step_streaming(t, events);
+            } else {
+                replay_batch(engine.as_mut(), t, events);
+            }
+        }
+        engine
+            .retired_monitors()
+            .iter()
+            .map(|m| (m.id().0, m.value().to_bits(), m.spent().to_bits()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(false), run(true));
+}
