@@ -3,7 +3,8 @@
 //! * exact branch-and-bound vs Local Search vs greedy on one slot's
 //!   facility-location instance, across instance sizes (the paper's
 //!   "Optimal … does not scale to large problem instances" claim);
-//! * the dual-ascent bound in isolation;
+//! * the LP-relaxation bound in isolation (the certificate the ablation
+//!   drivers attach to heuristic schedules);
 //! * GP posterior-field updates (Algorithm 4's inner loop);
 //! * Algorithm 1 on overlapping aggregate queries.
 
@@ -17,7 +18,9 @@ use ps_core::QueryId;
 use ps_geo::{Point, Rect};
 use ps_gp::kernel::SquaredExponential;
 use ps_gp::posterior::PosteriorField;
-use ps_solver::ufl::{self, SolveLimits, WelfareProblem};
+use ps_solver::simplex::DEFAULT_MAX_PIVOTS;
+use ps_solver::ufl::{self, WelfareProblem};
+use ps_solver::SolveOptions;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -54,7 +57,12 @@ fn bench_schedulers(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("exact", format!("{nf}s_{nc}l")),
             &problem,
-            |b, p| b.iter(|| black_box(ufl::solve_exact(p, &SolveLimits::default()).welfare)),
+            |b, p| b.iter(|| black_box(ufl::solve_exact(p, &SolveOptions::default()).welfare)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lp_bound", format!("{nf}s_{nc}l")),
+            &problem,
+            |b, p| b.iter(|| black_box(ufl::lp_relaxation_bound(p, DEFAULT_MAX_PIVOTS))),
         );
         group.bench_with_input(
             BenchmarkId::new("local_search", format!("{nf}s_{nc}l")),

@@ -214,6 +214,19 @@ pub struct MixBreakdown {
     pub aggregate_quality_sum: f64,
     /// Number of location monitors that achieved a sample this slot.
     pub monitor_samples: usize,
+    /// Σ point-schedule welfare over the slots counted by
+    /// `bound_known_slots` (the scheduler's own Eq. 9 objective —
+    /// end-user and monitor point queries alike — before monitors fold
+    /// their shares into Eq. 2). Paired with `point_lp_bound` so the two
+    /// sums always cover the same slots.
+    pub point_sched_welfare: f64,
+    /// Σ certified LP-relaxation bounds over the same slots.
+    pub point_lp_bound: f64,
+    /// Slots whose scheduler attached an LP bound to its allocation.
+    pub bound_known_slots: usize,
+    /// Slots whose exact solve ran out of node/pivot budget
+    /// (`SolveStatus::LimitReached`) — the anytime incumbent was used.
+    pub limited_slots: usize,
 }
 
 impl MixBreakdown {
@@ -228,6 +241,21 @@ impl MixBreakdown {
         self.aggregate_answered += other.aggregate_answered;
         self.aggregate_quality_sum += other.aggregate_quality_sum;
         self.monitor_samples += other.monitor_samples;
+        self.point_sched_welfare += other.point_sched_welfare;
+        self.point_lp_bound += other.point_lp_bound;
+        self.bound_known_slots += other.bound_known_slots;
+        self.limited_slots += other.limited_slots;
+    }
+
+    /// The point-schedule optimality gap accumulated so far:
+    /// `(Σ lp_bound − Σ scheduler welfare) / Σ lp_bound` over the slots
+    /// with a certified bound, or `None` when no slot had one (heuristic
+    /// scheduler without the bound wrapper, or no point queries).
+    pub fn optimality_gap(&self) -> Option<f64> {
+        if self.bound_known_slots == 0 || self.point_lp_bound <= 0.0 {
+            return None;
+        }
+        Some(((self.point_lp_bound - self.point_sched_welfare) / self.point_lp_bound).max(0.0))
     }
 }
 
@@ -1859,6 +1887,17 @@ impl<'s> Aggregator<'s> {
             scheduler.schedule_sharded(&queries, &discounted, &self.quality, index, self.threads)
         };
         welfare -= alloc.total_sensor_cost;
+
+        // Solver metrics: welfare and bound are paired per slot so the
+        // accumulated optimality gap compares like with like.
+        if let Some(bound) = alloc.lp_bound {
+            breakdown.point_sched_welfare += alloc.welfare;
+            breakdown.point_lp_bound += bound;
+            breakdown.bound_known_slots += 1;
+        }
+        if alloc.solve_status == Some(ps_solver::SolveStatus::LimitReached) {
+            breakdown.limited_slots += 1;
+        }
 
         // Stage 3: route results.
         let mut point_results = Vec::with_capacity(n_points);

@@ -53,6 +53,17 @@ pub struct PointAllocation {
     pub sensors_used: Vec<usize>,
     /// Total cost paid out to sensors.
     pub total_sensor_cost: f64,
+    /// Certified upper bound on the slot's optimal point welfare (LP
+    /// relaxation), when the scheduler computed one. `welfare ≤ lp_bound`
+    /// up to float noise, so `(lp_bound − welfare) / lp_bound` is the
+    /// slot's optimality gap.
+    pub lp_bound: Option<f64>,
+    /// How the schedule was established: `Optimal` = proven by the exact
+    /// solver; `Feasible` = a feasible point without proof (heuristics,
+    /// or an exact solve cut short by its deadline); `LimitReached` = the
+    /// exact solve ran out of node/pivot budget. `None` for schedulers
+    /// that bypass the facility-location build entirely (baseline).
+    pub solve_status: Option<ps_solver::SolveStatus>,
 }
 
 impl PointAllocation {
@@ -63,6 +74,8 @@ impl PointAllocation {
             welfare: 0.0,
             sensors_used: Vec::new(),
             total_sensor_cost: 0.0,
+            lp_bound: None,
+            solve_status: None,
         }
     }
 
@@ -364,11 +377,18 @@ pub(crate) fn allocation_from_solution(
         .collect();
     let total_sensor_cost: f64 = sensors_used.iter().map(|&f| sensors[f].cost).sum();
 
+    // The bound belongs to the *problem*, not the open set, so the
+    // original solution's bound stays valid for the post-drop allocation
+    // (dropping cost-unrecoverable sensors only changes the achieved
+    // welfare). Clamp so reported gaps never go negative on float noise.
+    let welfare = total_value - total_sensor_cost;
     PointAllocation {
         assignments,
-        welfare: total_value - total_sensor_cost,
+        welfare,
         sensors_used,
         total_sensor_cost,
+        lp_bound: solution.lp_bound.map(|b| b.max(welfare)),
+        solve_status: Some(solution.status),
     }
 }
 

@@ -206,6 +206,8 @@ impl BaselinePointScheduler {
             welfare: total_value - total_cost,
             sensors_used: newly_selected,
             total_sensor_cost: total_cost,
+            lp_bound: None,
+            solve_status: None,
         }
     }
 }

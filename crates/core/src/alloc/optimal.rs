@@ -1,10 +1,18 @@
 //! The exact point-query schedule of Eq. 9 (§3.1.1).
 //!
 //! Builds the facility-location welfare problem (sensors = facilities,
-//! queried locations = clients) and solves it exactly with
-//! `ps_solver::ufl` — branch-and-bound with dual-ascent bounds over
-//! connected components. Payments follow the proportionate cost
-//! allocation of Eq. 11.
+//! queried locations = clients) and solves it with the two-phase
+//! simplex + branch-and-bound core of `ps_solver` — best-bound search
+//! over LP relaxations per connected component, with Local Search and
+//! greedy solutions seeding the incumbent so every solve is *anytime*.
+//! Payments follow the proportionate cost allocation of Eq. 11.
+//!
+//! This module also hosts two companions built on the same problem
+//! construction: [`GreedyPointScheduler`] (the marginal-gain opener as a
+//! standalone point scheduler, used in ablations) and [`WithLpBound`]
+//! (a wrapper that attaches the LP-relaxation bound to any scheduler's
+//! allocation, so heuristic welfare can be reported with a certified
+//! optimality gap).
 
 use crate::alloc::{
     allocation_from_solution, build_welfare_problem, group_by_location, PointAllocation,
@@ -15,19 +23,78 @@ use crate::model::SensorSnapshot;
 use crate::query::PointQuery;
 use crate::valuation::quality::QualityModel;
 use ps_geo::SensorIndex;
-use ps_solver::ufl::{self, SolveLimits};
+use ps_solver::ufl;
+use ps_solver::{SolveOptions, WarmStart};
+use std::sync::Mutex;
+use std::time::Duration;
 
-/// The Optimal scheduler of §3.1.1.
-#[derive(Debug, Clone, Default)]
+/// The Optimal scheduler of §3.1.1, backed by the `ps_solver` simplex +
+/// branch-and-bound core.
+///
+/// Resource knobs ([`Self::max_nodes`], [`Self::max_pivots`],
+/// [`Self::deadline`]) bound the exact search; thanks to heuristic
+/// incumbent seeding the schedule is always a feasible allocation at
+/// least as good as Local Search, with
+/// [`PointAllocation::solve_status`] recording whether optimality was
+/// proven. At default options the schedule is deterministic and
+/// bit-identical for every thread count.
+#[derive(Debug, Default)]
 pub struct OptimalScheduler {
-    /// Branch-and-bound resource limits.
-    pub limits: SolveLimits,
+    /// Solver budgets and tolerances for each slot's solve.
+    pub options: SolveOptions,
+    /// When enabled, the open sensor set of the previous slot seeds the
+    /// next slot's incumbent (sensors are matched by stable id, so pool
+    /// churn between slots is tolerated).
+    warm_across_slots: bool,
+    /// Open sensor *ids* from the previous slot (id-keyed because
+    /// snapshot indices are not stable across slots).
+    warm_open_ids: Mutex<Vec<usize>>,
+}
+
+impl Clone for OptimalScheduler {
+    fn clone(&self) -> Self {
+        Self {
+            options: self.options.clone(),
+            warm_across_slots: self.warm_across_slots,
+            warm_open_ids: Mutex::new(self.warm_open_ids.lock().unwrap().clone()),
+        }
+    }
 }
 
 impl OptimalScheduler {
     /// Creates the scheduler with default solve limits.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the global branch-and-bound node budget per slot.
+    pub fn max_nodes(mut self, nodes: usize) -> Self {
+        self.options.max_nodes = nodes;
+        self
+    }
+
+    /// Sets the simplex pivot budget per LP relaxation.
+    pub fn max_pivots(mut self, pivots: usize) -> Self {
+        self.options.max_pivots = pivots;
+        self
+    }
+
+    /// Sets an anytime wall-clock deadline per slot: once it expires the
+    /// solve returns its best incumbent (status `Feasible`) instead of
+    /// searching on. Wall-clock-dependent, so schedules may differ run
+    /// to run under load — leave unset for bit-reproducible experiments.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables warm-starting each slot's solve from the previous slot's
+    /// open sensors. Off by default: the memory is shared mutable state,
+    /// so schedules become dependent on slot visit order when one
+    /// scheduler instance serves multiple engines (e.g. cluster shards).
+    pub fn warm_start_across_slots(mut self, enabled: bool) -> Self {
+        self.warm_across_slots = enabled;
+        self
     }
 }
 
@@ -68,17 +135,165 @@ impl PointScheduler for OptimalScheduler {
         }
         let groups = group_by_location(queries);
         let problem = build_welfare_problem(queries, &groups, sensors, quality, index, threads);
-        let solution = ufl::solve_exact(&problem, &self.limits);
+
+        let mut options = self.options.clone();
+        if self.warm_across_slots {
+            let ids = self.warm_open_ids.lock().unwrap();
+            if !ids.is_empty() {
+                let hint: Vec<bool> = sensors.iter().map(|s| ids.contains(&s.id)).collect();
+                options.warm_start = WarmStart {
+                    incumbent: Some(hint),
+                    basis: None,
+                };
+            }
+        }
+
+        let solution = ufl::solve_exact(&problem, &options);
+
+        if self.warm_across_slots {
+            let open_ids: Vec<usize> = solution
+                .open
+                .iter()
+                .enumerate()
+                .filter(|&(_, &o)| o)
+                .map(|(f, _)| sensors[f].id)
+                .collect();
+            *self.warm_open_ids.lock().unwrap() = open_ids;
+        }
+
         allocation_from_solution(queries, &groups, sensors, quality, &problem, &solution)
+    }
+}
+
+/// The greedy marginal-gain opener (`ufl::solve_greedy`) as a standalone
+/// point scheduler: repeatedly opens the sensor with the largest welfare
+/// gain. Cheaper and weaker than Local Search; its role is the ablation
+/// axis "how much does search buy over pure greed" in the solver grid.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyPointScheduler;
+
+impl GreedyPointScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl PointScheduler for GreedyPointScheduler {
+    fn schedule(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+    ) -> PointAllocation {
+        self.schedule_indexed(queries, sensors, quality, None)
+    }
+
+    fn schedule_indexed(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+    ) -> PointAllocation {
+        self.schedule_sharded(queries, sensors, quality, index, Threads::single())
+    }
+
+    fn schedule_sharded(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+        threads: Threads,
+    ) -> PointAllocation {
+        if queries.is_empty() || sensors.is_empty() {
+            return PointAllocation::empty(queries.len());
+        }
+        let groups = group_by_location(queries);
+        let problem = build_welfare_problem(queries, &groups, sensors, quality, index, threads);
+        let solution = ufl::solve_greedy(&problem);
+        allocation_from_solution(queries, &groups, sensors, quality, &problem, &solution)
+    }
+}
+
+/// Decorates any point scheduler with the certified LP-relaxation bound
+/// of each slot it schedules, so heuristic welfare can be reported as an
+/// optimality gap instead of only relative to other heuristics.
+///
+/// The wrapped scheduler's allocation is unchanged except for
+/// [`PointAllocation::lp_bound`], which is set to
+/// `ufl::lp_relaxation_bound` of the slot's Eq. 9 problem (the same
+/// problem the scheduler solved — built again here, which costs one
+/// extra pass over candidates plus the root LPs).
+#[derive(Debug, Clone, Default)]
+pub struct WithLpBound<S> {
+    /// The scheduler producing the actual allocation.
+    pub inner: S,
+    /// Simplex pivot budget for the bound computation.
+    pub max_pivots: usize,
+}
+
+impl<S> WithLpBound<S> {
+    /// Wraps `inner`, using the default pivot budget for bound LPs.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            max_pivots: SolveOptions::default().max_pivots,
+        }
+    }
+}
+
+impl<S: PointScheduler> PointScheduler for WithLpBound<S> {
+    fn schedule(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+    ) -> PointAllocation {
+        self.schedule_indexed(queries, sensors, quality, None)
+    }
+
+    fn schedule_indexed(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+    ) -> PointAllocation {
+        self.schedule_sharded(queries, sensors, quality, index, Threads::single())
+    }
+
+    fn schedule_sharded(
+        &self,
+        queries: &[PointQuery],
+        sensors: &[SensorSnapshot],
+        quality: &QualityModel,
+        index: Option<&SensorIndex>,
+        threads: Threads,
+    ) -> PointAllocation {
+        let mut alloc = self
+            .inner
+            .schedule_sharded(queries, sensors, quality, index, threads);
+        if queries.is_empty() || sensors.is_empty() {
+            return alloc;
+        }
+        let groups = group_by_location(queries);
+        let problem = build_welfare_problem(queries, &groups, sensors, quality, index, threads);
+        let bound = ufl::lp_relaxation_bound(&problem, self.max_pivots);
+        alloc.lp_bound = Some(bound.max(alloc.welfare));
+        alloc
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::alloc::local_search::LocalSearchScheduler;
     use crate::model::QueryId;
     use crate::query::QueryOrigin;
     use ps_geo::Point;
+    use ps_solver::SolveStatus;
 
     fn pq(id: u64, x: f64, budget: f64) -> PointQuery {
         PointQuery {
@@ -111,6 +326,8 @@ mod tests {
         assert!((a.value - 24.0).abs() < 1e-9);
         assert!((a.payment - 10.0).abs() < 1e-9); // sole beneficiary pays all
         assert!((alloc.welfare - 14.0).abs() < 1e-9);
+        assert_eq!(alloc.solve_status, Some(SolveStatus::Optimal));
+        assert!(alloc.lp_bound.expect("exact solve certifies a bound") >= alloc.welfare - 1e-9);
     }
 
     #[test]
@@ -121,6 +338,7 @@ mod tests {
         let alloc = OptimalScheduler::new().schedule(&queries, &sensors, &QualityModel::new(5.0));
         assert!(alloc.assignments[0].is_none());
         assert_eq!(alloc.welfare, 0.0);
+        assert_eq!(alloc.solve_status, Some(SolveStatus::Optimal));
     }
 
     #[test]
@@ -181,5 +399,90 @@ mod tests {
         let alloc2 =
             OptimalScheduler::new().schedule(&[pq(0, 0.0, 10.0)], &[], &QualityModel::new(5.0));
         assert!(alloc2.assignments[0].is_none());
+    }
+
+    /// Satellite (silent-failure fix): a zero-node budget must surface
+    /// `LimitReached` with a usable schedule, not collapse to "nothing
+    /// allocatable".
+    #[test]
+    fn zero_node_budget_still_schedules() {
+        let queries = vec![pq(0, 0.0, 30.0), pq(1, 2.0, 30.0)];
+        let sensors = vec![sensor(0, 1.0, 10.0), sensor(1, 1.5, 10.0)];
+        let alloc = OptimalScheduler::new().max_nodes(0).schedule(
+            &queries,
+            &sensors,
+            &QualityModel::new(5.0),
+        );
+        // The heuristic incumbent still answers both queries.
+        assert_eq!(alloc.satisfied_count(), 2);
+        assert!(alloc.welfare > 0.0);
+        assert!(matches!(
+            alloc.solve_status,
+            Some(SolveStatus::Optimal | SolveStatus::LimitReached)
+        ));
+    }
+
+    #[test]
+    fn deadline_zero_matches_heuristic_or_better_and_reports_feasible() {
+        let queries = vec![pq(0, 0.0, 30.0), pq(1, 2.0, 30.0), pq(2, 7.0, 25.0)];
+        let sensors = vec![sensor(0, 1.0, 10.0), sensor(1, 6.0, 10.0)];
+        let quality = QualityModel::new(5.0);
+        let ls = LocalSearchScheduler::new().schedule(&queries, &sensors, &quality);
+        let alloc = OptimalScheduler::new()
+            .deadline(Duration::ZERO)
+            .schedule(&queries, &sensors, &quality);
+        assert!(alloc.welfare >= ls.welfare - 1e-9);
+        assert!(matches!(
+            alloc.solve_status,
+            Some(SolveStatus::Feasible | SolveStatus::Optimal)
+        ));
+        assert!(alloc.welfare <= alloc.lp_bound.unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn warm_start_across_slots_keeps_schedules_identical() {
+        let queries = vec![pq(0, 0.0, 30.0), pq(1, 2.0, 30.0)];
+        let sensors = vec![sensor(0, 1.0, 10.0), sensor(1, 1.5, 10.0)];
+        let quality = QualityModel::new(5.0);
+        let cold = OptimalScheduler::new();
+        let warm = OptimalScheduler::new().warm_start_across_slots(true);
+        for _ in 0..3 {
+            let a = cold.schedule(&queries, &sensors, &quality);
+            let b = warm.schedule(&queries, &sensors, &quality);
+            // Warm-starting only accelerates; the schedule is unchanged.
+            assert_eq!(a.welfare, b.welfare);
+            assert_eq!(a.sensors_used, b.sensors_used);
+        }
+    }
+
+    #[test]
+    fn greedy_scheduler_is_feasible_and_bounded_by_optimal() {
+        let queries = vec![pq(0, 0.0, 30.0), pq(1, 2.0, 30.0), pq(2, 7.0, 25.0)];
+        let sensors = vec![sensor(0, 1.0, 10.0), sensor(1, 6.0, 10.0)];
+        let quality = QualityModel::new(5.0);
+        let greedy = GreedyPointScheduler::new().schedule(&queries, &sensors, &quality);
+        let opt = OptimalScheduler::new().schedule(&queries, &sensors, &quality);
+        assert!(greedy.welfare <= opt.welfare + 1e-9);
+        for a in greedy.assignments.iter().flatten() {
+            assert!(a.payment <= a.value + 1e-9);
+        }
+    }
+
+    /// The `WithLpBound` wrapper leaves the schedule untouched and
+    /// attaches a bound that dominates the exact optimum.
+    #[test]
+    fn lp_bound_wrapper_certifies_heuristics() {
+        let queries = vec![pq(0, 0.0, 30.0), pq(1, 2.0, 30.0), pq(2, 7.0, 25.0)];
+        let sensors = vec![sensor(0, 1.0, 10.0), sensor(1, 6.0, 10.0)];
+        let quality = QualityModel::new(5.0);
+        let plain = LocalSearchScheduler::new().schedule(&queries, &sensors, &quality);
+        let bounded =
+            WithLpBound::new(LocalSearchScheduler::new()).schedule(&queries, &sensors, &quality);
+        assert_eq!(plain.welfare, bounded.welfare);
+        assert_eq!(plain.sensors_used, bounded.sensors_used);
+        let bound = bounded.lp_bound.expect("wrapper attaches the bound");
+        let opt = OptimalScheduler::new().schedule(&queries, &sensors, &quality);
+        assert!(bound >= opt.welfare - 1e-9);
+        assert!(bounded.welfare <= bound + 1e-9);
     }
 }

@@ -20,7 +20,7 @@ pub mod mix;
 pub mod monitoring;
 pub mod point_queries;
 
-pub use ablation::{ablation_objective, ablation_region};
+pub use ablation::{ablation_objective, ablation_region, ablation_solver};
 pub use aggregate_queries::fig7;
 pub use mix::fig10;
 pub use monitoring::{fig8, fig9};
@@ -56,11 +56,14 @@ pub enum ExperimentId {
     AblationRegion,
     /// Ablation of the welfare vs egalitarian objective (§2).
     AblationObjective,
+    /// Solver ablation: exact vs local search vs greedy with certified
+    /// LP bounds and optimality gaps.
+    AblationSolver,
 }
 
 impl ExperimentId {
     /// Every experiment, in paper order.
-    pub const ALL: [ExperimentId; 12] = [
+    pub const ALL: [ExperimentId; 13] = [
         ExperimentId::Fig2,
         ExperimentId::Fig3,
         ExperimentId::Fig4,
@@ -73,6 +76,7 @@ impl ExperimentId {
         ExperimentId::Trust,
         ExperimentId::AblationRegion,
         ExperimentId::AblationObjective,
+        ExperimentId::AblationSolver,
     ];
 
     /// Parses a CLI name such as `fig2` or `trust`.
@@ -90,6 +94,7 @@ impl ExperimentId {
             "trust" => Some(Self::Trust),
             "ablation-region" | "ablation_region" => Some(Self::AblationRegion),
             "ablation-objective" | "ablation_objective" => Some(Self::AblationObjective),
+            "ablation-solver" | "ablation_solver" => Some(Self::AblationSolver),
             _ => None,
         }
     }
@@ -109,6 +114,7 @@ impl ExperimentId {
             Self::Trust => "trust",
             Self::AblationRegion => "ablation-region",
             Self::AblationObjective => "ablation-objective",
+            Self::AblationSolver => "ablation-solver",
         }
     }
 
@@ -127,6 +133,7 @@ impl ExperimentId {
             Self::Trust => trust(scale),
             Self::AblationRegion => ablation_region(scale),
             Self::AblationObjective => ablation_objective(scale),
+            Self::AblationSolver => ablation_solver(scale),
         }
     }
 }

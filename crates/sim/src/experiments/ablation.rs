@@ -7,7 +7,13 @@
 //! * **Objective ablation** (`ablation_objective`): the welfare-optimal
 //!   schedule vs the egalitarian satisfied-count heuristic (§2 mentions
 //!   the egalitarian alternative without evaluating it), reporting both
-//!   metrics for both objectives.
+//!   metrics for both objectives plus each run's certified optimality
+//!   gap.
+//! * **Solver ablation** (`ablation_solver`): exact branch-and-bound vs
+//!   Local Search vs greedy opening on identical point workloads, each
+//!   run reporting its welfare **and** its LP-relaxation bound, so the
+//!   heuristics' distance from optimal is a certified `optimality_gap`
+//!   column instead of a heuristic-vs-heuristic comparison.
 
 use crate::config::Scale;
 use crate::engine::engine_for;
@@ -15,7 +21,8 @@ use crate::metrics::FigureTable;
 use crate::sensors::{SensorPool, SensorPoolConfig};
 use crate::workload::{point_queries, spawn_region_monitor, BudgetScheme};
 use ps_core::alloc::egalitarian::EgalitarianScheduler;
-use ps_core::alloc::optimal::OptimalScheduler;
+use ps_core::alloc::local_search::LocalSearchScheduler;
+use ps_core::alloc::optimal::{GreedyPointScheduler, OptimalScheduler, WithLpBound};
 use ps_core::alloc::PointScheduler;
 use ps_data::intel::{IntelConfig, IntelFieldDataset};
 use ps_geo::Rect;
@@ -147,8 +154,73 @@ pub fn ablation_region(scale: &Scale) -> Vec<FigureTable> {
     vec![table]
 }
 
+/// Point-workload run metrics shared by the objective and solver
+/// ablations.
+struct PointAblationRun {
+    avg_utility: f64,
+    satisfaction: f64,
+    /// Mean certified LP bound per bound-carrying slot (0 when none).
+    avg_lp_bound: f64,
+    /// The run's accumulated `(Σ bound − Σ welfare) / Σ bound`, when the
+    /// scheduler certified bounds.
+    optimality_gap: Option<f64>,
+}
+
+/// Runs one scheduler over the shared RNC point workload at budget `b`.
+/// Each scheduler sees an identical initial workload; trajectories then
+/// diverge through sensor-pool feedback, so the reported bound certifies
+/// the slots *this* run actually solved.
+fn run_point_ablation(
+    scale: &Scale,
+    scheduler: &(dyn PointScheduler + Send + Sync),
+    b: f64,
+    xi: usize,
+) -> PointAblationRun {
+    let setting = rnc_setting(scale, scale.seed.wrapping_add(xi as u64));
+    let mut pool = SensorPool::new(
+        setting.num_agents,
+        &SensorPoolConfig::paper_default(scale.slots, scale.seed ^ 0x66),
+    );
+    let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(500 + xi as u64));
+    let mut engine = engine_for(scale, &setting.working_region, setting.quality, |b| {
+        b.scheduler(scheduler)
+    });
+    for slot in 0..scale.slots {
+        let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
+        for spec in point_queries(
+            &mut rng,
+            scale.queries(300),
+            &setting.working_region,
+            BudgetScheme::Fixed(b),
+        ) {
+            engine.submit_point(spec);
+        }
+        let report = engine.step(slot, &sensors);
+        pool.record_measurements(slot, report.sensors_used.iter().map(|&si| sensors[si].id));
+    }
+    let totals = engine.totals();
+    let breakdown = &totals.breakdown;
+    PointAblationRun {
+        avg_utility: totals.welfare / scale.slots as f64,
+        satisfaction: if breakdown.point_total == 0 {
+            0.0
+        } else {
+            breakdown.point_satisfied as f64 / breakdown.point_total as f64
+        },
+        avg_lp_bound: if breakdown.bound_known_slots == 0 {
+            0.0
+        } else {
+            breakdown.point_lp_bound / breakdown.bound_known_slots as f64
+        },
+        optimality_gap: breakdown.optimality_gap(),
+    }
+}
+
 /// Objective ablation: welfare vs satisfied-count for the exact welfare
-/// maximizer and the egalitarian heuristic on identical point workloads.
+/// maximizer and the egalitarian heuristic on identical point workloads,
+/// plus each run's certified optimality gap (the egalitarian scheduler
+/// is wrapped in [`WithLpBound`] so its gap is measured against the same
+/// LP relaxation the exact solver bounds with).
 pub fn ablation_objective(scale: &Scale) -> Vec<FigureTable> {
     let budgets = [10.0, 15.0, 25.0];
     let mut welfare_t = FigureTable::new(
@@ -165,56 +237,108 @@ pub fn ablation_objective(scale: &Scale) -> Vec<FigureTable> {
         "Query satisfaction ratio",
         budgets.to_vec(),
     );
+    let mut gap_t = FigureTable::new(
+        "ablation_objective_gap",
+        "Ablation: welfare vs egalitarian objective — optimality gap",
+        "Query budget",
+        "Point-schedule optimality gap",
+        budgets.to_vec(),
+    );
 
-    let mut rows: Vec<(Vec<f64>, Vec<f64>)> = Vec::new(); // per scheduler
     let schedulers: Vec<(&str, Box<dyn PointScheduler + Send + Sync>)> = vec![
         ("Optimal", Box::new(OptimalScheduler::new())),
-        ("Egalitarian", Box::new(EgalitarianScheduler::new())),
+        (
+            "Egalitarian",
+            Box::new(WithLpBound::new(EgalitarianScheduler::new())),
+        ),
     ];
-    for (_, scheduler) in &schedulers {
+    for (name, scheduler) in &schedulers {
         let mut utilities = Vec::new();
         let mut satisfactions = Vec::new();
+        let mut gaps = Vec::new();
         for (xi, &b) in budgets.iter().enumerate() {
-            let setting = rnc_setting(scale, scale.seed.wrapping_add(xi as u64));
-            let mut pool = SensorPool::new(
-                setting.num_agents,
-                &SensorPoolConfig::paper_default(scale.slots, scale.seed ^ 0x66),
-            );
-            let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(500 + xi as u64));
-            let mut engine = engine_for(scale, &setting.working_region, setting.quality, |b| {
-                b.scheduler(scheduler)
-            });
-            for slot in 0..scale.slots {
-                let sensors = pool.snapshots(slot, &setting.trace, &setting.working_region);
-                for spec in point_queries(
-                    &mut rng,
-                    scale.queries(300),
-                    &setting.working_region,
-                    BudgetScheme::Fixed(b),
-                ) {
-                    engine.submit_point(spec);
-                }
-                let report = engine.step(slot, &sensors);
-                pool.record_measurements(
-                    slot,
-                    report.sensors_used.iter().map(|&si| sensors[si].id),
-                );
-            }
-            let totals = engine.totals();
-            utilities.push(totals.welfare / scale.slots as f64);
-            satisfactions.push(if totals.breakdown.point_total == 0 {
-                0.0
-            } else {
-                totals.breakdown.point_satisfied as f64 / totals.breakdown.point_total as f64
-            });
+            let run = run_point_ablation(scale, scheduler.as_ref(), b, xi);
+            utilities.push(run.avg_utility);
+            satisfactions.push(run.satisfaction);
+            gaps.push(run.optimality_gap.unwrap_or(0.0));
         }
-        rows.push((utilities, satisfactions));
-    }
-    for ((name, _), (utilities, satisfactions)) in schedulers.iter().zip(rows) {
         welfare_t.push_series(name, utilities);
         sat_t.push_series(name, satisfactions);
+        gap_t.push_series(name, gaps);
     }
-    vec![welfare_t, sat_t]
+    vec![welfare_t, sat_t, gap_t]
+}
+
+/// Solver ablation: exact branch-and-bound vs Local Search vs greedy on
+/// identical point workloads. Every scheduler reports its welfare, the
+/// certified LP bound of the slots it solved, and the resulting
+/// `optimality_gap` — the heuristics get their bounds from
+/// [`WithLpBound`], the exact scheduler certifies its own.
+pub fn ablation_solver(scale: &Scale) -> Vec<FigureTable> {
+    let budgets = [10.0, 15.0, 25.0];
+    let mut welfare_t = FigureTable::new(
+        "ablation_solver_welfare",
+        "Solver ablation: exact vs local search vs greedy — average utility",
+        "Query budget",
+        "Average utility",
+        budgets.to_vec(),
+    );
+    let mut bound_t = FigureTable::new(
+        "ablation_solver_lp_bound",
+        "Solver ablation: certified LP bound per slot",
+        "Query budget",
+        "Mean LP-relaxation bound",
+        budgets.to_vec(),
+    );
+    let mut gap_t = FigureTable::new(
+        "ablation_solver_gap",
+        "Solver ablation: certified optimality gap",
+        "Query budget",
+        "Point-schedule optimality gap",
+        budgets.to_vec(),
+    );
+
+    let schedulers: Vec<(&str, Box<dyn PointScheduler + Send + Sync>)> = vec![
+        ("Optimal", Box::new(OptimalScheduler::new().max_nodes(4000))),
+        (
+            "LocalSearch",
+            Box::new(WithLpBound::new(LocalSearchScheduler::new())),
+        ),
+        (
+            "Greedy",
+            Box::new(WithLpBound::new(GreedyPointScheduler::new())),
+        ),
+    ];
+    let grid: Vec<(usize, usize, PointAblationRun)> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (si, (_, scheduler)) in schedulers.iter().enumerate() {
+            for (xi, &b) in budgets.iter().enumerate() {
+                let scheduler = scheduler.as_ref();
+                handles
+                    .push(s.spawn(move || (si, xi, run_point_ablation(scale, scheduler, b, xi))));
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+
+    let n = budgets.len();
+    let mut welfare = vec![vec![0.0; n]; schedulers.len()];
+    let mut bounds = vec![vec![0.0; n]; schedulers.len()];
+    let mut gaps = vec![vec![0.0; n]; schedulers.len()];
+    for (si, xi, run) in grid {
+        welfare[si][xi] = run.avg_utility;
+        bounds[si][xi] = run.avg_lp_bound;
+        gaps[si][xi] = run.optimality_gap.unwrap_or(0.0);
+    }
+    for (si, (name, _)) in schedulers.iter().enumerate() {
+        welfare_t.push_series(name, welfare[si].clone());
+        bound_t.push_series(name, bounds[si].clone());
+        gap_t.push_series(name, gaps[si].clone());
+    }
+    vec![welfare_t, bound_t, gap_t]
 }
 
 #[cfg(test)]
@@ -248,6 +372,30 @@ mod tests {
             for v in &s.values {
                 assert!(v.is_finite());
             }
+        }
+    }
+
+    /// Satellite (gap columns): every solver-ablation run reports a gap
+    /// in `[0, 1]` and a bound that dominates its own welfare — the
+    /// acceptance shape for the bench solver grid, at test scale.
+    #[test]
+    fn solver_ablation_reports_certified_gaps() {
+        let tables = ablation_solver(&tiny());
+        let (welfare, bound, gap) = (&tables[0], &tables[1], &tables[2]);
+        for name in ["Optimal", "LocalSearch", "Greedy"] {
+            let w = &welfare.series_named(name).unwrap().values;
+            let b = &bound.series_named(name).unwrap().values;
+            let g = &gap.series_named(name).unwrap().values;
+            for ((w, b), g) in w.iter().zip(b.iter()).zip(g.iter()) {
+                assert!(w.is_finite() && b.is_finite());
+                assert!((0.0..=1.0).contains(g), "{name} gap {g} out of range");
+                assert!(*b >= 0.0, "{name} bound {b} negative");
+            }
+        }
+        // The exact solver's own gap should be essentially closed at
+        // test scale (it proves optimality on these tiny slots).
+        for g in &gap.series_named("Optimal").unwrap().values {
+            assert!(*g <= 0.05, "exact solver gap {g} unexpectedly large");
         }
     }
 

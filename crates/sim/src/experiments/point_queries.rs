@@ -13,7 +13,6 @@ use ps_core::alloc::PointScheduler;
 use ps_core::valuation::quality::QualityModel;
 use ps_geo::Rect;
 use ps_mobility::{CampaignModel, MobilityModel, MobilityTrace, RandomWaypoint};
-use ps_solver::ufl::SolveLimits;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,15 +39,11 @@ impl PointAlgo {
 
     /// Instantiates the scheduler. The exact solver gets a per-slot node
     /// budget large enough to close the gap at paper scale while bounding
-    /// worst-case latency.
+    /// worst-case latency; heuristic seeding keeps a budget strike
+    /// anytime-safe (`LimitReached` with an incumbent, never a refusal).
     pub fn scheduler(&self) -> Box<dyn PointScheduler + Send + Sync> {
         match self {
-            PointAlgo::Optimal => Box::new(OptimalScheduler {
-                limits: SolveLimits {
-                    max_nodes: 4000,
-                    max_dual_passes: 48,
-                },
-            }),
+            PointAlgo::Optimal => Box::new(OptimalScheduler::new().max_nodes(4000)),
             PointAlgo::LocalSearch => Box::new(LocalSearchScheduler::new()),
             PointAlgo::Baseline => Box::new(BaselinePointScheduler::new()),
         }

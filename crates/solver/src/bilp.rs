@@ -1,15 +1,23 @@
-//! Binary integer linear programming by branch-and-bound.
+//! Binary integer linear programming by LP-relaxation branch-and-bound.
 //!
 //! Implements the exact solver the paper invokes for the single-sensor
-//! point-query schedule (Eq. 9): "Instances of the optimization problem (9)
-//! can be solved optimally by an ILP solver as long as the input size is
-//! not very large." Variables are 0/1; bounds come from the simplex LP
-//! relaxation of [`crate::lp`]; branching is on the most fractional
-//! variable. The specialized facility-location solver in [`crate::ufl`]
-//! is faster on Eq. 9's structure — this general solver cross-validates it
-//! and handles arbitrary side constraints.
+//! point-query schedule (Eq. 9): "Instances of the optimization problem
+//! (9) can be solved optimally by an ILP solver as long as the input size
+//! is not very large." Variables are 0/1; bounds come from the two-phase
+//! simplex of [`crate::simplex`] on the relaxation; nodes are explored in
+//! **best-bound order** and branch on the **most fractional** variable.
+//!
+//! Every solve is *anytime*: an incumbent is tracked from the first
+//! integral point on (or from a warm-started one), so exhausting the node
+//! budget, the pivot budget, or the wall-clock deadline still returns the
+//! best feasible solution found — with a status
+//! ([`SolveStatus::LimitReached`] / [`SolveStatus::Feasible`]) that is
+//! always distinguishable from a proven [`SolveStatus::Infeasible`].
 
-use crate::lp::{self, Constraint, LpError, LpProblem};
+use crate::simplex::{self, Basis, Constraint, ConstraintOp, LpProblem, LpStatus};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
 
 /// A 0/1 integer program: maximize `objective · x` with binary `x`,
 /// subject to linear `constraints`.
@@ -41,7 +49,8 @@ impl BilpProblem {
         self.objective.len()
     }
 
-    fn objective_of(&self, x: &[bool]) -> f64 {
+    /// Objective value of a 0/1 assignment.
+    pub fn objective_of(&self, x: &[bool]) -> f64 {
         x.iter()
             .zip(&self.objective)
             .filter(|(&on, _)| on)
@@ -49,7 +58,9 @@ impl BilpProblem {
             .sum()
     }
 
-    fn is_feasible(&self, x: &[bool]) -> bool {
+    /// Whether a 0/1 assignment satisfies every constraint (to a small
+    /// tolerance).
+    pub fn is_feasible(&self, x: &[bool]) -> bool {
         self.constraints.iter().all(|c| {
             let lhs: f64 = c
                 .coeffs
@@ -58,143 +69,424 @@ impl BilpProblem {
                 .map(|&(_, coef)| coef)
                 .sum();
             match c.op {
-                lp::ConstraintOp::Le => lhs <= c.rhs + 1e-7,
-                lp::ConstraintOp::Ge => lhs >= c.rhs - 1e-7,
-                lp::ConstraintOp::Eq => (lhs - c.rhs).abs() <= 1e-7,
+                ConstraintOp::Le => lhs <= c.rhs + 1e-7,
+                ConstraintOp::Ge => lhs >= c.rhs - 1e-7,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= 1e-7,
             }
         })
     }
+
+    /// The LP relaxation at the root (no fixings): the same program over
+    /// `0 ≤ x ≤ 1`. Solving it with [`crate::simplex`] yields the
+    /// `lp_bound` reported by [`solve`].
+    pub fn lp_relaxation(&self) -> LpProblem {
+        relax(self, &vec![None; self.num_vars()])
+    }
 }
 
-/// How the branch-and-bound terminated.
+/// How a solve terminated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BilpStatus {
-    /// Solution proven optimal.
+pub enum SolveStatus {
+    /// The incumbent is proven optimal.
     Optimal,
-    /// Node limit hit; the solution is the best incumbent found.
-    NodeLimit,
-    /// No feasible 0/1 assignment exists.
+    /// The wall-clock deadline expired; the incumbent is feasible but not
+    /// proven optimal.
+    Feasible,
+    /// No feasible 0/1 assignment exists (proven).
     Infeasible,
+    /// The relaxation is unbounded (only possible with non-box side
+    /// constraints interacting numerically; never for well-posed 0/1
+    /// programs).
+    Unbounded,
+    /// The node or pivot budget ran out; the incumbent — when one was
+    /// found — is feasible but not proven optimal.
+    LimitReached,
+}
+
+impl SolveStatus {
+    /// True when the solve proved optimality.
+    pub fn proven_optimal(self) -> bool {
+        matches!(self, SolveStatus::Optimal)
+    }
+}
+
+/// Warm-start state carried across solves.
+#[derive(Debug, Clone, Default)]
+pub struct WarmStart {
+    /// A feasible 0/1 assignment to seed the incumbent (checked against
+    /// the constraints before use; for [`crate::ufl::solve_exact`] this
+    /// is interpreted in *facility* space instead — see its docs).
+    pub incumbent: Option<Vec<bool>>,
+    /// A simplex basis for the root relaxation, from a previous solve of
+    /// an identically-shaped program (e.g. the previous slot). Rejected
+    /// silently when the shape no longer matches.
+    pub basis: Option<Basis>,
+}
+
+/// Resource limits and tolerances for a solve.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Simplex pivot budget per LP relaxation solve.
+    pub max_pivots: usize,
+    /// Branch-and-bound node budget (LP relaxations solved beyond the
+    /// root). For [`crate::ufl::solve_exact`] this budget is global
+    /// across all connected components.
+    pub max_nodes: usize,
+    /// Wall-clock budget for the whole solve; `None` runs to the node
+    /// and pivot limits. Deadline-limited solves return the incumbent
+    /// with [`SolveStatus::Feasible`] — the anytime contract.
+    pub deadline: Option<Duration>,
+    /// A relaxation value within this distance of an integer counts as
+    /// integral.
+    pub int_tolerance: f64,
+    /// Warm-start state (previous incumbent and/or root basis).
+    pub warm_start: WarmStart,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            max_pivots: simplex::DEFAULT_MAX_PIVOTS,
+            max_nodes: 50_000,
+            deadline: None,
+            int_tolerance: 1e-6,
+            warm_start: WarmStart::default(),
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Sets the node budget (builder style).
+    pub fn with_max_nodes(mut self, n: usize) -> Self {
+        self.max_nodes = n;
+        self
+    }
+
+    /// Sets the per-LP pivot budget (builder style).
+    pub fn with_max_pivots(mut self, n: usize) -> Self {
+        self.max_pivots = n;
+        self
+    }
+
+    /// Sets the wall-clock deadline (builder style).
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
 }
 
 /// Result of a BILP solve.
 #[derive(Debug, Clone)]
 pub struct BilpSolution {
-    /// Best objective value found.
-    pub objective: f64,
-    /// Best 0/1 assignment found.
-    pub x: Vec<bool>,
     /// Termination status.
-    pub status: BilpStatus,
-    /// Number of branch-and-bound nodes explored.
+    pub status: SolveStatus,
+    /// Best feasible 0/1 assignment found, `None` when the solve ended
+    /// without ever reaching one (proven infeasible, or limits struck
+    /// first — the status tells which).
+    pub x: Option<Vec<bool>>,
+    /// Objective of `x` (`NEG_INFINITY` when `x` is `None`).
+    pub objective: f64,
+    /// Root LP-relaxation value: a valid upper bound on any feasible
+    /// objective (`INFINITY` when the root relaxation itself hit the
+    /// pivot budget).
+    pub lp_bound: f64,
+    /// Tightest upper bound proven by the time the solve stopped
+    /// (equals `objective` on [`SolveStatus::Optimal`]).
+    pub best_bound: f64,
+    /// LP relaxations solved, root included.
     pub nodes: usize,
+    /// Total simplex pivots spent.
+    pub pivots: usize,
+    /// Basis of the root relaxation, for warm-starting the next solve of
+    /// an identically-shaped program.
+    pub root_basis: Option<Basis>,
 }
 
-const INT_TOL: f64 = 1e-6;
+/// A solved-but-fractional node awaiting branching, keyed by its own
+/// LP bound (max-heap ⇒ best-bound order; ties break on insertion order
+/// for determinism).
+struct OpenNode {
+    bound: f64,
+    seq: u64,
+    fixing: Vec<Option<bool>>,
+    x: Vec<f64>,
+}
 
-/// Solves the BILP by LP-based branch-and-bound.
-///
-/// `node_limit` caps the number of explored nodes; when hit, the best
-/// incumbent is returned with [`BilpStatus::NodeLimit`].
-pub fn solve(problem: &BilpProblem, node_limit: usize) -> BilpSolution {
-    let n = problem.num_vars();
-    let mut best: Option<(f64, Vec<bool>)> = None;
-    let mut nodes = 0usize;
-    let mut limit_hit = false;
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
 
-    // DFS over fixings. `None` = free, `Some(v)` = fixed.
-    let mut stack: Vec<Vec<Option<bool>>> = vec![vec![None; n]];
+/// Shared mutable search state.
+struct Search<'p> {
+    problem: &'p BilpProblem,
+    options: &'p SolveOptions,
+    deadline_at: Option<Instant>,
+    heap: BinaryHeap<OpenNode>,
+    best: Option<(f64, Vec<bool>)>,
+    nodes: usize,
+    pivots: usize,
+    seq: u64,
+    limit_hit: bool,
+}
 
-    while let Some(fixing) = stack.pop() {
-        if nodes >= node_limit {
-            limit_hit = true;
-            break;
+impl Search<'_> {
+    fn best_objective(&self) -> f64 {
+        self.best.as_ref().map_or(f64::NEG_INFINITY, |(o, _)| *o)
+    }
+
+    fn offer_incumbent(&mut self, x: Vec<bool>) {
+        debug_assert!(self.problem.is_feasible(&x));
+        let obj = self.problem.objective_of(&x);
+        if self.best.as_ref().is_none_or(|(b, _)| obj > *b) {
+            self.best = Some((obj, x));
         }
-        nodes += 1;
+    }
 
-        let relaxed = relax(problem, &fixing);
-        let sol = match lp::solve(&relaxed) {
-            Ok(s) => s,
-            Err(LpError::Infeasible) => continue,
-            // The 0/1 box makes the region bounded, so Unbounded can only
-            // arise from numerical trouble; treat it like a dead node.
-            Err(_) => continue,
-        };
-        if let Some((incumbent, _)) = &best {
-            if sol.objective <= incumbent + 1e-9 {
-                continue; // Bound: cannot beat the incumbent.
+    fn deadline_expired(&self) -> bool {
+        self.deadline_at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Solves one node's relaxation and either records an incumbent
+    /// (integral) or pushes an open node (fractional). Returns the root
+    /// basis when this was the root.
+    fn process(&mut self, fixing: Vec<Option<bool>>, warm: Option<&Basis>) -> Option<LpNode> {
+        self.nodes += 1;
+        let lp = relax(self.problem, &fixing);
+        let out = simplex::solve_with(&lp, self.options.max_pivots, warm);
+        self.pivots += out.pivots;
+        match out.status {
+            LpStatus::Infeasible => None,
+            LpStatus::Unbounded => Some(LpNode::Unbounded),
+            LpStatus::PivotLimit => {
+                // Feasibility at this node is unknown (phase-I strike) or
+                // the bound is unproven (phase-II strike): either way the
+                // subtree can't be searched exactly.
+                self.limit_hit = true;
+                if out.feasible {
+                    if let Some(x) = integral(&out.x, &fixing, self.options.int_tolerance) {
+                        if self.problem.is_feasible(&x) {
+                            self.offer_incumbent(x);
+                        }
+                    }
+                }
+                None
+            }
+            LpStatus::Optimal => {
+                if out.objective <= self.best_objective() + 1e-9 {
+                    return Some(LpNode::Solved(out.objective, out.basis));
+                }
+                match integral(&out.x, &fixing, self.options.int_tolerance) {
+                    Some(x) => {
+                        debug_assert!(self.problem.is_feasible(&x));
+                        self.offer_incumbent(x);
+                    }
+                    None => {
+                        self.seq += 1;
+                        self.heap.push(OpenNode {
+                            bound: out.objective,
+                            seq: self.seq,
+                            fixing,
+                            x: out.x,
+                        });
+                    }
+                }
+                Some(LpNode::Solved(out.objective, out.basis))
             }
         }
+    }
+}
 
-        // Most fractional variable.
-        let mut branch_var: Option<(usize, f64)> = None;
-        for (j, &v) in sol.x.iter().enumerate() {
-            if fixing[j].is_some() {
+enum LpNode {
+    Solved(f64, Option<Basis>),
+    Unbounded,
+}
+
+/// Solves the BILP by best-bound branch-and-bound over the simplex
+/// relaxation. See the module docs for the anytime contract.
+pub fn solve(problem: &BilpProblem, options: &SolveOptions) -> BilpSolution {
+    let n = problem.num_vars();
+    let deadline_at = options.deadline.map(|d| Instant::now() + d);
+    let mut search = Search {
+        problem,
+        options,
+        deadline_at,
+        heap: BinaryHeap::new(),
+        best: None,
+        nodes: 0,
+        pivots: 0,
+        seq: 0,
+        limit_hit: false,
+    };
+
+    // Warm incumbent: accepted only when shape-correct and feasible.
+    if let Some(seed) = &options.warm_start.incumbent {
+        if seed.len() == n && problem.is_feasible(seed) {
+            search.offer_incumbent(seed.clone());
+        }
+    }
+
+    // Root relaxation (not counted against `max_nodes`).
+    let root = search.process(vec![None; n], options.warm_start.basis.as_ref());
+    search.nodes -= 1;
+    let (lp_bound, root_basis) = match root {
+        Some(LpNode::Solved(bound, basis)) => (bound, basis),
+        Some(LpNode::Unbounded) => {
+            return finish(search, SolveStatus::Unbounded, f64::INFINITY, None);
+        }
+        None if search.limit_hit => {
+            // Root pivot budget struck: no bound proven at all.
+            let status = SolveStatus::LimitReached;
+            return finish(search, status, f64::INFINITY, None);
+        }
+        None => {
+            // Relaxation proven infeasible ⇒ the integer program is too.
+            return finish(search, SolveStatus::Infeasible, f64::NEG_INFINITY, None);
+        }
+    };
+
+    let status = loop {
+        let Some(node) = search.heap.pop() else {
+            // Search space exhausted.
+            break if search.limit_hit {
+                SolveStatus::LimitReached
+            } else if search.best.is_some() {
+                SolveStatus::Optimal
+            } else {
+                SolveStatus::Infeasible
+            };
+        };
+        if node.bound <= search.best_objective() + 1e-9 {
+            // Best-bound order: every remaining node is no better.
+            break if search.limit_hit {
+                SolveStatus::LimitReached
+            } else {
+                SolveStatus::Optimal
+            };
+        }
+        if search.deadline_expired() {
+            break SolveStatus::Feasible;
+        }
+        if search.nodes >= options.max_nodes {
+            break SolveStatus::LimitReached;
+        }
+
+        // Most fractional free variable of this node's relaxation.
+        let mut branch: Option<(usize, f64)> = None;
+        for (j, &v) in node.x.iter().enumerate() {
+            if node.fixing[j].is_some() {
                 continue;
             }
             let frac = (v - v.round()).abs();
-            if frac > INT_TOL {
+            if frac > options.int_tolerance {
                 let dist_to_half = (v.fract() - 0.5).abs();
-                match branch_var {
-                    Some((_, best_dist)) if best_dist <= dist_to_half => {}
-                    _ => branch_var = Some((j, dist_to_half)),
+                match branch {
+                    Some((_, best)) if best <= dist_to_half => {}
+                    _ => branch = Some((j, dist_to_half)),
                 }
             }
         }
-
-        match branch_var {
-            None => {
-                // LP solution is integral: candidate incumbent.
-                let x: Vec<bool> = sol
-                    .x
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &v)| fixing[j].unwrap_or(v > 0.5))
-                    .collect();
-                debug_assert!(problem.is_feasible(&x));
-                let obj = problem.objective_of(&x);
-                if best.as_ref().is_none_or(|(b, _)| obj > *b) {
-                    best = Some((obj, x));
+        let Some((j, _)) = branch else {
+            // Numerically integral after all (within tolerance): the
+            // rounded point is the subtree's candidate.
+            if let Some(x) = integral(&node.x, &node.fixing, 0.5) {
+                if problem.is_feasible(&x) {
+                    search.offer_incumbent(x);
                 }
             }
-            Some((j, _)) => {
-                // Explore the 1-branch first (tends to find good
-                // incumbents early in facility-location-style programs).
-                let mut zero = fixing.clone();
-                zero[j] = Some(false);
-                let mut one = fixing;
-                one[j] = Some(true);
-                stack.push(zero);
-                stack.push(one);
+            continue;
+        };
+
+        // The 1-branch first: it tends to find good incumbents early in
+        // facility-location-style programs.
+        for value in [true, false] {
+            let mut fixing = node.fixing.clone();
+            fixing[j] = Some(value);
+            if let Some(LpNode::Unbounded) = search.process(fixing, None) {
+                return finish(search, SolveStatus::Unbounded, lp_bound, root_basis);
             }
         }
-    }
+    };
 
-    match best {
-        Some((objective, x)) => BilpSolution {
-            objective,
-            x,
-            status: if limit_hit {
-                BilpStatus::NodeLimit
-            } else {
-                BilpStatus::Optimal
-            },
-            nodes,
+    finish(search, status, lp_bound, root_basis)
+}
+
+fn finish(
+    search: Search<'_>,
+    status: SolveStatus,
+    lp_bound: f64,
+    root_basis: Option<Basis>,
+) -> BilpSolution {
+    let best_objective = search.best_objective();
+    // Tightest proven bound: the best open-node bound, or the incumbent
+    // when the search closed (min'd with the root bound for safety).
+    let open_bound = search.heap.iter().map(|n| n.bound).fold(
+        match status {
+            SolveStatus::Optimal => best_objective,
+            _ => lp_bound,
         },
-        None => BilpSolution {
-            objective: f64::NEG_INFINITY,
-            x: vec![false; n],
-            status: if limit_hit {
-                BilpStatus::NodeLimit
-            } else {
-                BilpStatus::Infeasible
-            },
-            nodes,
-        },
+        f64::max,
+    );
+    let best_bound = open_bound.min(lp_bound).max(best_objective);
+    let (objective, x) = match search.best {
+        Some((o, x)) => (o, Some(x)),
+        None => (f64::NEG_INFINITY, None),
+    };
+    // A deadline strike before any incumbent shows as LimitReached, not
+    // Feasible: `Feasible` always carries a usable point.
+    let status = if status == SolveStatus::Feasible && x.is_none() {
+        SolveStatus::LimitReached
+    } else {
+        status
+    };
+    BilpSolution {
+        status,
+        x,
+        objective,
+        lp_bound,
+        best_bound,
+        nodes: search.nodes,
+        pivots: search.pivots,
+        root_basis,
     }
 }
 
-/// Builds the LP relaxation with the 0/1 box and current fixings.
+/// Rounds a relaxation point to 0/1 when every free coordinate is within
+/// `tol` of an integer; fixed coordinates take their fixed value.
+fn integral(x: &[f64], fixing: &[Option<bool>], tol: f64) -> Option<Vec<bool>> {
+    let mut out = Vec::with_capacity(x.len());
+    for (j, &v) in x.iter().enumerate() {
+        match fixing[j] {
+            Some(b) => out.push(b),
+            None => {
+                if (v - v.round()).abs() > tol {
+                    return None;
+                }
+                out.push(v.round() > 0.5);
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Builds the LP relaxation with the 0/1 box and current fixings. The
+/// row layout (original constraints first, then one box/fixing row per
+/// variable) is identical for every node of a given problem, so root
+/// bases stay reusable across same-shaped solves.
 fn relax(problem: &BilpProblem, fixing: &[Option<bool>]) -> LpProblem {
     let mut lp = LpProblem::maximize(problem.objective.clone());
     lp.constraints = problem.constraints.clone();
@@ -233,15 +525,21 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    fn solve_default(p: &BilpProblem) -> BilpSolution {
+        solve(p, &SolveOptions::default())
+    }
+
     #[test]
     fn knapsack_is_solved_exactly() {
-        // max 10a + 13b + 7c  s.t.  3a + 4b + 2c <= 6  → a + c = 17? vs b + c = 20.
+        // max 10a + 13b + 7c  s.t.  3a + 4b + 2c <= 6 → b + c = 20.
         let p = BilpProblem::maximize(vec![10.0, 13.0, 7.0])
             .with(Constraint::le(vec![(0, 3.0), (1, 4.0), (2, 2.0)], 6.0));
-        let s = solve(&p, 10_000);
-        assert_eq!(s.status, BilpStatus::Optimal);
+        let s = solve_default(&p);
+        assert_eq!(s.status, SolveStatus::Optimal);
         assert!((s.objective - 20.0).abs() < 1e-9);
-        assert_eq!(s.x, vec![false, true, true]);
+        assert_eq!(s.x, Some(vec![false, true, true]));
+        assert!(s.lp_bound >= s.objective - 1e-9);
+        assert!((s.best_bound - s.objective).abs() < 1e-9);
     }
 
     #[test]
@@ -249,25 +547,25 @@ mod tests {
         // x1 + x2 = 3 cannot hold for binaries.
         let p = BilpProblem::maximize(vec![1.0, 1.0])
             .with(Constraint::eq(vec![(0, 1.0), (1, 1.0)], 3.0));
-        let s = solve(&p, 10_000);
-        assert_eq!(s.status, BilpStatus::Infeasible);
+        let s = solve_default(&p);
+        assert_eq!(s.status, SolveStatus::Infeasible);
+        assert!(s.x.is_none());
     }
 
     #[test]
     fn unconstrained_takes_positive_coefficients() {
         let p = BilpProblem::maximize(vec![2.0, -3.0, 0.5, -0.1]);
-        let s = solve(&p, 10_000);
-        assert_eq!(s.status, BilpStatus::Optimal);
+        let s = solve_default(&p);
+        assert_eq!(s.status, SolveStatus::Optimal);
         assert!((s.objective - 2.5).abs() < 1e-9);
-        assert_eq!(s.x, vec![true, false, true, false]);
+        assert_eq!(s.x, Some(vec![true, false, true, false]));
     }
 
     #[test]
     fn facility_location_instance_matches_paper_structure() {
         // Eq. 9 shape: two sensors (cost 3 each), two locations.
         // v[l][i]: location 0: s0=5, s1=4 ; location 1: s0=1, s1=4.
-        // Open both: 5+4-6 = 3; open s0: 5+1-3 = 3; open s1: 4+4-3 = 5. → 5
-        // Vars: x0,x1 (open), y00,y01,y10,y11 (assign l to i).
+        // Open both: 5+4-6 = 3; open s0: 5+1-3 = 3; open s1: 4+4-3 = 5.
         let p = BilpProblem::maximize(vec![-3.0, -3.0, 5.0, 4.0, 1.0, 4.0])
             .with(Constraint::le(vec![(2, 1.0), (0, -1.0)], 0.0)) // y00 <= x0
             .with(Constraint::le(vec![(3, 1.0), (1, -1.0)], 0.0)) // y01 <= x1
@@ -275,24 +573,87 @@ mod tests {
             .with(Constraint::le(vec![(5, 1.0), (1, -1.0)], 0.0)) // y11 <= x1
             .with(Constraint::le(vec![(2, 1.0), (3, 1.0)], 1.0)) // one per loc
             .with(Constraint::le(vec![(4, 1.0), (5, 1.0)], 1.0));
-        let s = solve(&p, 10_000);
-        assert_eq!(s.status, BilpStatus::Optimal);
+        let s = solve_default(&p);
+        assert_eq!(s.status, SolveStatus::Optimal);
         assert!((s.objective - 5.0).abs() < 1e-9);
-        assert!(!s.x[0] && s.x[1]);
+        let x = s.x.unwrap();
+        assert!(!x[0] && x[1]);
+    }
+
+    /// Satellite: a limit strike with an incumbent is `LimitReached`
+    /// with `x = Some(..)` — never a bogus `Infeasible`.
+    #[test]
+    fn node_limit_with_incumbent_is_distinguishable_from_infeasible() {
+        // A knapsack whose relaxation is fractional, so the root alone
+        // doesn't close the search.
+        let p = BilpProblem::maximize(vec![10.0, 13.0, 7.0])
+            .with(Constraint::le(vec![(0, 3.0), (1, 4.0), (2, 2.0)], 6.0));
+        let opts = SolveOptions::default().with_max_nodes(0);
+        let s = solve(&p, &opts);
+        assert_eq!(s.status, SolveStatus::LimitReached);
+        // All-false is trivially feasible but never visited with zero
+        // nodes; seed it as a warm incumbent and the limited solve must
+        // surface it (or something at least as good).
+        let warm = SolveOptions {
+            warm_start: WarmStart {
+                incumbent: Some(vec![false, true, false]),
+                basis: None,
+            },
+            ..SolveOptions::default().with_max_nodes(0)
+        };
+        let s = solve(&p, &warm);
+        assert_eq!(s.status, SolveStatus::LimitReached);
+        let x = s.x.expect("incumbent must survive the node limit");
+        assert!(p.is_feasible(&x));
+        assert!(s.objective >= 13.0 - 1e-9);
+        assert!(s.objective <= s.lp_bound + 1e-9);
     }
 
     #[test]
-    fn node_limit_reports_partial_result() {
-        let n = 12;
-        let mut rng = StdRng::seed_from_u64(7);
-        let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
-        let p = BilpProblem::maximize(obj);
-        let s = solve(&p, 1);
-        // One node suffices here (LP relaxation of a box is integral), so
-        // force the limit with zero nodes instead.
-        assert_eq!(s.status, BilpStatus::Optimal);
-        let s0 = solve(&p, 0);
-        assert_eq!(s0.status, BilpStatus::NodeLimit);
+    fn zero_deadline_returns_feasible_incumbent() {
+        let p = BilpProblem::maximize(vec![10.0, 13.0, 7.0])
+            .with(Constraint::le(vec![(0, 3.0), (1, 4.0), (2, 2.0)], 6.0));
+        let opts = SolveOptions {
+            warm_start: WarmStart {
+                incumbent: Some(vec![true, false, false]),
+                basis: None,
+            },
+            ..SolveOptions::default().with_deadline(Duration::ZERO)
+        };
+        let s = solve(&p, &opts);
+        // Deadline already expired when the loop starts: the warm
+        // incumbent (possibly improved by the root LP) comes back with a
+        // non-Infeasible status.
+        assert!(
+            matches!(s.status, SolveStatus::Feasible | SolveStatus::Optimal),
+            "status {:?}",
+            s.status
+        );
+        let x = s.x.expect("anytime contract: incumbent present");
+        assert!(p.is_feasible(&x));
+        assert!(s.objective >= 10.0 - 1e-9);
+    }
+
+    #[test]
+    fn warm_basis_reuse_matches_cold_solve() {
+        let p = BilpProblem::maximize(vec![4.0, 3.0, 5.0, 1.0])
+            .with(Constraint::le(
+                vec![(0, 2.0), (1, 1.0), (2, 3.0), (3, 1.0)],
+                4.0,
+            ))
+            .with(Constraint::le(vec![(0, 1.0), (2, 1.0)], 1.0));
+        let cold = solve_default(&p);
+        assert_eq!(cold.status, SolveStatus::Optimal);
+        let opts = SolveOptions {
+            warm_start: WarmStart {
+                incumbent: cold.x.clone(),
+                basis: cold.root_basis.clone(),
+            },
+            ..Default::default()
+        };
+        let warm = solve(&p, &opts);
+        assert_eq!(warm.status, SolveStatus::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
     }
 
     fn random_instance(rng: &mut StdRng, n: usize, m: usize) -> BilpProblem {
@@ -322,28 +683,52 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         for trial in 0..30 {
             let p = random_instance(&mut rng, 8, 3);
-            let bb = solve(&p, 100_000);
+            let bb = solve_default(&p);
             let ex = solve_exhaustive(&p).expect("all-false is feasible for <= with rhs >= 0");
-            assert_eq!(bb.status, BilpStatus::Optimal, "trial {trial}");
+            assert_eq!(bb.status, SolveStatus::Optimal, "trial {trial}");
             assert!(
                 (bb.objective - ex.0).abs() < 1e-6,
                 "trial {trial}: bb={} exhaustive={}",
                 bb.objective,
                 ex.0
             );
+            assert!(bb.lp_bound >= ex.0 - 1e-7, "trial {trial}: bound invalid");
         }
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Satellite: the simplex+B&B stack agrees with the exhaustive
+        /// oracle on random small BILPs (≤ 12 vars) to `int_tolerance`.
         #[test]
-        fn branch_and_bound_is_exact(seed in 0u64..500) {
+        fn branch_and_bound_matches_exhaustive(seed in 0u64..1000) {
             let mut rng = StdRng::seed_from_u64(seed);
-            let p = random_instance(&mut rng, 7, 2);
-            let bb = solve(&p, 100_000);
+            let n = 7 + (seed as usize % 6); // 7..=12 variables
+            let p = random_instance(&mut rng, n, 3);
+            let bb = solve_default(&p);
             let ex = solve_exhaustive(&p).unwrap();
-            prop_assert!((bb.objective - ex.0).abs() < 1e-6);
-            prop_assert!(p.is_feasible(&bb.x));
+            prop_assert_eq!(bb.status, SolveStatus::Optimal);
+            prop_assert!((bb.objective - ex.0).abs() < 1e-6,
+                "bb={} exhaustive={}", bb.objective, ex.0);
+            let x = bb.x.unwrap();
+            prop_assert!(p.is_feasible(&x));
+            prop_assert!(bb.lp_bound >= ex.0 - 1e-7);
+        }
+
+        /// Satellite: phase I correctly flags infeasible systems — an
+        /// equality demanding more than the variables can add up to.
+        #[test]
+        fn phase_one_flags_infeasible_systems(seed in 0u64..500) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 3 + (seed as usize % 5);
+            let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            // Σ x_i = n + 1 is unsatisfiable even fractionally in [0,1]^n.
+            let coeffs: Vec<(usize, f64)> = (0..n).map(|j| (j, 1.0)).collect();
+            let p = BilpProblem::maximize(obj)
+                .with(Constraint::eq(coeffs, n as f64 + 1.0));
+            let s = solve_default(&p);
+            prop_assert_eq!(s.status, SolveStatus::Infeasible);
+            prop_assert!(s.x.is_none());
         }
     }
 }

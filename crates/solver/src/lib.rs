@@ -5,12 +5,14 @@
 //! 1. **An exact solver for the single-sensor point-query BILP (Eq. 9).**
 //!    The program is an uncapacitated-facility-location-style welfare
 //!    maximization: opening sensor `i` costs `c_i`, and each queried
-//!    location `l` collects the value of the best open sensor. [`ufl`]
-//!    implements an exact branch-and-bound with Erlenkotter-style
-//!    dual-ascent bounds plus connected-component decomposition, and
-//!    [`bilp`]/[`lp`] provide the general BILP + simplex machinery the
-//!    paper's formulation corresponds to (also used to cross-validate the
-//!    specialized solver).
+//!    location `l` collects the value of the best open sensor. The solver
+//!    core is layered: [`simplex`] is a two-phase (phase-I feasibility /
+//!    phase-II optimize) dense-tableau simplex with Bland's-rule
+//!    anti-cycling, pivot budgets, and warm-start bases; [`bilp`] is a
+//!    best-bound branch-and-bound over its LP relaxations (most-fractional
+//!    branching, incumbent tracking, so every solve is *anytime*); and
+//!    [`ufl`] specializes both to Eq. 9 via connected-component
+//!    decomposition with heuristic incumbent seeding.
 //! 2. **The Local Search approximation of Feige, Mirrokni & Vondrák
 //!    (FOCS'07)** for non-monotone submodular maximization, which the paper
 //!    uses as its scalable heuristic for point-query scheduling
@@ -19,19 +21,25 @@
 //! 3. **Greedy marginal-gain selection** (Algorithm 1's engine), provided
 //!    generically in [`submodular::greedy`].
 //!
-//! Everything here is deterministic: ties break on the lowest index, so
-//! simulations are reproducible bit-for-bit.
+//! Every solve surfaces a [`SolveStatus`] — `Optimal`, `Feasible`
+//! (incumbent under a deadline), `Infeasible`, `Unbounded`, or
+//! `LimitReached` (node/pivot budget) — and resource limits flow through
+//! [`SolveOptions`], so callers can always distinguish "proven
+//! infeasible" from "ran out of budget with a usable incumbent".
+//!
+//! Everything here is deterministic at default options: ties break on the
+//! lowest index, so simulations are reproducible bit-for-bit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bilp;
 pub mod bitset;
-pub mod lp;
+pub mod simplex;
 pub mod submodular;
 pub mod ufl;
 
-pub use bilp::{BilpProblem, BilpSolution, BilpStatus};
+pub use bilp::{BilpProblem, BilpSolution, SolveOptions, SolveStatus, WarmStart};
 pub use bitset::BitSet;
-pub use lp::{Constraint, ConstraintOp, LpError, LpProblem, LpSolution};
-pub use ufl::{SolveLimits, WelfareProblem, WelfareSolution};
+pub use simplex::{Basis, Constraint, ConstraintOp, LpOutcome, LpProblem, LpStatus};
+pub use ufl::{WelfareProblem, WelfareSolution};

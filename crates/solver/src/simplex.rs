@@ -1,13 +1,24 @@
-//! Dense two-phase simplex for linear programs.
+//! Dense two-phase simplex: the LP core of the solver subsystem.
 //!
-//! Used as the relaxation engine inside the BILP branch-and-bound
-//! ([`crate::bilp`]) and directly testable against hand-computed LPs.
-//! The implementation is a classic tableau simplex: phase 1 drives
-//! artificial variables out to find a basic feasible solution, phase 2
-//! optimizes the real objective. Dantzig pricing with an automatic switch
-//! to Bland's rule guards against cycling.
-
-use std::fmt;
+//! Phase I drives artificial variables out of the basis to find a basic
+//! feasible solution; phase II optimizes the real objective over the
+//! structural columns. Dantzig pricing with an automatic switch to
+//! Bland's rule guards against cycling, and every pivot is counted
+//! against a caller-supplied budget so the solve is interruptible.
+//!
+//! The tableau's column layout is
+//!
+//! ```text
+//! [ decision vars | slack/surplus | artificials | rhs ]
+//! ```
+//!
+//! and the returned [`Basis`] names the basic column of each row, which
+//! callers can feed back through [`solve_with`] to warm-start a later
+//! solve of an identically-shaped program (same variable count, same
+//! constraint rows in the same order). A warm basis that turns out to be
+//! primal infeasible for the new right-hand side is rejected and the
+//! solve silently falls back to the two-phase cold start, so warm-start
+//! can only change running time, never the answer.
 
 /// Relational operator of a linear constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,52 +102,82 @@ impl LpProblem {
     }
 }
 
-/// An optimal LP solution.
-#[derive(Debug, Clone)]
-pub struct LpSolution {
-    /// Optimal objective value.
-    pub objective: f64,
-    /// Optimal variable assignment.
-    pub x: Vec<f64>,
-}
-
-/// Errors from the simplex solver.
+/// How a simplex solve terminated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LpError {
+pub enum LpStatus {
+    /// Proven optimal; `x` and `objective` are the optimum.
+    Optimal,
     /// No feasible point satisfies the constraints.
     Infeasible,
     /// The objective is unbounded above on the feasible region.
     Unbounded,
-    /// Iteration limit hit (numerically pathological instance).
-    IterationLimit,
+    /// The pivot budget ran out. When `feasible` is set on the outcome,
+    /// `x` is a primal-feasible (but not proven optimal) point.
+    PivotLimit,
 }
 
-impl fmt::Display for LpError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            LpError::Infeasible => write!(f, "infeasible linear program"),
-            LpError::Unbounded => write!(f, "unbounded linear program"),
-            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
-        }
-    }
+/// A simplex basis: the basic column of each tableau row, in row order.
+/// Only structural columns (decision + slack/surplus) appear; an
+/// artificial left basic at value zero is recorded as `usize::MAX` and
+/// rejected on reuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Basic column per row.
+    pub cols: Vec<usize>,
 }
 
-impl std::error::Error for LpError {}
+/// Outcome of a simplex solve.
+#[derive(Debug, Clone)]
+pub struct LpOutcome {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Objective value of `x`. Meaningful when `feasible`; `NEG_INFINITY`
+    /// on [`LpStatus::Infeasible`], `INFINITY` on [`LpStatus::Unbounded`].
+    pub objective: f64,
+    /// Decision-variable assignment (zeros when no feasible point was
+    /// reached).
+    pub x: Vec<f64>,
+    /// True when `x` is primal feasible — always on
+    /// [`LpStatus::Optimal`], and on a [`LpStatus::PivotLimit`] that
+    /// struck during phase II (the tableau stays feasible there).
+    pub feasible: bool,
+    /// Pivots spent, warm-start pivots included.
+    pub pivots: usize,
+    /// The final basis when `feasible`, for warm-starting a later solve
+    /// of an identically-shaped program.
+    pub basis: Option<Basis>,
+}
+
+/// Default per-solve pivot budget, ample for the small dense programs
+/// this crate builds (component relaxations of Eq. 9).
+pub const DEFAULT_MAX_PIVOTS: usize = 10_000;
 
 const EPS: f64 = 1e-9;
 
-/// Solves the LP with the two-phase tableau simplex.
-pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
-    Tableau::build(problem).solve()
+/// Solves the LP cold with the default pivot budget.
+pub fn solve(problem: &LpProblem) -> LpOutcome {
+    solve_with(problem, DEFAULT_MAX_PIVOTS, None)
 }
 
-/// Internal simplex tableau.
-///
-/// Column layout: `[decision vars | slack/surplus | artificials | rhs]`.
+/// Solves the LP with an explicit pivot budget and an optional warm basis
+/// from a previous solve of an identically-shaped program.
+pub fn solve_with(problem: &LpProblem, max_pivots: usize, warm: Option<&Basis>) -> LpOutcome {
+    if let Some(basis) = warm {
+        let mut t = Tableau::build(problem, max_pivots);
+        if t.try_warm(basis) {
+            return t.run(true);
+        }
+        // Warm basis rejected (wrong shape, singular, or primal
+        // infeasible here): fall through to a fresh cold start.
+    }
+    Tableau::build(problem, max_pivots).run(false)
+}
+
+/// Internal simplex tableau. See the module docs for the column layout.
 struct Tableau {
     /// rows[i] has width `cols`; the last column is the RHS.
     rows: Vec<Vec<f64>>,
-    /// Objective coefficients (phase 2), length `cols - 1`.
+    /// Objective coefficients (phase II), length `cols - 1`.
     objective: Vec<f64>,
     /// Basis variable per row.
     basis: Vec<usize>,
@@ -144,15 +185,24 @@ struct Tableau {
     num_structural: usize, // decision + slack/surplus
     cols: usize,           // total columns incl. rhs
     artificial_start: usize,
+    pivots: usize,
+    max_pivots: usize,
+}
+
+/// What `Tableau::optimize` ran into.
+enum Phase {
+    Done(f64),
+    Unbounded,
+    PivotLimit,
 }
 
 impl Tableau {
-    fn build(problem: &LpProblem) -> Self {
+    fn build(problem: &LpProblem, max_pivots: usize) -> Self {
         let n = problem.num_vars();
         let m = problem.constraints.len();
 
-        // Count slack (Le/Ge) and artificial (Ge/Eq, or Le with negative
-        // rhs after normalization) columns.
+        // Count slack (Le/Ge) columns; artificials get one column per
+        // row in the worst case.
         let mut num_slack = 0;
         for c in &problem.constraints {
             match effective_op(c) {
@@ -161,7 +211,6 @@ impl Tableau {
             }
         }
         let num_structural = n + num_slack;
-        // Worst case: every row needs an artificial.
         let cols = num_structural + m + 1;
         let artificial_start = num_structural;
 
@@ -212,23 +261,75 @@ impl Tableau {
             num_structural,
             cols,
             artificial_start,
+            pivots: 0,
+            max_pivots,
         }
     }
 
-    fn solve(mut self) -> Result<LpSolution, LpError> {
+    /// Attempts to pivot the fresh tableau onto `basis`. Returns false —
+    /// leaving the tableau dirty, the caller must rebuild — when the
+    /// basis has the wrong shape, is numerically singular, or is not
+    /// primal feasible for this right-hand side.
+    fn try_warm(&mut self, warm: &Basis) -> bool {
         let m = self.rows.len();
-        let has_artificials = self.basis.iter().any(|&b| b >= self.artificial_start);
+        if warm.cols.len() != m {
+            return false;
+        }
+        if warm.cols.iter().any(|&j| j >= self.num_structural) {
+            return false;
+        }
+        let mut taken = vec![false; m];
+        for &j in &warm.cols {
+            // Greedy row assignment: largest pivot magnitude wins, which
+            // keeps the elimination numerically sane.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, &done) in taken.iter().enumerate() {
+                if done {
+                    continue;
+                }
+                let a = self.rows[i][j].abs();
+                match best {
+                    Some((_, b)) if b >= a => {}
+                    _ => best = Some((i, a)),
+                }
+            }
+            let Some((row, mag)) = best else { return false };
+            if mag < 1e-7 {
+                return false;
+            }
+            if self.pivots >= self.max_pivots {
+                return false;
+            }
+            self.pivot(row, j);
+            taken[row] = true;
+        }
+        let rhs_col = self.cols - 1;
+        self.rows.iter().all(|r| r[rhs_col] >= -EPS)
+    }
+
+    /// Runs the solve. `warm` skips phase I (the basis is already
+    /// feasible and artificial-free).
+    fn run(mut self, warm: bool) -> LpOutcome {
+        let m = self.rows.len();
+        let has_artificials = !warm && self.basis.iter().any(|&b| b >= self.artificial_start);
 
         #[allow(clippy::needless_range_loop)]
         if has_artificials {
-            // Phase 1: minimize sum of artificials == maximize -(sum).
+            // Phase I: minimize the artificial sum == maximize -(sum).
             let mut phase1 = vec![0.0; self.cols - 1];
             for j in self.artificial_start..(self.cols - 1) {
                 phase1[j] = -1.0;
             }
-            let value = self.optimize(&phase1, self.cols - 1)?;
-            if value < -1e-7 {
-                return Err(LpError::Infeasible);
+            match self.optimize(&phase1, self.cols - 1) {
+                Phase::Done(value) => {
+                    if value < -1e-7 {
+                        return self.outcome(LpStatus::Infeasible, f64::NEG_INFINITY, false);
+                    }
+                }
+                // Phase I can't be unbounded (the objective is ≤ 0).
+                Phase::Unbounded | Phase::PivotLimit => {
+                    return self.outcome(LpStatus::PivotLimit, f64::NEG_INFINITY, false);
+                }
             }
             // Pivot remaining basic artificials out where possible.
             for i in 0..m {
@@ -239,40 +340,78 @@ impl Tableau {
                     }
                     // A row with no structural pivot is all-zero
                     // (redundant constraint); its artificial stays basic
-                    // at value 0 which is harmless for phase 2 as long as
+                    // at value 0, harmless in phase II because
                     // artificial columns are barred from entering.
                 }
             }
         }
 
-        // Phase 2 over structural columns only.
+        // Phase II over structural columns only.
         let objective = self.objective.clone();
-        let value = self.optimize(&objective, self.num_structural)?;
-
-        let mut x = vec![0.0; self.num_decision];
-        for (i, &b) in self.basis.iter().enumerate() {
-            if b < self.num_decision {
-                x[b] = self.rows[i][self.cols - 1];
+        match self.optimize(&objective, self.num_structural) {
+            Phase::Done(value) => self.outcome(LpStatus::Optimal, value, true),
+            Phase::Unbounded => self.outcome(LpStatus::Unbounded, f64::INFINITY, false),
+            // Phase II pivots preserve feasibility: the current point is
+            // a usable (suboptimal) primal solution.
+            Phase::PivotLimit => {
+                let value = self.current_value(&objective);
+                self.outcome(LpStatus::PivotLimit, value, true)
             }
         }
-        Ok(LpSolution {
-            objective: value,
+    }
+
+    fn outcome(&self, status: LpStatus, objective: f64, feasible: bool) -> LpOutcome {
+        let mut x = vec![0.0; self.num_decision];
+        let mut basis = None;
+        if feasible {
+            for (i, &b) in self.basis.iter().enumerate() {
+                if b < self.num_decision {
+                    x[b] = self.rows[i][self.cols - 1];
+                }
+            }
+            basis = Some(Basis {
+                cols: self
+                    .basis
+                    .iter()
+                    .map(|&b| {
+                        if b < self.num_structural {
+                            b
+                        } else {
+                            usize::MAX
+                        }
+                    })
+                    .collect(),
+            });
+        }
+        LpOutcome {
+            status,
+            objective,
             x,
-        })
+            feasible,
+            pivots: self.pivots,
+            basis,
+        }
+    }
+
+    fn current_value(&self, obj: &[f64]) -> f64 {
+        let rhs_col = self.cols - 1;
+        self.basis
+            .iter()
+            .zip(&self.rows)
+            .map(|(&b, row)| obj[b] * row[rhs_col])
+            .sum()
     }
 
     /// Runs simplex iterations maximizing `obj`, restricted to entering
-    /// columns `< col_limit`. Returns the optimal objective value.
-    fn optimize(&mut self, obj: &[f64], col_limit: usize) -> Result<f64, LpError> {
-        // Reduced-cost row: z_j - c_j maintained implicitly; we recompute
-        // c_B B^-1 A_j - c_j from the tableau each pricing step, which for
-        // these problem sizes is simpler and numerically safer.
+    /// columns `< col_limit`.
+    fn optimize(&mut self, obj: &[f64], col_limit: usize) -> Phase {
         let m = self.rows.len();
-        let max_iters = 200 * (m + self.cols);
         let bland_after = 50 * (m + self.cols);
+        let mut iter = 0usize;
 
-        for iter in 0..max_iters {
+        loop {
             let use_bland = iter > bland_after;
+            iter += 1;
             // Pricing: reduced cost r_j = c_j - c_B · column_j.
             let mut entering: Option<(usize, f64)> = None;
             for j in 0..col_limit {
@@ -298,15 +437,11 @@ impl Tableau {
                 }
             }
             let Some((enter, _)) = entering else {
-                // Optimal: compute objective value.
-                let rhs_col = self.cols - 1;
-                let value: f64 = (0..m)
-                    .map(|i| obj[self.basis[i]] * self.rows[i][rhs_col])
-                    .sum();
-                return Ok(value);
+                return Phase::Done(self.current_value(obj));
             };
 
-            // Ratio test.
+            // Ratio test; ties break on the lowest basis index
+            // (deterministic, and the second half of Bland's rule).
             let rhs_col = self.cols - 1;
             let mut leave: Option<(usize, f64)> = None;
             for i in 0..m {
@@ -326,11 +461,13 @@ impl Tableau {
                 }
             }
             let Some((leave_row, _)) = leave else {
-                return Err(LpError::Unbounded);
+                return Phase::Unbounded;
             };
+            if self.pivots >= self.max_pivots {
+                return Phase::PivotLimit;
+            }
             self.pivot(leave_row, enter);
         }
-        Err(LpError::IterationLimit)
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
@@ -363,6 +500,7 @@ impl Tableau {
             target_row[col] = 0.0;
         }
         self.basis[row] = col;
+        self.pivots += 1;
     }
 }
 
@@ -389,13 +527,20 @@ mod tests {
         assert!((a - b).abs() < 1e-6, "{a} != {b}");
     }
 
+    fn opt(p: &LpProblem) -> LpOutcome {
+        let out = solve(p);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!(out.feasible);
+        out
+    }
+
     #[test]
     fn textbook_two_variable_lp() {
         // max 3x + 2y  s.t.  x + y <= 4, x <= 2  → x=2, y=2, obj=10.
         let p = LpProblem::maximize(vec![3.0, 2.0])
             .with(Constraint::le(vec![(0, 1.0), (1, 1.0)], 4.0))
             .with(Constraint::le(vec![(0, 1.0)], 2.0));
-        let s = solve(&p).unwrap();
+        let s = opt(&p);
         assert_close(s.objective, 10.0);
         assert_close(s.x[0], 2.0);
         assert_close(s.x[1], 2.0);
@@ -406,7 +551,7 @@ mod tests {
         // max -x - y  s.t. x + y >= 3, x,y >= 0 → obj = -3.
         let p = LpProblem::maximize(vec![-1.0, -1.0])
             .with(Constraint::ge(vec![(0, 1.0), (1, 1.0)], 3.0));
-        let s = solve(&p).unwrap();
+        let s = opt(&p);
         assert_close(s.objective, -3.0);
         assert_close(s.x[0] + s.x[1], 3.0);
     }
@@ -417,7 +562,7 @@ mod tests {
         let p = LpProblem::maximize(vec![2.0, 3.0])
             .with(Constraint::eq(vec![(0, 1.0), (1, 1.0)], 5.0))
             .with(Constraint::le(vec![(1, 1.0)], 2.0));
-        let s = solve(&p).unwrap();
+        let s = opt(&p);
         assert_close(s.objective, 12.0);
         assert_close(s.x[0], 3.0);
         assert_close(s.x[1], 2.0);
@@ -429,13 +574,15 @@ mod tests {
         let p = LpProblem::maximize(vec![1.0])
             .with(Constraint::le(vec![(0, 1.0)], 1.0))
             .with(Constraint::ge(vec![(0, 1.0)], 2.0));
-        assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
+        let s = solve(&p);
+        assert_eq!(s.status, LpStatus::Infeasible);
+        assert!(!s.feasible);
     }
 
     #[test]
     fn unbounded_lp_detected() {
         let p = LpProblem::maximize(vec![1.0, 0.0]).with(Constraint::ge(vec![(0, 1.0)], 1.0));
-        assert_eq!(solve(&p).unwrap_err(), LpError::Unbounded);
+        assert_eq!(solve(&p).status, LpStatus::Unbounded);
     }
 
     #[test]
@@ -444,7 +591,7 @@ mod tests {
         let p = LpProblem::maximize(vec![1.0])
             .with(Constraint::le(vec![(0, -1.0)], -2.0))
             .with(Constraint::le(vec![(0, 1.0)], 5.0));
-        let s = solve(&p).unwrap();
+        let s = opt(&p);
         assert_close(s.objective, 5.0);
     }
 
@@ -456,7 +603,7 @@ mod tests {
             .with(Constraint::le(vec![(1, 1.0)], 1.0))
             .with(Constraint::le(vec![(0, 1.0), (1, 1.0)], 2.0))
             .with(Constraint::le(vec![(0, 1.0), (1, -1.0)], 0.0));
-        let s = solve(&p).unwrap();
+        let s = opt(&p);
         assert_close(s.objective, 2.0);
     }
 
@@ -466,7 +613,7 @@ mod tests {
         let p = LpProblem::maximize(vec![1.0, 0.0])
             .with(Constraint::eq(vec![(0, 1.0), (1, 1.0)], 2.0))
             .with(Constraint::eq(vec![(0, 1.0), (1, 1.0)], 2.0));
-        let s = solve(&p).unwrap();
+        let s = opt(&p);
         assert_close(s.objective, 2.0);
         assert_close(s.x[0], 2.0);
     }
@@ -480,7 +627,7 @@ mod tests {
             .with(Constraint::le(vec![(1, 1.0), (0, -1.0)], 0.0))
             .with(Constraint::le(vec![(2, 1.0), (0, -1.0)], 0.0))
             .with(Constraint::le(vec![(0, 1.0)], 1.0));
-        let s = solve(&p).unwrap();
+        let s = opt(&p);
         assert_close(s.objective, 3.0);
         assert_close(s.x[0], 1.0);
     }
@@ -488,7 +635,57 @@ mod tests {
     #[test]
     fn zero_objective_feasible() {
         let p = LpProblem::maximize(vec![0.0]).with(Constraint::le(vec![(0, 1.0)], 3.0));
-        let s = solve(&p).unwrap();
+        let s = opt(&p);
         assert_close(s.objective, 0.0);
+    }
+
+    #[test]
+    fn pivot_limit_reports_feasible_point() {
+        // An easy feasible program with the budget too small to finish:
+        // phase II starts feasible at the origin, so the partial point
+        // must still satisfy the constraints.
+        let p = LpProblem::maximize(vec![3.0, 2.0, 1.0])
+            .with(Constraint::le(vec![(0, 1.0), (1, 1.0)], 4.0))
+            .with(Constraint::le(vec![(1, 1.0), (2, 1.0)], 3.0))
+            .with(Constraint::le(vec![(0, 1.0), (2, 1.0)], 5.0));
+        let s = solve_with(&p, 1, None);
+        assert_eq!(s.status, LpStatus::PivotLimit);
+        assert!(s.feasible);
+        assert!(s.x[0] + s.x[1] <= 4.0 + 1e-9);
+        let full = opt(&p);
+        assert!(s.objective <= full.objective + 1e-9);
+    }
+
+    #[test]
+    fn warm_start_reproduces_the_cold_optimum() {
+        let p = LpProblem::maximize(vec![3.0, 2.0])
+            .with(Constraint::le(vec![(0, 1.0), (1, 1.0)], 4.0))
+            .with(Constraint::le(vec![(0, 1.0)], 2.0));
+        let cold = opt(&p);
+        let basis = cold.basis.clone().expect("optimal basis");
+        // Same shape, nudged rhs: the old basis stays primal feasible.
+        let p2 = LpProblem::maximize(vec![3.0, 2.0])
+            .with(Constraint::le(vec![(0, 1.0), (1, 1.0)], 4.5))
+            .with(Constraint::le(vec![(0, 1.0)], 2.0));
+        let warm = solve_with(&p2, DEFAULT_MAX_PIVOTS, Some(&basis));
+        let cold2 = opt(&p2);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert_close(warm.objective, cold2.objective);
+        // The warm path pays only the basis-restoration pivots.
+        assert!(warm.pivots <= cold2.pivots + basis.cols.len());
+    }
+
+    #[test]
+    fn infeasible_warm_basis_falls_back_to_cold_start() {
+        let p = LpProblem::maximize(vec![1.0]).with(Constraint::le(vec![(0, 1.0)], 2.0));
+        let cold = opt(&p);
+        let basis = cold.basis.clone().unwrap();
+        // Shape mismatch: two rows expected by the basis, one present.
+        let bad = Basis {
+            cols: vec![basis.cols[0], 0],
+        };
+        let s = solve_with(&p, DEFAULT_MAX_PIVOTS, Some(&bad));
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.objective, 2.0);
     }
 }

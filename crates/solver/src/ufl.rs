@@ -15,16 +15,26 @@
 //! — an uncapacitated-facility-location (UFL) welfare problem. This module
 //! provides:
 //!
-//! * [`solve_exact`] — branch-and-bound over facility-open decisions with
-//!   Erlenkotter-style **dual-ascent bounds** on the equivalent min-cost
-//!   UFL, after decomposing the sensor/location bipartite graph into
-//!   connected components (sensors only interact through shared
-//!   locations, so components solve independently).
+//! * [`solve_exact`] — the literal Eq. 9 BILP per connected component of
+//!   the sensor/location bipartite graph (sensors only interact through
+//!   shared locations, so components solve independently), handed to the
+//!   best-bound branch-and-bound of [`crate::bilp`] with the Local
+//!   Search / greedy solutions seeding the incumbent. Node budgets and
+//!   the wall-clock deadline are **global across components**, so the
+//!   whole solve honours [`SolveOptions`] and is anytime: a limited solve
+//!   still returns a feasible open set at least as good as Local Search.
+//! * [`lp_relaxation_bound`] — the root LP-relaxation value, a certified
+//!   upper bound on Eq. 12 welfare (used for `optimality_gap` reporting
+//!   against heuristic schedulers).
 //! * [`solve_local_search`] — the Feige-et-al. Local Search of §3.1.2,
 //!   specialized with incremental best/second-best bookkeeping so that a
 //!   full add-pass costs `O(edges)` instead of `O(n · oracle)`.
 //! * [`solve_greedy`] — greedy marginal-gain opening (used as a primal
 //!   heuristic and as an extra baseline in ablation benches).
+
+use crate::bilp::{self, BilpProblem, SolveOptions, SolveStatus, WarmStart};
+use crate::simplex::{self, Constraint, LpStatus};
+use std::time::Instant;
 
 /// A welfare-maximization facility-location instance.
 #[derive(Debug, Clone)]
@@ -120,8 +130,63 @@ impl WelfareProblem {
             open: used,
             assignment,
             welfare,
-            proven_optimal: false,
+            status: SolveStatus::Feasible,
+            lp_bound: None,
+            nodes: 0,
         }
+    }
+
+    /// The literal Eq. 9 BILP over `[X_i | Y_{l,e}]`: open variables
+    /// `X_i` (objective `−c_i`), one assignment variable per candidate
+    /// edge (objective `v_{l,i}`), coupled by `Y ≤ X` and "at most one
+    /// assignment per location". Basic solutions are integral in `Y` once
+    /// `X` is, so branch-and-bound effectively only branches on opens.
+    pub fn to_bilp(&self) -> BilpProblem {
+        let nf = self.num_facilities();
+        let mut obj: Vec<f64> = self.facility_cost.iter().map(|&c| -c).collect();
+        let mut constraints = Vec::new();
+        let mut y = nf;
+        for cands in &self.client_values {
+            let mut row = Vec::new();
+            for &(f, v) in cands {
+                obj.push(v);
+                constraints.push(Constraint::le(vec![(y, 1.0), (f, -1.0)], 0.0));
+                row.push((y, 1.0));
+                y += 1;
+            }
+            if !row.is_empty() {
+                constraints.push(Constraint::le(row, 1.0));
+            }
+        }
+        let mut bp = BilpProblem::maximize(obj);
+        bp.constraints = constraints;
+        bp
+    }
+
+    /// Lifts a facility open set into a feasible `[X | Y]` point of
+    /// [`Self::to_bilp`]: each client's `Y` picks its best open candidate.
+    fn bilp_point(&self, open: &[bool]) -> Vec<bool> {
+        let nf = self.num_facilities();
+        let ny: usize = self.client_values.iter().map(Vec::len).sum();
+        let mut x = vec![false; nf + ny];
+        x[..nf].copy_from_slice(open);
+        let mut y = nf;
+        for cands in &self.client_values {
+            let mut best: Option<(usize, f64)> = None;
+            for (e, &(f, v)) in cands.iter().enumerate() {
+                if open[f] {
+                    match best {
+                        Some((_, bv)) if bv >= v => {}
+                        _ => best = Some((e, v)),
+                    }
+                }
+            }
+            if let Some((e, _)) = best {
+                x[y + e] = true;
+            }
+            y += cands.len();
+        }
+        x
     }
 
     /// Splits the instance into connected components of the bipartite
@@ -204,29 +269,41 @@ pub struct WelfareSolution {
     pub assignment: Vec<Option<usize>>,
     /// Achieved Eq. 12 welfare.
     pub welfare: f64,
-    /// True when branch-and-bound proved optimality (node limit not hit).
-    pub proven_optimal: bool,
+    /// How the solve terminated. Heuristics ([`solve_greedy`],
+    /// [`solve_local_search`]) always report [`SolveStatus::Feasible`];
+    /// [`solve_exact`] reports [`SolveStatus::Optimal`] when every
+    /// component closed its search, and never `Infeasible` (the empty
+    /// open set is always feasible with welfare 0).
+    pub status: SolveStatus,
+    /// Certified upper bound on the optimal Eq. 12 welfare, when one was
+    /// computed (LP relaxation per component; the `O(edges)`
+    /// dual-feasible bound for components whose LP was skipped for size
+    /// or cut short).
+    pub lp_bound: Option<f64>,
+    /// Branch-and-bound nodes spent across all components.
+    pub nodes: usize,
 }
 
-/// Resource limits for the exact solver.
-#[derive(Debug, Clone, Copy)]
-pub struct SolveLimits {
-    /// Maximum branch-and-bound nodes per connected component.
-    pub max_nodes: usize,
-    /// Maximum dual-ascent sweeps per node.
-    pub max_dual_passes: usize,
-}
-
-impl Default for SolveLimits {
-    fn default() -> Self {
-        Self {
-            max_nodes: 200_000,
-            max_dual_passes: 64,
-        }
+impl WelfareSolution {
+    /// True when the solve proved optimality.
+    pub fn proven_optimal(&self) -> bool {
+        self.status == SolveStatus::Optimal
     }
 }
 
 const EPS: f64 = 1e-9;
+
+/// Largest Eq. 9 BILP (opens + assignment edges) a single component may
+/// put through the dense-tableau simplex. The tableau is
+/// `O(rows × cols)` memory with both factors linear in the variable
+/// count, so a city-scale giant component (tens of thousands of edges)
+/// would allocate billions of cells. Components past this threshold keep
+/// their heuristic seed, charge the `O(edges)` dual-feasible bound
+/// (`fast_dual_bound`), and surface [`SolveStatus::LimitReached`] so
+/// callers know optimality was not proven. 600 variables keeps the
+/// worst-case tableau around a few megabytes and a component solve in
+/// the low milliseconds.
+pub const MAX_EXACT_VARS: usize = 600;
 
 /// Greedy marginal-gain facility opening (test baseline + primal warm
 /// start): repeatedly open the facility with the best welfare gain while
@@ -455,14 +532,40 @@ impl<'a> LsState<'a> {
     }
 }
 
-/// Exact solve: connected-component decomposition, then branch-and-bound
-/// with dual-ascent bounds per component. The Local Search solution seeds
-/// the incumbent, so even when `limits.max_nodes` is exhausted the result
-/// is at least as good as Local Search (then `proven_optimal = false`).
-pub fn solve_exact(p: &WelfareProblem, limits: &SolveLimits) -> WelfareSolution {
+/// Exact solve through the new solver core: connected-component
+/// decomposition, then the Eq. 9 BILP of each component handed to the
+/// best-bound branch-and-bound of [`crate::bilp`].
+///
+/// The anytime contract: the Local Search and greedy solutions (plus
+/// `options.warm_start.incumbent`, interpreted as a **facility-space**
+/// open-set hint from a previous slot) seed every component's incumbent
+/// *before* any LP is solved, so a deadline- or budget-limited solve
+/// always returns a feasible open set at least as good as Local Search,
+/// with a status ([`SolveStatus::Feasible`] / [`SolveStatus::LimitReached`])
+/// that is never confusable with infeasibility. `options.max_nodes` and
+/// `options.deadline` are global across components;
+/// `options.warm_start.basis` is ignored here (component shapes vary
+/// from slot to slot — basis reuse lives at the [`crate::bilp`] level).
+///
+/// Components whose Eq. 9 BILP would exceed [`MAX_EXACT_VARS`] variables
+/// never touch the tableau: they keep the heuristic seed and a certified
+/// `O(edges)` dual bound, and the solve reports
+/// [`SolveStatus::LimitReached`]. This is what keeps city-scale slots —
+/// where the facility/location graph collapses into one giant connected
+/// component — inside the per-slot time budget.
+pub fn solve_exact(p: &WelfareProblem, options: &SolveOptions) -> WelfareSolution {
     let nf = p.num_facilities();
     let mut open = vec![false; nf];
-    let mut proven = true;
+    let mut lp_bound = 0.0f64;
+    let mut nodes = 0usize;
+    let mut any_limit = false;
+    let mut any_unproven = false;
+    let deadline_at = options.deadline.map(|d| Instant::now() + d);
+    let warm_hint = options
+        .warm_start
+        .incumbent
+        .as_ref()
+        .filter(|h| h.len() == nf);
 
     for comp in p.components() {
         if comp.clients.is_empty() {
@@ -475,8 +578,91 @@ pub fn solve_exact(p: &WelfareProblem, limits: &SolveLimits) -> WelfareSolution 
                 .collect(),
             comp.local_client_values.clone(),
         );
-        let (sub_open, sub_proven) = branch_and_bound(&sub, limits);
-        proven &= sub_proven;
+
+        // Seed: best of local search, greedy, and the warm open hint
+        // restricted to this component. Dead facilities are pruned, so
+        // the seed's welfare is the pruned Eq. 12 value.
+        let mut seed = solve_local_search(&sub, 0.01);
+        let gr = solve_greedy(&sub);
+        if gr.welfare > seed.welfare {
+            seed = gr;
+        }
+        if let Some(hint) = warm_hint {
+            let local: Vec<bool> = comp.facility_map.iter().map(|&f| hint[f]).collect();
+            let hinted = sub.solution_from_open(&local);
+            if hinted.welfare > seed.welfare {
+                seed = hinted;
+            }
+        }
+
+        // Fast path: one facility — the open/closed comparison is exact.
+        if sub.num_facilities() == 1 {
+            let gain = sub.welfare_of(&[true]);
+            let opened = gain > EPS;
+            if opened {
+                open[comp.facility_map[0]] = true;
+            }
+            lp_bound += gain.max(0.0);
+            continue;
+        }
+
+        // Out of time: keep the heuristic seed, charge the dual bound.
+        if deadline_at.is_some_and(|at| Instant::now() >= at) {
+            any_unproven = true;
+            lp_bound += fast_dual_bound(&sub);
+            for (li, &gf) in comp.facility_map.iter().enumerate() {
+                if seed.open[li] {
+                    open[gf] = true;
+                }
+            }
+            continue;
+        }
+
+        // Component too big for the dense tableau: keep the heuristic
+        // seed, charge the O(edges) dual bound, and report the strike as
+        // a limit (the search was cut short by size, not proven).
+        if bilp_vars(&sub) > MAX_EXACT_VARS {
+            any_limit = true;
+            lp_bound += fast_dual_bound(&sub);
+            for (li, &gf) in comp.facility_map.iter().enumerate() {
+                if seed.open[li] {
+                    open[gf] = true;
+                }
+            }
+            continue;
+        }
+
+        let bp = sub.to_bilp();
+        let comp_opts = SolveOptions {
+            max_pivots: options.max_pivots,
+            max_nodes: options.max_nodes.saturating_sub(nodes),
+            deadline: deadline_at.map(|at| at.saturating_duration_since(Instant::now())),
+            int_tolerance: options.int_tolerance,
+            warm_start: WarmStart {
+                incumbent: Some(sub.bilp_point(&seed.open)),
+                basis: None,
+            },
+        };
+        let sol = bilp::solve(&bp, &comp_opts);
+        nodes += sol.nodes;
+        match sol.status {
+            SolveStatus::Optimal => {}
+            SolveStatus::Feasible => any_unproven = true,
+            // Infeasible/Unbounded cannot occur for Eq. 9 programs; treat
+            // them like a limit strike and keep the heuristic seed.
+            _ => any_limit = true,
+        }
+        lp_bound += if sol.lp_bound.is_finite() {
+            sol.lp_bound.max(0.0)
+        } else {
+            fast_dual_bound(&sub)
+        };
+        // The incumbent is always at least the seed (it was offered
+        // first); fall back to the seed defensively anyway.
+        let sub_open: Vec<bool> = match &sol.x {
+            Some(x) if sol.objective >= seed.welfare - 1e-9 => x[..sub.num_facilities()].to_vec(),
+            _ => seed.open.clone(),
+        };
         for (li, &gf) in comp.facility_map.iter().enumerate() {
             if sub_open[li] {
                 open[gf] = true;
@@ -485,282 +671,96 @@ pub fn solve_exact(p: &WelfareProblem, limits: &SolveLimits) -> WelfareSolution 
     }
 
     let mut sol = p.solution_from_open(&open);
-    sol.proven_optimal = proven;
+    sol.status = if any_limit {
+        SolveStatus::LimitReached
+    } else if any_unproven {
+        SolveStatus::Feasible
+    } else {
+        SolveStatus::Optimal
+    };
+    // The bound is per-component-certified; clamp against the achieved
+    // welfare so reported gaps are never negative under float noise.
+    sol.lp_bound = Some(lp_bound.max(sol.welfare));
+    sol.nodes = nodes;
     sol
 }
 
-/// Branch-and-bound on one connected component. Returns (open, proven).
-fn branch_and_bound(p: &WelfareProblem, limits: &SolveLimits) -> (Vec<bool>, bool) {
-    let nf = p.num_facilities();
-    let fac_clients = facility_adjacency(p);
-
-    // Incumbent from local search (strong in practice).
-    let ls = solve_local_search(p, 0.01);
-    let mut best_open = ls.open.clone();
-    let mut best_welfare = ls.welfare;
-
-    // Also try greedy — occasionally better on adversarial shapes.
-    let gr = solve_greedy(p);
-    if gr.welfare > best_welfare {
-        best_welfare = gr.welfare;
-        best_open = gr.open.clone();
-    }
-
-    // DFS over (forced_open, forced_closed) as status vector.
-    #[derive(Clone)]
-    struct Node {
-        status: Vec<Status>,
-    }
-
-    let mut stack = vec![Node {
-        status: vec![Status::Free; nf],
-    }];
-    let mut nodes = 0usize;
-    let mut proven = true;
-
-    while let Some(node) = stack.pop() {
-        if nodes >= limits.max_nodes {
-            proven = false;
-            break;
-        }
-        nodes += 1;
-
-        let bound = dual_ascent_bound(p, &fac_clients, &node.status, limits.max_dual_passes);
-        if bound <= best_welfare + 1e-7 {
+/// Certified upper bound on the optimal Eq. 12 welfare via the root LP
+/// relaxation of each component (no branching). Components past
+/// [`MAX_EXACT_VARS`], or whose LP hits `max_pivots`, fall back to an
+/// `O(edges)` dual-feasible bound (`fast_dual_bound`). Used to report
+/// `optimality_gap` for heuristic schedulers without running the full
+/// branch-and-bound.
+pub fn lp_relaxation_bound(p: &WelfareProblem, max_pivots: usize) -> f64 {
+    let mut bound = 0.0f64;
+    for comp in p.components() {
+        if comp.clients.is_empty() {
             continue;
         }
-
-        // Cheap primal at this node: open forced-open plus greedily add
-        // free facilities with positive gain.
-        let primal = node_primal(p, &fac_clients, &node.status);
-        let primal_welfare = p.welfare_of(&primal);
-        if primal_welfare > best_welfare {
-            best_welfare = primal_welfare;
-            best_open = primal;
+        let sub = WelfareProblem::new(
+            comp.facility_map
+                .iter()
+                .map(|&f| p.facility_cost[f])
+                .collect(),
+            comp.local_client_values.clone(),
+        );
+        if sub.num_facilities() == 1 {
+            bound += sub.welfare_of(&[true]).max(0.0);
+            continue;
         }
-
-        // Branch on the free facility with the largest value mass.
-        let branch = (0..nf)
-            .filter(|&f| node.status[f] == Status::Free)
-            .max_by(|&a, &b| {
-                let ma: f64 = fac_clients[a].iter().map(|&(_, v)| v).sum();
-                let mb: f64 = fac_clients[b].iter().map(|&(_, v)| v).sum();
-                ma.partial_cmp(&mb).unwrap_or(std::cmp::Ordering::Equal)
-            });
-        let Some(f) = branch else {
-            continue; // fully decided; primal above already evaluated it
+        if bilp_vars(&sub) > MAX_EXACT_VARS {
+            bound += fast_dual_bound(&sub);
+            continue;
+        }
+        let lp = sub.to_bilp().lp_relaxation();
+        let out = simplex::solve_with(&lp, max_pivots, None);
+        bound += match out.status {
+            LpStatus::Optimal => out.objective.max(0.0),
+            _ => fast_dual_bound(&sub),
         };
-        let mut open_child = node.clone();
-        open_child.status[f] = Status::Open;
-        let mut closed_child = node;
-        closed_child.status[f] = Status::Closed;
-        stack.push(closed_child);
-        stack.push(open_child);
     }
-
-    // `best_open` may be a pruned solution (dead facilities removed).
-    (best_open, proven)
+    bound
 }
 
-/// Valid upper bound on the welfare of any completion of `status`, via
-/// dual ascent on the equivalent min-cost UFL.
-///
-/// Transformation: let `U_l` be the best value client `l` could get from
-/// any non-closed facility. Serving `l` by facility `i` "costs"
-/// `d_{l,i} = U_l − v_{l,i} ≥ 0`, leaving `l` unserved costs `U_l`
-/// (a zero-cost dummy facility). Then
-/// `welfare(W) = Σ_l U_l − (assignment cost + opening cost)`, so any dual
-/// feasible value `D ≤ min-cost` yields `UB = Σ_l U_l − D − Σ_{forced} c`.
-fn dual_ascent_bound(
-    p: &WelfareProblem,
-    fac_clients: &[Vec<(usize, f64)>],
-    status: &[Status],
-    max_passes: usize,
-) -> f64 {
-    let nf = p.num_facilities();
-    let nc = p.num_clients();
+/// Number of variables the Eq. 9 BILP of [`WelfareProblem::to_bilp`]
+/// would carry: one open per facility plus one assignment per candidate
+/// edge.
+fn bilp_vars(p: &WelfareProblem) -> usize {
+    p.num_facilities() + p.client_values.iter().map(Vec::len).sum::<usize>()
+}
 
-    // Effective cost: forced-open facilities are free in the min problem
-    // (their cost is charged as a constant), closed ones are unavailable.
-    let mut eff_cost = vec![0.0f64; nf];
-    let mut available = vec![false; nf];
-    let mut forced_cost = 0.0;
-    for f in 0..nf {
-        match status[f] {
-            Status::Free => {
-                available[f] = true;
-                eff_cost[f] = p.facility_cost[f];
-            }
-            Status::Open => {
-                available[f] = true;
-                eff_cost[f] = 0.0;
-                forced_cost += p.facility_cost[f];
-            }
-            Status::Closed => {}
+/// `O(edges)` dual-feasible upper bound on Eq. 12 welfare, for components
+/// too large to put through the dense tableau. In the LP dual of Eq. 9
+/// (`α_l` per location, `β_{l,e}` per candidate edge) feasibility needs
+/// `α_l + β_{l,e} ≥ v_{l,e}` and `Σ_{edges of i} β ≤ c_i`; splitting each
+/// facility's cost over its edges in proportion to value
+/// (`β = c_i · v / Σ v`) and setting `α_l = max_e (v − β)⁺` is feasible
+/// by construction, so `Σ_l α_l` bounds the LP — and hence the integer —
+/// optimum by weak duality. The `β = 0` choice recovers the trivial
+/// value-sum bound `Σ_l max_e v`, so this is never looser than that.
+fn fast_dual_bound(p: &WelfareProblem) -> f64 {
+    let mut value_mass = vec![0.0f64; p.num_facilities()];
+    for cands in &p.client_values {
+        for &(f, v) in cands {
+            value_mass[f] += v;
         }
     }
-
-    // U_l and sorted breakpoints d_{l,i}.
-    let mut total_u = 0.0f64;
-    let mut client_d: Vec<Vec<(f64, usize)>> = Vec::with_capacity(nc);
-    for cands in &p.client_values {
-        let u_l = cands
-            .iter()
-            .filter(|&&(f, _)| available[f])
-            .map(|&(_, v)| v)
-            .fold(0.0, f64::max);
-        total_u += u_l;
-        let mut ds: Vec<(f64, usize)> = cands
-            .iter()
-            .filter(|&&(f, _)| available[f])
-            .map(|&(f, v)| (u_l - v, f))
-            .collect();
-        ds.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        client_d.push(ds);
-    }
-
-    // Dual ascent: w_l starts at the cheapest option and is raised toward
-    // U_l while facility slacks allow.
-    let mut w: Vec<f64> = client_d
-        .iter()
-        .zip(p.client_values.iter())
-        .map(|(ds, _)| ds.first().map_or(0.0, |&(d, _)| d))
-        .collect();
-    // Cap: w_l ≤ U_l (the dummy's constraint). U_l = ds last? No — U_l is
-    // max value; recompute per client.
-    let u_caps: Vec<f64> = p
-        .client_values
+    p.client_values
         .iter()
         .map(|cands| {
             cands
                 .iter()
-                .filter(|&&(f, _)| available[f])
-                .map(|&(_, v)| v)
+                .map(|&(f, v)| {
+                    let beta = if value_mass[f] > 0.0 {
+                        p.facility_cost[f] * v / value_mass[f]
+                    } else {
+                        0.0
+                    };
+                    (v - beta).max(0.0)
+                })
                 .fold(0.0, f64::max)
         })
-        .collect();
-
-    let mut slack = eff_cost.clone();
-    for (l, ds) in client_d.iter().enumerate() {
-        for &(d, f) in ds {
-            let pay = w[l] - d;
-            if pay > 0.0 {
-                slack[f] -= pay;
-            }
-        }
-    }
-    let _ = fac_clients; // adjacency not needed in this direction
-
-    for _ in 0..max_passes {
-        let mut progress = false;
-        for l in 0..nc {
-            let ds = &client_d[l];
-            if ds.is_empty() {
-                continue;
-            }
-            loop {
-                if w[l] >= u_caps[l] - EPS {
-                    break;
-                }
-                // Facilities currently being paid by l (d < w_l), and the
-                // next breakpoint strictly above w_l.
-                let mut min_slack = f64::INFINITY;
-                let mut next_bp = u_caps[l];
-                for &(d, f) in ds {
-                    if d < w[l] - EPS {
-                        min_slack = min_slack.min(slack[f]);
-                    } else if d <= w[l] + EPS {
-                        // Joining exactly at the current level: consuming
-                        // starts immediately on any raise.
-                        min_slack = min_slack.min(slack[f]);
-                    } else {
-                        next_bp = next_bp.min(d);
-                        break; // sorted; later ones are farther
-                    }
-                }
-                let delta = (next_bp - w[l]).min(min_slack).min(u_caps[l] - w[l]);
-                if delta <= EPS {
-                    break;
-                }
-                // Apply the raise.
-                for &(d, f) in ds {
-                    if d <= w[l] + EPS {
-                        slack[f] -= delta;
-                    } else {
-                        break;
-                    }
-                }
-                w[l] += delta;
-                progress = true;
-            }
-        }
-        if !progress {
-            break;
-        }
-    }
-
-    let dual: f64 = w.iter().sum();
-    total_u - dual - forced_cost
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum Status {
-    Free,
-    Open,
-    Closed,
-}
-
-/// Cheap primal completion: forced-open facilities plus greedy additions
-/// of free facilities with positive marginal welfare.
-fn node_primal(
-    p: &WelfareProblem,
-    fac_clients: &[Vec<(usize, f64)>],
-    status: &[Status],
-) -> Vec<bool> {
-    let nf = p.num_facilities();
-    let mut open = vec![false; nf];
-    let mut best_val = vec![0.0f64; p.num_clients()];
-    for f in 0..nf {
-        if status[f] == Status::Open {
-            open[f] = true;
-            for &(l, v) in &fac_clients[f] {
-                if v > best_val[l] {
-                    best_val[l] = v;
-                }
-            }
-        }
-    }
-    loop {
-        let mut best: Option<(usize, f64)> = None;
-        for f in 0..nf {
-            if open[f] || status[f] != Status::Free {
-                continue;
-            }
-            let gain: f64 = fac_clients[f]
-                .iter()
-                .map(|&(l, v)| (v - best_val[l]).max(0.0))
-                .sum::<f64>()
-                - p.facility_cost[f];
-            if gain > EPS {
-                match best {
-                    Some((_, g)) if g >= gain => {}
-                    _ => best = Some((f, gain)),
-                }
-            }
-        }
-        match best {
-            Some((f, _)) => {
-                open[f] = true;
-                for &(l, v) in &fac_clients[f] {
-                    if v > best_val[l] {
-                        best_val[l] = v;
-                    }
-                }
-            }
-            None => break,
-        }
-    }
-    open
+        .sum()
 }
 
 /// facility → [(client, value)] adjacency.
@@ -820,18 +820,17 @@ pub fn solve_exhaustive(p: &WelfareProblem) -> WelfareSolution {
         }
     }
     let mut sol = p.solution_from_open(&best_open);
-    sol.proven_optimal = true;
+    sol.status = SolveStatus::Optimal;
     sol
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bilp::{self, BilpProblem};
-    use crate::lp::Constraint;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+    use std::time::Duration;
 
     fn tiny_instance() -> WelfareProblem {
         // 2 facilities (cost 3), 2 clients.
@@ -839,6 +838,20 @@ mod tests {
         WelfareProblem::new(
             vec![3.0, 3.0],
             vec![vec![(0, 5.0), (1, 4.0)], vec![(0, 1.0), (1, 4.0)]],
+        )
+    }
+
+    /// The classic integrality-gap triangle: three facilities covering
+    /// pairs of three clients. Integer optimum 2 (one open facility), LP
+    /// optimum 3 (all three at x = ½) — guaranteed fractional root.
+    fn gap_triangle() -> WelfareProblem {
+        WelfareProblem::new(
+            vec![4.0, 4.0, 4.0],
+            vec![
+                vec![(0, 3.0), (2, 3.0)],
+                vec![(0, 3.0), (1, 3.0)],
+                vec![(1, 3.0), (2, 3.0)],
+            ],
         )
     }
 
@@ -854,11 +867,13 @@ mod tests {
     #[test]
     fn exact_solves_tiny_instance() {
         let p = tiny_instance();
-        let sol = solve_exact(&p, &SolveLimits::default());
-        assert!(sol.proven_optimal);
+        let sol = solve_exact(&p, &SolveOptions::default());
+        assert!(sol.proven_optimal());
+        assert_eq!(sol.status, SolveStatus::Optimal);
         assert_eq!(sol.welfare, 5.0);
         assert_eq!(sol.open, vec![false, true]);
         assert_eq!(sol.assignment, vec![Some(1), Some(1)]);
+        assert!(sol.lp_bound.expect("bound computed") >= 5.0 - 1e-9);
     }
 
     #[test]
@@ -880,7 +895,7 @@ mod tests {
         // All values below cost → best is to select nothing (the paper's
         // baseline observation at budgets 7–10 with C_s = 10).
         let p = WelfareProblem::new(vec![10.0, 10.0], vec![vec![(0, 6.0)], vec![(1, 7.0)]]);
-        let exact = solve_exact(&p, &SolveLimits::default());
+        let exact = solve_exact(&p, &SolveOptions::default());
         assert_eq!(exact.welfare, 0.0);
         assert!(exact.open.iter().all(|&o| !o));
         let ls = solve_local_search(&p, 0.01);
@@ -891,7 +906,7 @@ mod tests {
     fn sharing_makes_unaffordable_sensors_affordable() {
         // Two clients, each worth 6 < cost 10, but together 12 > 10.
         let p = WelfareProblem::new(vec![10.0], vec![vec![(0, 6.0)], vec![(0, 6.0)]]);
-        let exact = solve_exact(&p, &SolveLimits::default());
+        let exact = solve_exact(&p, &SolveOptions::default());
         assert_eq!(exact.welfare, 2.0);
         assert_eq!(exact.open, vec![true]);
     }
@@ -917,10 +932,71 @@ mod tests {
                 vec![(2, 1.0), (3, 4.0)],
             ],
         );
-        let sol = solve_exact(&p, &SolveLimits::default());
-        assert!(sol.proven_optimal);
+        let sol = solve_exact(&p, &SolveOptions::default());
+        assert!(sol.proven_optimal());
         assert_eq!(sol.welfare, 10.0);
         assert_eq!(sol.open, vec![false, true, false, true]);
+    }
+
+    /// Satellite: a node-limited solve is `LimitReached` with a feasible
+    /// incumbent — never confusable with `Infeasible` or an empty bogus
+    /// answer.
+    #[test]
+    fn node_limited_solve_keeps_heuristic_incumbent() {
+        let p = gap_triangle();
+        let sol = solve_exact(&p, &SolveOptions::default().with_max_nodes(0));
+        assert_eq!(sol.status, SolveStatus::LimitReached);
+        assert!(!sol.proven_optimal());
+        // Local search already finds the single-facility optimum (2.0);
+        // the limited solve must preserve it.
+        assert!((sol.welfare - 2.0).abs() < 1e-9);
+        assert_eq!(sol.open.iter().filter(|&&o| o).count(), 1);
+        // And the fractional root bound (3.0) is reported.
+        let bound = sol.lp_bound.expect("bound present");
+        assert!((bound - 3.0).abs() < 1e-6, "bound {bound}");
+    }
+
+    #[test]
+    fn full_budget_closes_the_gap_triangle() {
+        let p = gap_triangle();
+        let sol = solve_exact(&p, &SolveOptions::default());
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.welfare - 2.0).abs() < 1e-9);
+    }
+
+    /// Satellite (anytime contract): an expired deadline still returns a
+    /// feasible solution at least as good as local search.
+    #[test]
+    fn expired_deadline_returns_local_search_quality() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..10 {
+            let p = random_instance(&mut rng, 10, 12);
+            let ls = solve_local_search(&p, 0.01);
+            let opts = SolveOptions::default().with_deadline(Duration::ZERO);
+            let sol = solve_exact(&p, &opts);
+            assert!(
+                matches!(sol.status, SolveStatus::Feasible | SolveStatus::Optimal),
+                "status {:?}",
+                sol.status
+            );
+            assert!(sol.welfare >= ls.welfare - 1e-9);
+            assert!(sol.welfare <= sol.lp_bound.unwrap() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_open_hint_survives_limited_solve() {
+        let p = gap_triangle();
+        // Hint the optimum; even a zero-node solve must keep it.
+        let opts = SolveOptions {
+            warm_start: WarmStart {
+                incumbent: Some(vec![true, false, false]),
+                basis: None,
+            },
+            ..SolveOptions::default().with_max_nodes(0)
+        };
+        let sol = solve_exact(&p, &opts);
+        assert!((sol.welfare - 2.0).abs() < 1e-9);
     }
 
     fn random_instance(rng: &mut StdRng, nf: usize, nc: usize) -> WelfareProblem {
@@ -945,49 +1021,31 @@ mod tests {
         for trial in 0..40 {
             let p = random_instance(&mut rng, 8, 10);
             let ex = solve_exhaustive(&p);
-            let bb = solve_exact(&p, &SolveLimits::default());
-            assert!(bb.proven_optimal, "trial {trial} not proven");
+            let bb = solve_exact(&p, &SolveOptions::default());
+            assert!(bb.proven_optimal(), "trial {trial} not proven");
             assert!(
                 (bb.welfare - ex.welfare).abs() < 1e-7,
                 "trial {trial}: bb={} exhaustive={}",
                 bb.welfare,
                 ex.welfare
             );
+            assert!(
+                bb.lp_bound.unwrap() >= ex.welfare - 1e-7,
+                "trial {trial}: bound below optimum"
+            );
         }
     }
 
     #[test]
     fn exact_matches_general_bilp_formulation() {
-        // Cross-validate the specialized solver against the literal Eq. 9
-        // BILP: variables [X_i | Y_{l,i}].
+        // Cross-validate the component path against a monolithic solve of
+        // the literal Eq. 9 BILP over [X_i | Y_{l,e}].
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..10 {
             let p = random_instance(&mut rng, 5, 6);
-            let nf = p.num_facilities();
-            // Build BILP.
-            let mut obj = vec![0.0; nf];
-            for (f, &c) in p.facility_cost.iter().enumerate() {
-                obj[f] = -c;
-            }
-            let mut constraints = Vec::new();
-            let mut y_index = nf;
-            for cands in &p.client_values {
-                let mut row = Vec::new();
-                for &(f, v) in cands {
-                    obj.push(v);
-                    // Y ≤ X
-                    constraints.push(Constraint::le(vec![(y_index, 1.0), (f, -1.0)], 0.0));
-                    row.push((y_index, 1.0));
-                    y_index += 1;
-                }
-                if !row.is_empty() {
-                    constraints.push(Constraint::le(row, 1.0)); // ≤ 1 per location
-                }
-            }
-            let mut bp = BilpProblem::maximize(obj);
-            bp.constraints = constraints;
-            let bilp_sol = bilp::solve(&bp, 200_000);
-            let ufl_sol = solve_exact(&p, &SolveLimits::default());
+            let bp = p.to_bilp();
+            let bilp_sol = bilp::solve(&bp, &SolveOptions::default());
+            let ufl_sol = solve_exact(&p, &SolveOptions::default());
             assert!(
                 (bilp_sol.objective.max(0.0) - ufl_sol.welfare).abs() < 1e-6,
                 "bilp={} ufl={}",
@@ -998,13 +1056,78 @@ mod tests {
     }
 
     #[test]
-    fn dual_ascent_bound_is_valid_upper_bound() {
+    fn fast_dual_bound_is_valid_and_beats_value_sum() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        for trial in 0..60 {
+            let p = random_instance(&mut rng, 8, 10);
+            let dual = fast_dual_bound(&p);
+            let value_sum: f64 = p
+                .client_values
+                .iter()
+                .map(|cands| cands.iter().map(|&(_, v)| v).fold(0.0, f64::max))
+                .sum();
+            let opt = solve_exhaustive(&p);
+            assert!(
+                dual >= opt.welfare - 1e-7,
+                "trial {trial}: dual bound {dual} below optimum {}",
+                opt.welfare
+            );
+            assert!(
+                dual <= value_sum + 1e-9,
+                "trial {trial}: dual bound {dual} looser than value sum {value_sum}"
+            );
+        }
+    }
+
+    /// The size guard: a single giant connected component past
+    /// `MAX_EXACT_VARS` must bypass the tableau (fast), keep a feasible
+    /// incumbent no worse than local search, report `LimitReached`, and
+    /// still carry a certified bound.
+    #[test]
+    fn oversized_component_bypasses_tableau() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let nf = 60;
+        let costs: Vec<f64> = (0..nf).map(|_| rng.gen_range(2.0..12.0)).collect();
+        // Dense enough that nf + edges ≫ MAX_EXACT_VARS and the graph is
+        // one component with overwhelming probability.
+        let clients: Vec<Vec<(usize, f64)>> = (0..200)
+            .map(|_| {
+                let mut list = Vec::new();
+                for f in 0..nf {
+                    if rng.gen_bool(0.2) {
+                        list.push((f, rng.gen_range(0.5..9.0)));
+                    }
+                }
+                list
+            })
+            .collect();
+        let p = WelfareProblem::new(costs, clients);
+        assert!(bilp_vars(&p) > MAX_EXACT_VARS, "instance not oversized");
+
+        let start = Instant::now();
+        let sol = solve_exact(&p, &SolveOptions::default());
+        let elapsed = start.elapsed();
+        assert_eq!(sol.status, SolveStatus::LimitReached);
+        let ls = solve_local_search(&p, 0.01);
+        assert!(sol.welfare >= ls.welfare - 1e-9);
+        assert!(sol.welfare <= sol.lp_bound.expect("bound present") + 1e-9);
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "guarded solve took {elapsed:?}"
+        );
+
+        // The standalone bound path takes the same shortcut and stays
+        // consistent with the achieved welfare.
+        let bound = lp_relaxation_bound(&p, simplex::DEFAULT_MAX_PIVOTS);
+        assert!(sol.welfare <= bound + 1e-9);
+    }
+
+    #[test]
+    fn lp_relaxation_bound_is_valid_upper_bound() {
         let mut rng = StdRng::seed_from_u64(1234);
         for _ in 0..60 {
             let p = random_instance(&mut rng, 7, 9);
-            let fac_clients = facility_adjacency(&p);
-            let status = vec![Status::Free; p.num_facilities()];
-            let bound = dual_ascent_bound(&p, &fac_clients, &status, 64);
+            let bound = lp_relaxation_bound(&p, simplex::DEFAULT_MAX_PIVOTS);
             let opt = solve_exhaustive(&p);
             assert!(
                 bound >= opt.welfare - 1e-7,
@@ -1020,7 +1143,7 @@ mod tests {
         for _ in 0..30 {
             let p = random_instance(&mut rng, 10, 12);
             let ls = solve_local_search(&p, 0.01);
-            let ex = solve_exact(&p, &SolveLimits::default());
+            let ex = solve_exact(&p, &SolveOptions::default());
             assert!(ls.welfare <= ex.welfare + 1e-7);
             assert!(ls.welfare >= 0.0);
         }
@@ -1030,7 +1153,7 @@ mod tests {
     fn assignments_point_to_open_facilities() {
         let mut rng = StdRng::seed_from_u64(31337);
         let p = random_instance(&mut rng, 12, 15);
-        let sol = solve_exact(&p, &SolveLimits::default());
+        let sol = solve_exact(&p, &SolveOptions::default());
         for (l, a) in sol.assignment.iter().enumerate() {
             if let Some(f) = a {
                 assert!(sol.open[*f], "client {l} assigned to closed facility");
@@ -1045,7 +1168,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let p = random_instance(&mut rng, 9, 11);
             let ls = solve_local_search(&p, 0.01);
-            let ex = solve_exact(&p, &SolveLimits::default());
+            let ex = solve_exact(&p, &SolveOptions::default());
             prop_assert!(ex.welfare + 1e-7 >= ls.welfare);
             let brute = solve_exhaustive(&p);
             prop_assert!((ex.welfare - brute.welfare).abs() < 1e-6);

@@ -1,0 +1,92 @@
+//! Exact point scheduling under an anytime deadline.
+//!
+//! ```text
+//! cargo run --release --example optimal_scheduling
+//! ```
+//!
+//! One slot's worth of point queries goes through three schedulers for
+//! the same announced sensors: greedy, the exact `ps_solver`
+//! branch-and-bound with a generous budget, and the same exact solver
+//! strangled to a 2 ms deadline. The deadline run is the anytime
+//! contract on display: it still returns a feasible incumbent, and the
+//! LP-relaxation bound printed next to each welfare turns "how good is
+//! this schedule?" into a measured gap instead of a guess.
+
+use ps_core::aggregator::{AggregatorBuilder, PointSpec, SlotReport};
+use ps_core::alloc::optimal::{GreedyPointScheduler, OptimalScheduler, WithLpBound};
+use ps_core::alloc::PointScheduler;
+use ps_core::model::SensorSnapshot;
+use ps_core::valuation::quality::QualityModel;
+use ps_geo::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn main() {
+    // A seeded slot: 50 sensors and 80 point queries on a 40×40 arena,
+    // dense enough that queries genuinely compete for shared sensors.
+    let mut rng = StdRng::seed_from_u64(2013);
+    let sensors: Vec<SensorSnapshot> = (0..50)
+        .map(|id| SensorSnapshot {
+            id,
+            loc: Point::new(rng.gen_range(0.0..40.0), rng.gen_range(0.0..40.0)),
+            cost: rng.gen_range(6.0..14.0),
+            trust: rng.gen_range(0.7..1.0),
+            inaccuracy: rng.gen_range(0.0..0.1),
+        })
+        .collect();
+    let specs: Vec<PointSpec> = (0..80)
+        .map(|_| PointSpec {
+            loc: Point::new(rng.gen_range(0.0..40.0), rng.gen_range(0.0..40.0)),
+            budget: rng.gen_range(4.0..20.0),
+            theta_min: 0.2,
+        })
+        .collect();
+
+    let greedy = run(WithLpBound::new(GreedyPointScheduler), &sensors, &specs);
+    let exact = run(OptimalScheduler::new(), &sensors, &specs);
+    let deadline = run(
+        OptimalScheduler::new().deadline(Duration::from_millis(2)),
+        &sensors,
+        &specs,
+    );
+
+    println!("Eq. 9 point scheduling, one slot, 50 sensors / 80 queries\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>7}",
+        "scheduler", "welfare", "lp bound", "gap"
+    );
+    report("greedy (certified)", &greedy);
+    report("exact (full budget)", &exact);
+    report("exact (2 ms deadline)", &deadline);
+
+    println!(
+        "\nThe deadline run still satisfied {} of {} queries — a limited \
+         solve hands back its best incumbent, it never fails the slot.",
+        deadline.breakdown.point_satisfied, deadline.breakdown.point_total,
+    );
+}
+
+fn run(
+    scheduler: impl PointScheduler,
+    sensors: &[SensorSnapshot],
+    specs: &[PointSpec],
+) -> SlotReport {
+    let mut engine = AggregatorBuilder::new(QualityModel::new(5.0))
+        .scheduler(scheduler)
+        .build();
+    for spec in specs {
+        engine.submit_point(*spec);
+    }
+    engine.step(0, sensors)
+}
+
+fn report(name: &str, slot: &SlotReport) {
+    let welfare = slot.breakdown.point_sched_welfare;
+    let bound = slot.breakdown.point_lp_bound;
+    let gap = slot
+        .breakdown
+        .optimality_gap()
+        .map_or("n/a".to_string(), |g| format!("{:.2}%", g * 100.0));
+    println!("{name:<22} {welfare:>10.2} {bound:>10.2} {gap:>7}");
+}
